@@ -1,0 +1,33 @@
+//! Criterion: branch & bound cost growth — how far the exact "OPT" solvers
+//! scale, justifying the instance sizes used in E2/E3/E7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owp_matching::exact::{optimal_satisfaction, optimal_weight, DEFAULT_BUDGET};
+use owp_matching::Problem;
+
+fn bench_optimal_weight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_weight_bnb");
+    group.sample_size(10);
+    for &n in &[8usize, 10, 12, 14] {
+        let p = Problem::random_gnp(n, 0.5, 2, 21);
+        group.bench_with_input(BenchmarkId::new("gnp_p0.5_b2", n), &p, |b, p| {
+            b.iter(|| optimal_weight(p, DEFAULT_BUDGET))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimal_satisfaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_satisfaction_bnb");
+    group.sample_size(10);
+    for &n in &[8usize, 10, 12] {
+        let p = Problem::random_gnp(n, 0.5, 2, 22);
+        group.bench_with_input(BenchmarkId::new("gnp_p0.5_b2", n), &p, |b, p| {
+            b.iter(|| optimal_satisfaction(p, DEFAULT_BUDGET))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimal_weight, bench_optimal_satisfaction);
+criterion_main!(benches);

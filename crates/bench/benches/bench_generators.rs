@@ -1,0 +1,62 @@
+//! Criterion: topology generators and the satisfaction metric — the
+//! per-experiment fixed costs of the harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use owp_graph::generators::{barabasi_albert, erdos_renyi, random_geometric, watts_strogatz};
+use owp_graph::{NodeId, PreferenceTable};
+use owp_matching::satisfaction::node_satisfaction;
+use owp_matching::{BMatching, MatchingReport, Problem};
+use owp_matching::lic::{lic, SelectionPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    let n = 2000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("erdos_renyi_deg12", |b| {
+        b.iter(|| erdos_renyi(n, 12.0 / (n as f64 - 1.0), &mut StdRng::seed_from_u64(1)))
+    });
+    group.bench_function("barabasi_albert_m6", |b| {
+        b.iter(|| barabasi_albert(n, 6, &mut StdRng::seed_from_u64(2)))
+    });
+    group.bench_function("watts_strogatz_k12", |b| {
+        b.iter(|| watts_strogatz(n, 12, 0.2, &mut StdRng::seed_from_u64(3)))
+    });
+    group.bench_function("random_geometric_r0.05", |b| {
+        b.iter(|| random_geometric(n, 0.05, &mut StdRng::seed_from_u64(4)))
+    });
+    group.finish();
+}
+
+fn bench_preferences(c: &mut Criterion) {
+    let g = erdos_renyi(2000, 0.006, &mut StdRng::seed_from_u64(5));
+    let mut group = c.benchmark_group("preference_tables");
+    group.bench_function("random_permutations", |b| {
+        b.iter(|| PreferenceTable::random(&g, &mut StdRng::seed_from_u64(6)))
+    });
+    group.bench_function("by_score", |b| {
+        b.iter(|| PreferenceTable::by_score(&g, |i, j| ((i.0 * 31) ^ j.0) as f64))
+    });
+    group.finish();
+}
+
+fn bench_satisfaction_metric(c: &mut Criterion) {
+    let p = Problem::random_gnp(1000, 0.012, 4, 8);
+    let m: BMatching = lic(&p, SelectionPolicy::InOrder);
+    let mut group = c.benchmark_group("satisfaction");
+    group.bench_function("full_report_n1000", |b| {
+        b.iter(|| MatchingReport::compute(&p, &m))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("single_node", 0),
+        &p,
+        |b, p| {
+            b.iter(|| node_satisfaction(&p.prefs, &p.quotas, NodeId(0), m.connections(NodeId(0))))
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_preferences, bench_satisfaction_metric);
+criterion_main!(benches);

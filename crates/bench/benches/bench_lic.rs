@@ -1,0 +1,41 @@
+//! Criterion: LIC throughput as instance size grows, plus the
+//! selection-policy ablation (same output, different traversal cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use owp_matching::lic::{lic, SelectionPolicy};
+use owp_matching::Problem;
+
+fn bench_lic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lic_scaling");
+    for &n in &[100usize, 400, 1600] {
+        let p = Problem::random_gnp(n, 12.0 / (n as f64 - 1.0), 4, 42);
+        group.throughput(Throughput::Elements(p.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::new("gnp_deg12_b4", n), &p, |b, p| {
+            b.iter(|| lic(p, SelectionPolicy::InOrder))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lic_policies(c: &mut Criterion) {
+    let p = Problem::random_gnp(800, 0.02, 4, 7);
+    let mut group = c.benchmark_group("lic_policy_ablation");
+    group.bench_function("in_order", |b| b.iter(|| lic(&p, SelectionPolicy::InOrder)));
+    group.bench_function("reverse", |b| b.iter(|| lic(&p, SelectionPolicy::Reverse)));
+    group.bench_function("random", |b| b.iter(|| lic(&p, SelectionPolicy::Random(1))));
+    group.finish();
+}
+
+fn bench_quota_effect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lic_quota_effect");
+    for &b in &[1u32, 4, 16] {
+        let p = Problem::random_gnp(800, 0.02, b, 11);
+        group.bench_with_input(BenchmarkId::new("b", b), &p, |bench, p| {
+            bench.iter(|| lic(p, SelectionPolicy::InOrder))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lic_scaling, bench_lic_policies, bench_quota_effect);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion: the simulated distributed protocol end to end — event queue,
+//! message routing and protocol logic — versus network size and latency
+//! model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use owp_core::{run_lid, run_lid_sync};
+use owp_matching::Problem;
+use owp_simnet::{LatencyModel, SimConfig};
+
+fn bench_lid_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lid_scaling");
+    group.sample_size(20);
+    for &n in &[100usize, 400, 1600] {
+        let p = Problem::random_gnp(n, 12.0 / (n as f64 - 1.0), 4, 42);
+        group.throughput(Throughput::Elements(p.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::new("async_unit_latency", n), &p, |b, p| {
+            b.iter(|| run_lid(p, SimConfig::with_seed(1)))
+        });
+        group.bench_with_input(BenchmarkId::new("sync_rounds", n), &p, |b, p| {
+            b.iter(|| run_lid_sync(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency_models(c: &mut Criterion) {
+    let p = Problem::random_gnp(400, 0.03, 4, 9);
+    let mut group = c.benchmark_group("lid_latency_models");
+    group.sample_size(20);
+    for (name, m) in [
+        ("constant", LatencyModel::Constant { ticks: 10 }),
+        ("uniform", LatencyModel::Uniform { lo: 1, hi: 20 }),
+        ("exponential", LatencyModel::Exponential { mean: 10.0 }),
+        ("lognormal", LatencyModel::LogNormal { mu: 2.0, sigma: 0.8 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| run_lid(&p, SimConfig::with_seed(2).latency(m.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lid_scaling, bench_latency_models);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion: the exact-arithmetic ablation — rational vs f64 weight
+//! comparisons, and full weight-table construction. Quantifies what the
+//! "exact `EdgeKey` order" design choice costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owp_graph::{PreferenceTable, Quotas};
+use owp_matching::weights::{edges_by_weight_desc, EdgeWeights};
+use owp_matching::{Problem, Rational};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_weight_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weights_construction");
+    for &n in &[200usize, 800] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = owp_graph::generators::erdos_renyi(n, 0.05, &mut rng);
+        let prefs = PreferenceTable::random(&g, &mut rng);
+        let quotas = Quotas::uniform(&g, 4);
+        group.bench_with_input(BenchmarkId::new("eq9_exact", n), &(), |b, _| {
+            b.iter(|| EdgeWeights::compute(&g, &prefs, &quotas))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_rational_vs_f64(c: &mut Criterion) {
+    let p = Problem::random_gnp(800, 0.05, 4, 3);
+    let g = &p.graph;
+    let w = &p.weights;
+    let f64s: Vec<f64> = g.edges().map(|e| w.get_f64(e)).collect();
+
+    let mut group = c.benchmark_group("weight_sort_ablation");
+    group.bench_function("exact_edgekey_sort", |b| {
+        b.iter(|| edges_by_weight_desc(g, w))
+    });
+    group.bench_function("f64_sort", |b| {
+        b.iter(|| {
+            let mut idx: Vec<usize> = (0..f64s.len()).collect();
+            idx.sort_by(|&a, &c| f64s[c].partial_cmp(&f64s[a]).expect("no NaN"));
+            idx
+        })
+    });
+    group.finish();
+}
+
+fn bench_rational_ops(c: &mut Criterion) {
+    let xs: Vec<Rational> = (1..1000i128)
+        .map(|k| Rational::new(k * 7 % 113, 1 + k % 97))
+        .collect();
+    let mut group = c.benchmark_group("rational_ops");
+    group.bench_function("pairwise_cmp", |b| {
+        b.iter(|| {
+            let mut less = 0usize;
+            for w in xs.windows(2) {
+                if w[0] < w[1] {
+                    less += 1;
+                }
+            }
+            less
+        })
+    });
+    group.bench_function("pairwise_add", |b| {
+        b.iter(|| {
+            let mut acc = Rational::ZERO;
+            for w in xs.windows(2) {
+                acc = w[0] + w[1];
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_weight_construction,
+    bench_sort_rational_vs_f64,
+    bench_rational_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment runner: regenerates every table/figure of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! experiments <e1|e2|...|e11|all> [--quick]
+//! ```
+
+use owp_bench::experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+
+    if ids.is_empty() {
+        eprintln!("usage: experiments <e1..e11|all> [--quick]");
+        eprintln!("known experiments: {}", experiments::ALL.join(", "));
+        std::process::exit(2);
+    }
+
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+
+    for id in selected {
+        let start = Instant::now();
+        match experiments::run(id, quick) {
+            Some(tables) => {
+                for t in tables {
+                    println!();
+                    t.print();
+                }
+                println!("[{id} done in {:.1?}]", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

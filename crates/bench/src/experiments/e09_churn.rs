@@ -1,0 +1,86 @@
+//! E9 / Figure 5 — churn (the paper's future work): satisfaction before and
+//! after a wave of departures, after greedy local repair, and after rejoin,
+//! normalized against a full rebuild.
+
+use crate::{mean, Table};
+use owp_core::{run_lid, ChurnSim};
+use owp_graph::NodeId;
+use owp_matching::Problem;
+use owp_simnet::SimConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Runs the churn-fraction sweep on a BA overlay.
+pub fn run(quick: bool) -> Table {
+    let n = if quick { 128 } else { 512 };
+    let seeds: u64 = if quick { 2 } else { 10 };
+    let fractions = [0.05f64, 0.10, 0.20, 0.30];
+
+    let mut t = Table::new(
+        format!("E9 / Figure 5 — churn recovery on ba(n={n}, m=3), b=4 (values = % of rebuild)"),
+        &["churn %", "after leave", "after repair", "after rejoin+repair"],
+    );
+
+    for &f in &fractions {
+        let rows: Vec<(f64, f64, f64)> = (0..seeds)
+            .into_par_iter()
+            .map(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed * 53 + 11);
+                let g = owp_graph::generators::barabasi_albert(n, 3, &mut rng);
+                let p = Problem::random_over(g, 4, seed);
+                let fresh = run_lid(&p, SimConfig::with_seed(seed));
+                assert!(fresh.terminated);
+                let rebuild = fresh.matching.total_satisfaction(&p);
+
+                let mut sim = ChurnSim::new(&p, fresh.matching);
+                let mut peers: Vec<NodeId> = p.nodes().collect();
+                peers.shuffle(&mut rng);
+                let leavers: Vec<NodeId> = peers[..(n as f64 * f) as usize].to_vec();
+                for &i in &leavers {
+                    sim.leave(i);
+                }
+                // Satisfaction over the full population scale: use the
+                // rebuild total as the normalizer throughout.
+                let after_leave = sim.active_satisfaction() / rebuild;
+                sim.repair();
+                let after_repair = sim.active_satisfaction() / rebuild;
+                for &i in &leavers {
+                    sim.join(i);
+                }
+                sim.repair();
+                let after_rejoin = sim.active_satisfaction() / rebuild;
+                (after_leave, after_repair, after_rejoin)
+            })
+            .collect();
+        let a: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let b: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let c: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        t.row(vec![
+            format!("{:.0}", f * 100.0),
+            format!("{:.1}", 100.0 * mean(&a)),
+            format!("{:.1}", 100.0 * mean(&b)),
+            format!("{:.1}", 100.0 * mean(&c)),
+        ]);
+    }
+    t.note("local repair recovers most of the loss; rejoin+repair returns close to 100% without rebuilding");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_recovery_is_monotone() {
+        let t = super::run(true);
+        assert_eq!(t.row_count(), 4);
+        for r in 0..t.row_count() {
+            let leave: f64 = t.cell(r, 1).parse().unwrap();
+            let repair: f64 = t.cell(r, 2).parse().unwrap();
+            let rejoin: f64 = t.cell(r, 3).parse().unwrap();
+            assert!(repair >= leave - 1e-9);
+            assert!(rejoin >= repair - 15.0, "rejoin adds peers needing links");
+            assert!(rejoin > 80.0, "rejoin+repair should approach rebuild");
+        }
+    }
+}

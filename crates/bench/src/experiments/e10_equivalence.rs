@@ -1,0 +1,81 @@
+//! E10 / Table 5 — machine-checked certification of the structural lemmas
+//! on a large batch of random instances: LIC ≡ LID (Lemma 6), selection
+//! histories are locally-heaviest (Lemma 3), outputs satisfy the Lemma 4
+//! certificate, and locks are always symmetric.
+
+use crate::Table;
+use owp_core::run_lid;
+use owp_graph::{PreferenceTable, Quotas};
+use owp_matching::lic::{lic_with_order, SelectionPolicy};
+use owp_matching::{verify, Problem};
+use owp_simnet::{LatencyModel, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Runs the certification batch.
+pub fn run(quick: bool) -> Table {
+    let instances: u64 = if quick { 25 } else { 200 };
+
+    let outcomes: Vec<[bool; 5]> = (0..instances)
+        .into_par_iter()
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(8..40);
+            let p_edge = rng.gen_range(0.1..0.6);
+            let g = owp_graph::generators::erdos_renyi(n, p_edge, &mut rng);
+            let prefs = PreferenceTable::random(&g, &mut rng);
+            let quotas = Quotas::random_range(&g, 0, 5, &mut rng);
+            let p = Problem::new(g, prefs, quotas);
+
+            let (m_lic, order) = lic_with_order(&p, SelectionPolicy::Random(seed));
+            let lid = run_lid(
+                &p,
+                SimConfig::with_seed(seed).latency(LatencyModel::Uniform { lo: 1, hi: 128 }),
+            );
+            [
+                lid.terminated,
+                lid.asymmetric_locks == 0,
+                lid.matching.same_edges(&m_lic),
+                verify::check_selection_order(&p, &order).is_ok(),
+                verify::check_greedy_certificate(&p, &m_lic).is_ok(),
+            ]
+        })
+        .collect();
+
+    let count = |k: usize| outcomes.iter().filter(|o| o[k]).count();
+    let mut t = Table::new(
+        format!("E10 / Table 5 — lemma certification over {instances} random instances"),
+        &["property (paper anchor)", "passed", "of"],
+    );
+    let props = [
+        "LID terminates (Lemma 5)",
+        "locks symmetric",
+        "LID ≡ LIC edge sets (Lemmas 4, 6)",
+        "selection order locally heaviest (Lemma 3)",
+        "Lemma 4 greedy certificate",
+    ];
+    for (k, name) in props.iter().enumerate() {
+        let passed = count(k);
+        assert_eq!(passed as u64, instances, "{name} failed on some instance");
+        t.row(vec![
+            name.to_string(),
+            passed.to_string(),
+            instances.to_string(),
+        ]);
+    }
+    t.note("every property holds on every instance — the theorems' premises are machine-checked");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_batch_all_pass() {
+        let t = super::run(true);
+        assert_eq!(t.row_count(), 5);
+        for r in 0..5 {
+            assert_eq!(t.cell(r, 1), t.cell(r, 2));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! One module per experiment; each returns a [`crate::Table`] so the
+//! binary stays thin and the harness is unit-testable.
+//!
+//! The `quick` flag shrinks sweeps/seed counts to keep CI fast; the numbers
+//! in `EXPERIMENTS.md` come from full (`quick = false`) runs.
+
+pub mod e01_figure1;
+pub mod e02_weight_ratio;
+pub mod e03_satisfaction_ratio;
+pub mod e04_messages;
+pub mod e05_convergence;
+pub mod e06_baselines;
+pub mod e07_bmax_sweep;
+pub mod e08_lemma1_tightness;
+pub mod e09_churn;
+pub mod e10_equivalence;
+pub mod e11_robustness;
+pub mod e12_reliable;
+pub mod e13_normalization;
+pub mod e14_fairness;
+pub mod e15_scale;
+pub mod e16_stability;
+pub mod e17_ratio_at_scale;
+
+use crate::Table;
+
+/// All experiment ids, in order.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17",
+];
+
+/// Dispatches an experiment by id. Returns the tables it produced.
+pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
+    let tables = match id {
+        "e1" => vec![e01_figure1::run()],
+        "e2" => vec![e02_weight_ratio::run(quick)],
+        "e3" => vec![e03_satisfaction_ratio::run(quick)],
+        "e4" => vec![e04_messages::run(quick)],
+        "e5" => vec![e05_convergence::run(quick)],
+        "e6" => e06_baselines::run(quick),
+        "e7" => vec![e07_bmax_sweep::run(quick)],
+        "e8" => vec![e08_lemma1_tightness::run()],
+        "e9" => vec![e09_churn::run(quick)],
+        "e10" => vec![e10_equivalence::run(quick)],
+        "e11" => vec![e11_robustness::run(quick)],
+        "e12" => vec![e12_reliable::run(quick)],
+        "e13" => vec![e13_normalization::run(quick)],
+        "e14" => vec![e14_fairness::run(quick)],
+        "e15" => vec![e15_scale::run(quick)],
+        "e16" => e16_stability::run(quick),
+        "e17" => vec![e17_ratio_at_scale::run(quick)],
+        _ => return None,
+    };
+    Some(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dispatch sanity on a few cheap experiments (each experiment module
+    /// carries its own full quick test; re-running all 17 here would double
+    /// the suite's cost for no extra coverage).
+    #[test]
+    fn dispatch_produces_tables() {
+        for id in ["e1", "e8", "e10"] {
+            let tables = run(id, true).unwrap_or_else(|| panic!("unknown id {id}"));
+            assert!(!tables.is_empty(), "{id} produced no tables");
+            for t in &tables {
+                assert!(t.row_count() > 0, "{id} produced an empty table");
+                // Render must not panic.
+                let _ = t.render();
+            }
+        }
+    }
+
+    /// Every id in ALL dispatches and ids are unique.
+    #[test]
+    fn all_ids_are_known_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for id in ALL {
+            assert!(seen.insert(*id), "duplicate id {id}");
+        }
+        assert_eq!(ALL.len(), 17);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("e99", true).is_none());
+    }
+}

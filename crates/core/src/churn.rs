@@ -1,0 +1,212 @@
+//! Dynamic overlays: joins, leaves and local repair.
+//!
+//! The paper's conclusion leaves dynamicity ("joins/leaves of peers") as
+//! future work and conjectures the same greedy strategy extends to it. This
+//! module implements that extension: peers can leave (dropping their
+//! connections) and join, and [`ChurnSim::repair`] re-runs the
+//! locally-heaviest greedy on the *residual* instance — only free quota and
+//! unmatched edges participate, existing connections are never torn down.
+//! Experiment E9 measures how much satisfaction this local repair recovers
+//! relative to a full rebuild.
+
+use owp_graph::NodeId;
+use owp_matching::satisfaction::node_satisfaction;
+use owp_matching::{BMatching, Problem};
+use owp_graph::EdgeId;
+
+/// Outcome of one repair pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Edges added by the repair.
+    pub edges_added: usize,
+}
+
+/// A dynamic overlay: a fixed potential-connection universe over which peers
+/// are activated/deactivated, with incremental repair of the matching.
+pub struct ChurnSim<'p> {
+    problem: &'p Problem,
+    active: Vec<bool>,
+    matching: BMatching,
+}
+
+impl<'p> ChurnSim<'p> {
+    /// Starts with every peer active and the given initial matching (e.g.
+    /// a fresh LID run).
+    pub fn new(problem: &'p Problem, initial: BMatching) -> Self {
+        ChurnSim {
+            problem,
+            active: vec![true; problem.node_count()],
+            matching: initial,
+        }
+    }
+
+    /// `true` iff peer `i` is currently active.
+    pub fn is_active(&self, i: NodeId) -> bool {
+        self.active[i.index()]
+    }
+
+    /// The current matching.
+    pub fn matching(&self) -> &BMatching {
+        &self.matching
+    }
+
+    /// Peer `i` leaves: all its connections are dropped (its partners regain
+    /// quota) and it stops participating.
+    pub fn leave(&mut self, i: NodeId) {
+        assert!(self.active[i.index()], "{i:?} is not active");
+        self.active[i.index()] = false;
+        let partners: Vec<NodeId> = self.matching.connections(i).to_vec();
+        for j in partners {
+            let e = self
+                .problem
+                .graph
+                .edge_between(i, j)
+                .expect("connection is an edge");
+            self.matching.remove(&self.problem.graph, e);
+        }
+    }
+
+    /// Peer `i` (re)joins with empty connections.
+    pub fn join(&mut self, i: NodeId) {
+        assert!(!self.active[i.index()], "{i:?} is already active");
+        self.active[i.index()] = true;
+    }
+
+    /// Local repair: run the locally-heaviest greedy over the residual
+    /// instance — edges between *active* nodes that both have free quota —
+    /// keeping all existing connections. This is exactly the paper's greedy
+    /// restricted to the sub-instance the churn exposed, so the Lemma 4
+    /// structure holds relative to the residual pool.
+    pub fn repair(&mut self) -> RepairStats {
+        let g = &self.problem.graph;
+        let w = &self.problem.weights;
+        // Candidate edges, heaviest first.
+        let mut candidates: Vec<EdgeId> = g
+            .edges()
+            .filter(|&e| {
+                if self.matching.contains(e) {
+                    return false;
+                }
+                let (u, v) = g.endpoints(e);
+                self.active[u.index()] && self.active[v.index()]
+            })
+            .collect();
+        candidates.sort_by_key(|&e| std::cmp::Reverse(w.key(g, e)));
+
+        let mut added = 0;
+        for e in candidates {
+            let (u, v) = g.endpoints(e);
+            let u_free = self.matching.degree(u) < self.problem.quotas.get(u) as usize;
+            let v_free = self.matching.degree(v) < self.problem.quotas.get(v) as usize;
+            if u_free && v_free {
+                self.matching.insert(self.problem, e);
+                added += 1;
+            }
+        }
+        RepairStats { edges_added: added }
+    }
+
+    /// Total true satisfaction over *active* peers.
+    pub fn active_satisfaction(&self) -> f64 {
+        self.problem
+            .nodes()
+            .filter(|&i| self.active[i.index()])
+            .map(|i| {
+                node_satisfaction(
+                    &self.problem.prefs,
+                    &self.problem.quotas,
+                    i,
+                    self.matching.connections(i),
+                )
+            })
+            .sum()
+    }
+
+    /// Number of active peers.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_matching::baselines::global_greedy;
+    use owp_matching::verify;
+
+    fn setup(seed: u64) -> (Problem, BMatching) {
+        let p = Problem::random_gnp(30, 0.3, 3, seed);
+        let m = global_greedy(&p);
+        (p, m)
+    }
+
+    #[test]
+    fn leave_frees_partner_quota_and_repair_refills() {
+        let (p, m) = setup(1);
+        let mut sim = ChurnSim::new(&p, m);
+        let before = sim.active_satisfaction();
+
+        // Evict the 3 busiest nodes.
+        let mut busiest: Vec<NodeId> = p.nodes().collect();
+        busiest.sort_by_key(|&i| std::cmp::Reverse(sim.matching().degree(i)));
+        for &i in &busiest[..3] {
+            sim.leave(i);
+        }
+        let after_leave = sim.active_satisfaction();
+        let stats = sim.repair();
+        let after_repair = sim.active_satisfaction();
+
+        assert!(after_repair >= after_leave - 1e-12);
+        assert!(stats.edges_added > 0 || after_leave >= before - 1e-12);
+        verify::check_valid(&p, sim.matching()).expect("valid after repair");
+        // No active pair with double free quota may remain.
+        for e in p.graph.edges() {
+            if sim.matching().contains(e) {
+                continue;
+            }
+            let (u, v) = p.graph.endpoints(e);
+            if sim.is_active(u) && sim.is_active(v) {
+                let uf = sim.matching().degree(u) < p.quotas.get(u) as usize;
+                let vf = sim.matching().degree(v) < p.quotas.get(v) as usize;
+                assert!(!(uf && vf), "repair left an addable edge");
+            }
+        }
+    }
+
+    #[test]
+    fn rejoin_and_repair_restores_participation() {
+        let (p, m) = setup(2);
+        let mut sim = ChurnSim::new(&p, m);
+        let victim = NodeId(0);
+        let before_degree = sim.matching().degree(victim);
+        sim.leave(victim);
+        assert_eq!(sim.matching().degree(victim), 0);
+        sim.repair();
+        sim.join(victim);
+        sim.repair();
+        // Victim reconnects as far as its (still-free) neighbours allow.
+        assert!(sim.matching().degree(victim) <= p.quotas.get(victim) as usize);
+        let _ = before_degree;
+        verify::check_valid(&p, sim.matching()).expect("valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn double_leave_panics() {
+        let (p, m) = setup(3);
+        let mut sim = ChurnSim::new(&p, m);
+        sim.leave(NodeId(1));
+        sim.leave(NodeId(1));
+    }
+
+    #[test]
+    fn active_count_tracks() {
+        let (p, m) = setup(4);
+        let mut sim = ChurnSim::new(&p, m);
+        assert_eq!(sim.active_count(), 30);
+        sim.leave(NodeId(5));
+        assert_eq!(sim.active_count(), 29);
+        sim.join(NodeId(5));
+        assert_eq!(sim.active_count(), 30);
+    }
+}

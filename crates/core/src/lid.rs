@@ -1,0 +1,452 @@
+//! LID — Local Information-based Distributed algorithm (paper Algorithm 1).
+//!
+//! Every node runs the same state machine over four sets:
+//!
+//! * `U` — unresolved neighbours (no reply yet / not contacted);
+//! * `P` — neighbours this node has PROPosed to;
+//! * `A` — neighbours that have approached this node with a PROP;
+//! * `K` — locked (established) connections.
+//!
+//! A node proposes to its `b_i` heaviest-weight neighbours; a *mutual*
+//! proposal locks the edge at both ends; an explicit `REJ` makes the sender
+//! move to its next-ranked candidate; once `P \ K = ∅` (all proposals
+//! locked), the node rejects everyone left in `U` and terminates.
+//!
+//! Two gaps in the paper's pseudocode are fixed here, both flagged inline:
+//! a `PROP` arriving *after* the receiver terminated must still be answered
+//! `REJ` (otherwise the sender waits forever), and the lock step (line 12)
+//! is applied repeatedly until no mutual proposal remains.
+//!
+//! The module runs the protocol on either engine of `owp-simnet`
+//! ([`run_lid`] — asynchronous, [`run_lid_sync`] — synchronous rounds) and
+//! extracts the resulting [`BMatching`], asserting the `K`-sets of the two
+//! endpoints of every locked edge agree.
+
+use owp_graph::NodeId;
+use owp_matching::{BMatching, Problem};
+use owp_simnet::{Context, NetStats, Payload, Protocol, RunOutcome, SimConfig, Simulator, SyncRunner};
+use std::collections::BTreeSet;
+
+/// The message kinds of Algorithm 1 (plus the retransmission layer's ACK).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LidMessage {
+    /// "I propose we establish a connection."
+    Prop,
+    /// "I will not connect to you (my quota is filled or better options won)."
+    Rej,
+    /// Reliable-LID only: "your proposal is locked on my side" — semantically
+    /// a `Prop` for the receiver's state machine, but *never replied to*,
+    /// which is what terminates duplicate-confirmation chains (plain
+    /// Algorithm 1 never sends this).
+    Ack,
+}
+
+impl Payload for LidMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            LidMessage::Prop => "PROP",
+            LidMessage::Rej => "REJ",
+            LidMessage::Ack => "ACK",
+        }
+    }
+}
+
+/// Per-node state machine of Algorithm 1.
+#[derive(Debug)]
+pub struct LidNode {
+    id: NodeId,
+    quota: u32,
+    /// Neighbours sorted by the weight list (edge weight descending under
+    /// the strict [`owp_matching::EdgeKey`] order) — the auxiliary list the
+    /// paper builds from the exchanged `ΔS̄` values.
+    ranked: Vec<NodeId>,
+    /// Cursor into `ranked`: everything before it is proposed-to or resolved.
+    cursor: usize,
+    u: BTreeSet<NodeId>,
+    p: BTreeSet<NodeId>,
+    a: BTreeSet<NodeId>,
+    k: BTreeSet<NodeId>,
+}
+
+impl LidNode {
+    /// Creates the Algorithm 1 state machine for node `id` of `problem`.
+    pub(crate) fn new_for(problem: &Problem, id: NodeId) -> Self {
+        Self::new(problem, id)
+    }
+
+    fn new(problem: &Problem, id: NodeId) -> Self {
+        let g = &problem.graph;
+        let w = &problem.weights;
+        let mut ranked: Vec<(owp_matching::EdgeKey, NodeId)> = g
+            .neighbors(id)
+            .iter()
+            .map(|&(j, e)| (w.key(g, e), j))
+            .collect();
+        ranked.sort_by_key(|&(key, _)| std::cmp::Reverse(key));
+        LidNode {
+            id,
+            quota: problem.quotas.get(id),
+            ranked: ranked.into_iter().map(|(_, j)| j).collect(),
+            cursor: 0,
+            u: g.neighbor_ids(id).collect(),
+            p: BTreeSet::new(),
+            a: BTreeSet::new(),
+            k: BTreeSet::new(),
+        }
+    }
+
+    /// `topRanked(U \ P)`: the heaviest-weight neighbour not yet proposed to
+    /// and still unresolved. Monotone cursor: nodes leave `U` permanently and
+    /// are never removed from "was proposed to" status without leaving `U`.
+    fn top_ranked(&mut self) -> Option<NodeId> {
+        while self.cursor < self.ranked.len() {
+            let v = self.ranked[self.cursor];
+            if self.u.contains(&v) && !self.p.contains(&v) {
+                return Some(v);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+
+    /// Lock every mutual proposal (Algorithm 1 lines 12–14, applied to a
+    /// fixpoint — the pseudocode's `if ∃v` is run once per delivery, which
+    /// can strand a second simultaneous match).
+    fn lock_mutuals(&mut self) {
+        loop {
+            let v = self
+                .p
+                .iter()
+                .find(|v| !self.k.contains(v) && self.a.contains(v))
+                .copied();
+            let Some(v) = v else { break };
+            self.u.remove(&v);
+            self.a.remove(&v);
+            self.k.insert(v);
+        }
+    }
+
+    /// Algorithm 1 lines 15–16: all proposals resolved → reject everyone
+    /// still unresolved and terminate.
+    fn finish_if_done(&mut self, ctx: &mut Context<LidMessage>) {
+        if self.p.iter().all(|v| self.k.contains(v)) && !self.u.is_empty() {
+            for &v in &self.u {
+                ctx.send(v, LidMessage::Rej);
+            }
+            self.u.clear();
+        } else if self.p.iter().all(|v| self.k.contains(v)) {
+            // Already quiescent (e.g. zero quota, no neighbours).
+            self.u.clear();
+        }
+    }
+
+    /// The locked connections after termination.
+    pub fn locked(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.k.iter().copied()
+    }
+
+    /// `true` iff the connection to `v` is locked (`v ∈ K`).
+    pub fn is_locked(&self, v: NodeId) -> bool {
+        self.k.contains(&v)
+    }
+
+    /// Neighbours with an outstanding (unanswered) proposal (`P \ K`) —
+    /// exactly the messages a retransmission layer must keep alive.
+    pub fn outstanding_proposals(&self) -> Vec<NodeId> {
+        self.p
+            .iter()
+            .filter(|v| !self.k.contains(v))
+            .copied()
+            .collect()
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+}
+
+impl Protocol for LidNode {
+    type Message = LidMessage;
+
+    fn on_start(&mut self, ctx: &mut Context<LidMessage>) {
+        // Lines 2–3: propose to the top b_i candidates.
+        for _ in 0..self.quota {
+            let Some(v) = self.top_ranked() else { break };
+            self.p.insert(v);
+            ctx.send(v, LidMessage::Prop);
+        }
+        // A node with b_i = 0 (or no neighbours) terminates immediately,
+        // rejecting everyone — otherwise its neighbours would wait forever.
+        self.finish_if_done(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: LidMessage, ctx: &mut Context<LidMessage>) {
+        if self.u.is_empty() {
+            // Terminated. The paper's pseudocode does not handle a PROP that
+            // arrives after line 16; without a REJ reply the proposer would
+            // deadlock, so we answer here (documented deviation).
+            if msg == LidMessage::Prop && !self.k.contains(&from) {
+                ctx.send(from, LidMessage::Rej);
+            }
+            return;
+        }
+        match msg {
+            // An ACK certifies the sender holds our proposal locked; for the
+            // state machine it is exactly an incoming proposal (line 6).
+            LidMessage::Prop | LidMessage::Ack => {
+                self.a.insert(from);
+            }
+            LidMessage::Rej => {
+                // Lines 7–11. A REJ can never come from a locked partner:
+                // locking is mutual-proposal only and REJs are terminal.
+                debug_assert!(!self.k.contains(&from), "REJ from locked partner");
+                self.u.remove(&from);
+                self.a.remove(&from);
+                if self.p.remove(&from) {
+                    if let Some(v) = self.top_ranked() {
+                        self.p.insert(v);
+                        ctx.send(v, LidMessage::Prop);
+                    }
+                }
+            }
+        }
+        self.lock_mutuals();
+        self.finish_if_done(ctx);
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.u.is_empty()
+    }
+}
+
+/// Result of one LID execution.
+#[derive(Debug)]
+pub struct LidResult {
+    /// The matching defined by the nodes' `K` sets.
+    pub matching: BMatching,
+    /// Network statistics (PROP/REJ counts are under those kind labels).
+    pub stats: NetStats,
+    /// Simulated end time (asynchronous runs) in ticks.
+    pub end_time: u64,
+    /// Rounds (synchronous runs; 0 for asynchronous runs).
+    pub rounds: u64,
+    /// `true` iff the network quiesced and every node locally terminated.
+    pub terminated: bool,
+    /// Messages of the initial `ΔS̄` exchange the paper prescribes before
+    /// the algorithm proper (2 per edge); not simulated, reported for
+    /// message-complexity accounting.
+    pub init_messages: u64,
+    /// Pairs where one endpoint locked the connection but the other did not.
+    /// Always 0 under the paper's reliable-network assumption; message loss
+    /// can produce them (experiment E11) — such half-locked pairs are *not*
+    /// part of [`LidResult::matching`].
+    pub asymmetric_locks: usize,
+}
+
+fn build_nodes(problem: &Problem) -> Vec<LidNode> {
+    problem
+        .graph
+        .nodes()
+        .map(|i| LidNode::new(problem, i))
+        .collect()
+}
+
+/// Extracts the matching from the nodes' `K` sets. Only pairs locked by
+/// *both* endpoints become matching edges; one-sided locks (possible only
+/// under injected message loss) are counted separately.
+pub(crate) fn extract_matching_from<'a, I: Iterator<Item = &'a LidNode>>(
+    problem: &Problem,
+    nodes: I,
+) -> (BMatching, usize) {
+    let g = &problem.graph;
+    let locked: Vec<BTreeSet<NodeId>> = nodes.map(|n| n.k.clone()).collect();
+    let mut edges = Vec::new();
+    let mut asymmetric = 0usize;
+    for (i, ks) in locked.iter().enumerate() {
+        let i = NodeId(i as u32);
+        for &j in ks {
+            if !locked[j.index()].contains(&i) {
+                asymmetric += 1;
+                continue;
+            }
+            if i < j {
+                edges.push(g.edge_between(i, j).expect("locked pair is an edge"));
+            }
+        }
+    }
+    (BMatching::from_edges(problem, edges), asymmetric)
+}
+
+/// Runs LID on the asynchronous simulator.
+pub fn run_lid(problem: &Problem, config: SimConfig) -> LidResult {
+    let mut sim = Simulator::new(build_nodes(problem), config);
+    let out: RunOutcome = sim.run();
+    let terminated = out.quiescent && sim.nodes().all(|n| n.is_terminated());
+    let (matching, asymmetric_locks) = extract_matching_from(problem, sim.nodes());
+    LidResult {
+        matching,
+        stats: sim.stats().clone(),
+        end_time: out.end_time,
+        rounds: 0,
+        terminated,
+        init_messages: 2 * problem.edge_count() as u64,
+        asymmetric_locks,
+    }
+}
+
+/// Runs LID on the synchronous-round engine (deterministic; used for round
+/// complexity measurements).
+pub fn run_lid_sync(problem: &Problem) -> LidResult {
+    let mut runner = SyncRunner::new(build_nodes(problem));
+    let out = runner.run();
+    let terminated = out.quiescent && runner.nodes().all(|n| n.is_terminated());
+    let (matching, asymmetric_locks) = extract_matching_from(problem, runner.nodes());
+    LidResult {
+        matching,
+        stats: runner.stats().clone(),
+        end_time: 0,
+        rounds: out.rounds,
+        terminated,
+        init_messages: 2 * problem.edge_count() as u64,
+        asymmetric_locks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_graph::generators::{complete, star};
+    use owp_graph::{PreferenceTable, Quotas};
+    use owp_matching::lic::{lic, SelectionPolicy};
+    use owp_matching::verify;
+    use owp_simnet::{FaultPlan, LatencyModel};
+
+    #[test]
+    fn terminates_and_is_valid_async() {
+        for seed in 0..10 {
+            let p = Problem::random_gnp(30, 0.3, 2, seed);
+            let r = run_lid(&p, SimConfig::with_seed(seed));
+            assert!(r.terminated, "seed {seed}: LID must terminate (Lemma 5)");
+            assert_eq!(r.asymmetric_locks, 0, "reliable network locks symmetrically");
+            verify::check_valid(&p, &r.matching).expect("valid");
+            verify::check_maximal(&p, &r.matching).expect("maximal");
+        }
+    }
+
+    #[test]
+    fn equals_lic_under_unit_latency() {
+        for seed in 0..10 {
+            let p = Problem::random_gnp(25, 0.35, 3, seed);
+            let d = run_lid(&p, SimConfig::with_seed(seed));
+            let c = lic(&p, SelectionPolicy::InOrder);
+            assert!(
+                d.matching.same_edges(&c),
+                "seed {seed}: LID and LIC must select identical edges (Lemmas 4 & 6)"
+            );
+        }
+    }
+
+    #[test]
+    fn equals_lic_under_heavy_asynchrony() {
+        for seed in 0..10 {
+            let p = Problem::random_gnp(20, 0.4, 2, 100 + seed);
+            let c = lic(&p, SelectionPolicy::InOrder);
+            for (li, latency) in [
+                LatencyModel::Uniform { lo: 1, hi: 100 },
+                LatencyModel::Exponential { mean: 25.0 },
+                LatencyModel::LogNormal { mu: 2.0, sigma: 1.0 },
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let cfg = SimConfig::with_seed(seed * 31 + li as u64).latency(latency);
+                let d = run_lid(&p, cfg);
+                assert!(d.terminated);
+                assert!(
+                    d.matching.same_edges(&c),
+                    "seed {seed}, latency #{li}: asynchrony changed the result"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sync_engine_agrees_with_async() {
+        for seed in 0..8 {
+            let p = Problem::random_gnp(20, 0.35, 2, 200 + seed);
+            let a = run_lid(&p, SimConfig::with_seed(seed));
+            let s = run_lid_sync(&p);
+            assert!(s.terminated);
+            assert!(s.rounds > 0);
+            assert!(a.matching.same_edges(&s.matching));
+        }
+    }
+
+    #[test]
+    fn zero_quota_and_isolated_nodes_terminate() {
+        let g = star(5);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::from_vec(&g, vec![0, 1, 1, 1, 1]);
+        let p = Problem::new(g, prefs, quotas);
+        let r = run_lid(&p, SimConfig::with_seed(1));
+        assert!(r.terminated);
+        assert_eq!(r.matching.size(), 0, "hub rejected everyone");
+        // Every leaf proposed once; the hub rejected each leaf twice — once
+        // in its termination broadcast at t=0 and once replying to the
+        // leaf's PROP that was already in flight (crossing messages).
+        assert_eq!(r.stats.sent_of("PROP"), 4);
+        assert_eq!(r.stats.sent_of("REJ"), 8);
+    }
+
+    #[test]
+    fn mutual_top_pair_locks_with_two_messages() {
+        // Two nodes only: single edge, both propose, both lock. No REJ.
+        let g = complete(2);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 1);
+        let p = Problem::new(g, prefs, quotas);
+        let r = run_lid(&p, SimConfig::with_seed(3));
+        assert!(r.terminated);
+        assert_eq!(r.matching.size(), 1);
+        assert_eq!(r.stats.sent_of("PROP"), 2);
+        assert_eq!(r.stats.sent_of("REJ"), 0);
+    }
+
+    #[test]
+    fn message_complexity_is_linear_in_edges() {
+        // Each node sends at most one PROP to each neighbour and at most one
+        // REJ to each neighbour: ≤ 2 messages per edge direction.
+        for seed in 0..5 {
+            let p = Problem::random_gnp(40, 0.2, 3, 300 + seed);
+            let r = run_lid(&p, SimConfig::with_seed(seed));
+            assert!(r.terminated);
+            let cap = 4 * p.edge_count() as u64;
+            assert!(
+                r.stats.sent <= cap,
+                "seed {seed}: {} messages > 4m = {cap}",
+                r.stats.sent
+            );
+        }
+    }
+
+    #[test]
+    fn survives_message_loss_without_hanging_the_simulator() {
+        // With loss the guarantee (and Lemma 5) is void — nodes can wait
+        // forever — but the *simulator* must still quiesce, and whatever was
+        // locked must be symmetric (extract_matching asserts that).
+        let p = Problem::random_gnp(20, 0.3, 2, 9);
+        let cfg = SimConfig::with_seed(9).faults(FaultPlan::with_drop_probability(0.2));
+        let r = run_lid(&p, cfg);
+        verify::check_valid(&p, &r.matching).expect("double-locked pairs form a valid matching");
+        let _ = (r.terminated, r.asymmetric_locks); // typically false / > 0
+    }
+
+    #[test]
+    fn quota_one_complete_graph_is_a_perfect_matching_when_even() {
+        let p = Problem::random_over(complete(8), 1, 4);
+        let r = run_lid(&p, SimConfig::with_seed(4));
+        assert!(r.terminated);
+        assert_eq!(r.matching.size(), 4);
+    }
+}

@@ -1,0 +1,273 @@
+//! Suitability metrics — how peers privately rank their neighbours.
+//!
+//! The paper's introduction motivates preference lists built from "the
+//! node's distance, interests, recommendations, transaction history or
+//! available resources", each peer free to pick its own metric and keep it
+//! private. This module implements one metric per motivation plus a
+//! composite, and the glue that turns metrics into preference lists.
+
+use owp_graph::{Graph, NodeId, PreferenceTable};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A private suitability metric: higher score = more desirable neighbour.
+///
+/// Scores must be NaN-free; ties are broken deterministically by node id
+/// when lists are built.
+pub trait SuitabilityMetric {
+    /// Score `other` from `me`'s point of view.
+    fn score(&self, me: NodeId, other: NodeId) -> f64;
+
+    /// Human-readable metric name (for reports).
+    fn name(&self) -> &'static str {
+        "metric"
+    }
+}
+
+/// Proximity metric: closer peers are better (negated Euclidean distance).
+#[derive(Clone, Debug)]
+pub struct DistanceMetric {
+    /// Peer positions (e.g. network coordinates), indexed by node id.
+    pub positions: Vec<(f64, f64)>,
+}
+
+impl SuitabilityMetric for DistanceMetric {
+    fn score(&self, me: NodeId, other: NodeId) -> f64 {
+        let (x1, y1) = self.positions[me.index()];
+        let (x2, y2) = self.positions[other.index()];
+        -(((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
+    }
+    fn name(&self) -> &'static str {
+        "distance"
+    }
+}
+
+/// Interest metric: cosine similarity of interest vectors.
+#[derive(Clone, Debug)]
+pub struct InterestSimilarity {
+    /// Per-peer interest vectors (all the same dimension).
+    pub interests: Vec<Vec<f64>>,
+}
+
+impl SuitabilityMetric for InterestSimilarity {
+    fn score(&self, me: NodeId, other: NodeId) -> f64 {
+        let a = &self.interests[me.index()];
+        let b = &self.interests[other.index()];
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "interest-similarity"
+    }
+}
+
+/// Transaction-history metric: peers I had good exchanges with score higher.
+#[derive(Clone, Debug, Default)]
+pub struct TransactionHistory {
+    /// `(me, other) → cumulative success score`; missing pairs score 0.
+    history: HashMap<(u32, u32), f64>,
+}
+
+impl TransactionHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records (adds) a transaction outcome from `me`'s viewpoint.
+    pub fn record(&mut self, me: NodeId, other: NodeId, outcome: f64) {
+        *self.history.entry((me.0, other.0)).or_insert(0.0) += outcome;
+    }
+}
+
+impl SuitabilityMetric for TransactionHistory {
+    fn score(&self, me: NodeId, other: NodeId) -> f64 {
+        self.history.get(&(me.0, other.0)).copied().unwrap_or(0.0)
+    }
+    fn name(&self) -> &'static str {
+        "transaction-history"
+    }
+}
+
+/// Resource metric: peers advertising more capacity (bandwidth, storage…)
+/// score higher regardless of who is asking.
+#[derive(Clone, Debug)]
+pub struct ResourceCapacity {
+    /// Advertised capacity per peer.
+    pub capacity: Vec<f64>,
+}
+
+impl SuitabilityMetric for ResourceCapacity {
+    fn score(&self, _me: NodeId, other: NodeId) -> f64 {
+        self.capacity[other.index()]
+    }
+    fn name(&self) -> &'static str {
+        "resource-capacity"
+    }
+}
+
+/// Deterministic pseudo-random metric — models a peer whose tastes look
+/// arbitrary from the outside (the fully heterogeneous case the paper's
+/// cyclic-preferences discussion worries about).
+#[derive(Clone, Copy, Debug)]
+pub struct RandomTaste {
+    /// Seed making the taste reproducible.
+    pub seed: u64,
+}
+
+impl SuitabilityMetric for RandomTaste {
+    fn score(&self, me: NodeId, other: NodeId) -> f64 {
+        // SplitMix64 over (seed, me, other) — stable, well mixed.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(1 + me.0 as u64))
+            .wrapping_add(0xBF58476D1CE4E5B9u64.wrapping_mul(1 + other.0 as u64));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn name(&self) -> &'static str {
+        "random-taste"
+    }
+}
+
+/// Weighted combination of metrics (e.g. 0.7·distance + 0.3·history).
+pub struct Composite {
+    parts: Vec<(f64, Arc<dyn SuitabilityMetric + Send + Sync>)>,
+}
+
+impl Composite {
+    /// Builds a composite from `(weight, metric)` parts.
+    pub fn new(parts: Vec<(f64, Arc<dyn SuitabilityMetric + Send + Sync>)>) -> Self {
+        assert!(!parts.is_empty(), "composite needs at least one part");
+        Composite { parts }
+    }
+}
+
+impl SuitabilityMetric for Composite {
+    fn score(&self, me: NodeId, other: NodeId) -> f64 {
+        self.parts
+            .iter()
+            .map(|(w, m)| w * m.score(me, other))
+            .sum()
+    }
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+}
+
+/// Builds preference lists where node `i` ranks its neighbourhood with
+/// `metrics[i]` — every peer may follow its own private metric, exactly the
+/// fully distributed scenario of the paper.
+pub fn preferences_from_metrics(
+    g: &Graph,
+    metrics: &[Arc<dyn SuitabilityMetric + Send + Sync>],
+) -> PreferenceTable {
+    assert_eq!(metrics.len(), g.node_count(), "one metric per node");
+    PreferenceTable::by_score(g, |i, j| metrics[i.index()].score(i, j))
+}
+
+/// Builds preference lists where every node shares one metric.
+pub fn preferences_from_metric(
+    g: &Graph,
+    metric: &(dyn SuitabilityMetric + Send + Sync),
+) -> PreferenceTable {
+    PreferenceTable::by_score(g, |i, j| metric.score(i, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_graph::generators::complete;
+
+    #[test]
+    fn distance_prefers_closer() {
+        let m = DistanceMetric {
+            positions: vec![(0.0, 0.0), (0.1, 0.0), (0.9, 0.9)],
+        };
+        assert!(m.score(NodeId(0), NodeId(1)) > m.score(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn cosine_similarity_extremes() {
+        let m = InterestSimilarity {
+            interests: vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]],
+        };
+        assert!((m.score(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+        assert!(m.score(NodeId(0), NodeId(2)).abs() < 1e-12);
+        assert_eq!(m.score(NodeId(0), NodeId(3)), 0.0, "zero vector scores 0");
+    }
+
+    #[test]
+    fn history_accumulates_and_is_directional() {
+        let mut m = TransactionHistory::new();
+        m.record(NodeId(0), NodeId(1), 2.0);
+        m.record(NodeId(0), NodeId(1), 1.0);
+        assert_eq!(m.score(NodeId(0), NodeId(1)), 3.0);
+        assert_eq!(m.score(NodeId(1), NodeId(0)), 0.0, "history is one-sided");
+        assert_eq!(m.score(NodeId(0), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn random_taste_is_deterministic_and_heterogeneous() {
+        let m = RandomTaste { seed: 7 };
+        assert_eq!(m.score(NodeId(1), NodeId(2)), m.score(NodeId(1), NodeId(2)));
+        assert_ne!(m.score(NodeId(1), NodeId(2)), m.score(NodeId(2), NodeId(1)));
+        let s = m.score(NodeId(3), NodeId(4));
+        assert!((0.0..1.0).contains(&s));
+    }
+
+    #[test]
+    fn composite_weights_parts() {
+        let cap = Arc::new(ResourceCapacity {
+            capacity: vec![0.0, 1.0, 10.0],
+        });
+        let taste = Arc::new(RandomTaste { seed: 1 });
+        let c = Composite::new(vec![(1.0, cap), (0.001, taste)]);
+        // Capacity dominates with these weights.
+        assert!(c.score(NodeId(0), NodeId(2)) > c.score(NodeId(0), NodeId(1)));
+        assert_eq!(c.name(), "composite");
+    }
+
+    #[test]
+    fn preferences_from_metric_ranks_by_score() {
+        let g = complete(4);
+        let cap = ResourceCapacity {
+            capacity: vec![0.0, 5.0, 3.0, 9.0],
+        };
+        let prefs = preferences_from_metric(&g, &cap);
+        // Node 0 ranks: 3 (9.0) ≻ 1 (5.0) ≻ 2 (3.0).
+        assert_eq!(prefs.list(NodeId(0)), &[NodeId(3), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn per_node_metrics_differ() {
+        let g = complete(3);
+        let metrics: Vec<Arc<dyn SuitabilityMetric + Send + Sync>> = vec![
+            Arc::new(RandomTaste { seed: 1 }),
+            Arc::new(RandomTaste { seed: 2 }),
+            Arc::new(ResourceCapacity {
+                capacity: vec![7.0, 1.0, 1.0],
+            }),
+        ];
+        let prefs = preferences_from_metrics(&g, &metrics);
+        // Node 2 (capacity metric) must rank node 0 first.
+        assert_eq!(prefs.list(NodeId(2))[0], NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one metric per node")]
+    fn metric_count_must_match() {
+        let g = complete(3);
+        let metrics: Vec<Arc<dyn SuitabilityMetric + Send + Sync>> =
+            vec![Arc::new(RandomTaste { seed: 1 })];
+        preferences_from_metrics(&g, &metrics);
+    }
+}

@@ -1,0 +1,260 @@
+//! The high-level overlay-construction API — deliverable (a) of the
+//! reproduction: "peers establish connections with other peers based on some
+//! suitability metric", with the collective quality guarantee of Theorem 3.
+
+use crate::lid::{run_lid, run_lid_sync, LidResult};
+use crate::metric::{preferences_from_metrics, SuitabilityMetric};
+use owp_graph::{Graph, NodeId, PreferenceTable, Quotas};
+use owp_matching::bounds::overall_bound;
+use owp_matching::{BMatching, MatchingReport, Problem};
+use owp_simnet::{NetStats, SimConfig};
+use std::sync::Arc;
+
+/// Fluent builder for an overlay-with-preferences instance.
+///
+/// ```
+/// use owp_core::overlay::OverlayBuilder;
+/// use owp_core::metric::RandomTaste;
+/// use owp_graph::generators::erdos_renyi;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let g = erdos_renyi(50, 0.2, &mut StdRng::seed_from_u64(1));
+/// let overlay = OverlayBuilder::new(g)
+///     .default_metric(RandomTaste { seed: 7 })
+///     .uniform_quota(3)
+///     .build()
+///     .run(Default::default());
+/// assert!(overlay.lid.terminated);
+/// ```
+pub struct OverlayBuilder {
+    graph: Graph,
+    metrics: Vec<Option<Arc<dyn SuitabilityMetric + Send + Sync>>>,
+    default_metric: Option<Arc<dyn SuitabilityMetric + Send + Sync>>,
+    quotas: Option<Quotas>,
+    explicit_prefs: Option<PreferenceTable>,
+}
+
+impl OverlayBuilder {
+    /// Starts building an overlay over the potential-connection graph `g`.
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.node_count();
+        OverlayBuilder {
+            graph,
+            metrics: vec![None; n],
+            default_metric: None,
+            quotas: None,
+            explicit_prefs: None,
+        }
+    }
+
+    /// Sets the metric used by every peer that has no individual one.
+    pub fn default_metric<M: SuitabilityMetric + Send + Sync + 'static>(mut self, m: M) -> Self {
+        self.default_metric = Some(Arc::new(m));
+        self
+    }
+
+    /// Gives peer `i` its own private metric (the heterogeneous scenario).
+    pub fn metric_for<M: SuitabilityMetric + Send + Sync + 'static>(
+        mut self,
+        i: NodeId,
+        m: M,
+    ) -> Self {
+        self.metrics[i.index()] = Some(Arc::new(m));
+        self
+    }
+
+    /// Bypasses metrics entirely with explicit preference lists.
+    pub fn preferences(mut self, prefs: PreferenceTable) -> Self {
+        self.explicit_prefs = Some(prefs);
+        self
+    }
+
+    /// Uniform connection quota `b` (clamped per node to its degree).
+    pub fn uniform_quota(mut self, b: u32) -> Self {
+        self.quotas = Some(Quotas::uniform(&self.graph, b));
+        self
+    }
+
+    /// Explicit per-node quotas.
+    pub fn quotas(mut self, q: Quotas) -> Self {
+        self.quotas = Some(q);
+        self
+    }
+
+    /// Resolves metrics into preference lists and bundles the [`Problem`].
+    ///
+    /// # Panics
+    /// Panics if neither explicit preferences nor any metric covers a node,
+    /// or if no quota was configured.
+    pub fn build(self) -> OverlayNetwork {
+        let prefs = if let Some(p) = self.explicit_prefs {
+            p
+        } else {
+            let default = self.default_metric;
+            let metrics: Vec<Arc<dyn SuitabilityMetric + Send + Sync>> = self
+                .metrics
+                .into_iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    m.or_else(|| default.clone()).unwrap_or_else(|| {
+                        panic!("node n{i} has no metric and no default was set")
+                    })
+                })
+                .collect();
+            preferences_from_metrics(&self.graph, &metrics)
+        };
+        let quotas = self.quotas.expect("a quota configuration is required");
+        OverlayNetwork {
+            problem: Problem::new(self.graph, prefs, quotas),
+        }
+    }
+}
+
+/// A fully specified overlay instance, ready to run the protocol.
+pub struct OverlayNetwork {
+    /// The underlying matching problem (graph + preferences + quotas +
+    /// eq. 9 weights).
+    pub problem: Problem,
+}
+
+impl OverlayNetwork {
+    /// Runs the distributed LID protocol under the given network conditions
+    /// and returns the constructed overlay.
+    pub fn run(&self, config: SimConfig) -> Overlay {
+        let lid = run_lid(&self.problem, config);
+        Overlay::from_lid(&self.problem, lid)
+    }
+
+    /// Runs LID on the synchronous-round engine.
+    pub fn run_sync(&self) -> Overlay {
+        let lid = run_lid_sync(&self.problem);
+        Overlay::from_lid(&self.problem, lid)
+    }
+}
+
+/// The constructed overlay: who is connected to whom, with quality metrics.
+pub struct Overlay {
+    /// Raw protocol result (matching, termination flag, message stats).
+    pub lid: LidResult,
+    /// Quality report (satisfaction, weight, fairness).
+    pub report: MatchingReport,
+    /// Theorem 3's guaranteed fraction of optimal total satisfaction for
+    /// this instance's `b_max`.
+    pub guaranteed_fraction: f64,
+}
+
+impl Overlay {
+    fn from_lid(problem: &Problem, lid: LidResult) -> Self {
+        let report = MatchingReport::compute(problem, &lid.matching);
+        let guaranteed_fraction = if problem.bmax() >= 1 {
+            overall_bound(problem.bmax())
+        } else {
+            1.0
+        };
+        Overlay {
+            lid,
+            report,
+            guaranteed_fraction,
+        }
+    }
+
+    /// Established connections of peer `i`.
+    pub fn connections(&self, i: NodeId) -> &[NodeId] {
+        self.lid.matching.connections(i)
+    }
+
+    /// The matching as a whole.
+    pub fn matching(&self) -> &BMatching {
+        &self.lid.matching
+    }
+
+    /// Network statistics of the construction run.
+    pub fn stats(&self) -> &NetStats {
+        &self.lid.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{DistanceMetric, RandomTaste, ResourceCapacity};
+    use owp_graph::generators::{complete, random_geometric};
+    use owp_matching::verify;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_with_default_metric() {
+        let g = complete(10);
+        let overlay = OverlayBuilder::new(g)
+            .default_metric(RandomTaste { seed: 3 })
+            .uniform_quota(2)
+            .build()
+            .run(SimConfig::with_seed(1));
+        assert!(overlay.lid.terminated);
+        assert!((0.25..=1.0).contains(&overlay.guaranteed_fraction));
+        assert!(overlay.report.satisfaction_total > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_metrics_per_node() {
+        let g = complete(6);
+        let net = OverlayBuilder::new(g)
+            .default_metric(RandomTaste { seed: 1 })
+            .metric_for(
+                NodeId(0),
+                ResourceCapacity {
+                    capacity: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+                },
+            )
+            .uniform_quota(2)
+            .build();
+        // Node 0's list is capacity-ordered: 5 ≻ 4 ≻ 3 ≻ 2 ≻ 1.
+        assert_eq!(net.problem.prefs.list(NodeId(0))[0], NodeId(5));
+        let overlay = net.run(SimConfig::with_seed(2));
+        assert!(overlay.lid.terminated);
+        verify::check_valid(&net.problem, overlay.matching()).expect("valid");
+    }
+
+    #[test]
+    fn geometric_overlay_with_distance_metric() {
+        let gg = random_geometric(60, 0.3, &mut StdRng::seed_from_u64(4));
+        let positions = gg.positions.clone();
+        let overlay = OverlayBuilder::new(gg.graph)
+            .default_metric(DistanceMetric { positions })
+            .uniform_quota(3)
+            .build()
+            .run(SimConfig::with_seed(5));
+        assert!(overlay.lid.terminated);
+        assert_eq!(overlay.lid.asymmetric_locks, 0);
+    }
+
+    #[test]
+    fn sync_and_async_agree() {
+        let g = complete(12);
+        let net = OverlayBuilder::new(g)
+            .default_metric(RandomTaste { seed: 9 })
+            .uniform_quota(3)
+            .build();
+        let a = net.run(SimConfig::with_seed(6));
+        let s = net.run_sync();
+        assert!(a.matching().same_edges(s.matching()));
+        assert!(s.lid.rounds > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no metric")]
+    fn missing_metric_panics() {
+        let g = complete(3);
+        OverlayBuilder::new(g).uniform_quota(1).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "quota configuration")]
+    fn missing_quota_panics() {
+        let g = complete(3);
+        OverlayBuilder::new(g)
+            .default_metric(RandomTaste { seed: 1 })
+            .build();
+    }
+}

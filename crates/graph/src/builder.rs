@@ -1,0 +1,171 @@
+//! Mutable construction of [`Graph`]s.
+//!
+//! The builder accumulates edges, silently deduplicates parallel edges,
+//! rejects self-loops, and finally freezes everything into CSR form.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// Incremental builder for an undirected simple [`Graph`].
+///
+/// ```
+/// use owp_graph::{GraphBuilder, NodeId};
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(0)); // duplicate, ignored
+/// b.add_edge(NodeId(2), NodeId(3));
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Canonicalized `(min, max)` edge set; BTreeSet gives deterministic
+    /// edge-id assignment independent of insertion order.
+    edges: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes (ids `0..n`) and no edges.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "node count exceeds u32 range");
+        GraphBuilder {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if the edge is new.
+    ///
+    /// # Panics
+    /// Panics on self-loops (`u == v`) or out-of-range endpoints; the paper's
+    /// model is a simple graph.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(u != v, "self-loop {u:?} rejected: G(V,E) is simple");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "edge ({u:?},{v:?}) out of range for n={}",
+            self.n
+        );
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.insert(key)
+    }
+
+    /// `true` iff `{u, v}` was already added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Freezes the builder into an immutable CSR [`Graph`].
+    ///
+    /// Edge ids are assigned in canonical `(u, v)` lexicographic order, so the
+    /// same edge set always produces the same ids — this keeps experiment runs
+    /// reproducible regardless of generator insertion order.
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        let endpoints: Vec<(NodeId, NodeId)> = self.edges.into_iter().collect();
+
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &endpoints {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+
+        let mut adj = vec![(NodeId(0), EdgeId(0)); offsets[n] as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (idx, &(u, v)) in endpoints.iter().enumerate() {
+            let e = EdgeId(idx as u32);
+            adj[cursor[u.index()] as usize] = (v, e);
+            cursor[u.index()] += 1;
+            adj[cursor[v.index()] as usize] = (u, e);
+            cursor[v.index()] += 1;
+        }
+
+        // Sort each adjacency slice by neighbour id so `edge_between` can
+        // binary-search. Slices are small; insertion via sort_unstable is fine.
+        for i in 0..n {
+            let lo = offsets[i] as usize;
+            let hi = offsets[i + 1] as usize;
+            adj[lo..hi].sort_unstable_by_key(|&(v, _)| v);
+        }
+
+        Graph::from_parts(offsets, adj, endpoints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_symmetry() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(NodeId(0), NodeId(1)));
+        assert!(!b.add_edge(NodeId(1), NodeId(0)));
+        assert!(b.has_edge(NodeId(0), NodeId(1)));
+        assert!(b.has_edge(NodeId(1), NodeId(0)));
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(2));
+    }
+
+    #[test]
+    fn edge_ids_deterministic() {
+        // Same edge set, different insertion order -> same edge ids.
+        let mut b1 = GraphBuilder::new(4);
+        b1.add_edge(NodeId(2), NodeId(3));
+        b1.add_edge(NodeId(0), NodeId(1));
+        let g1 = b1.build();
+
+        let mut b2 = GraphBuilder::new(4);
+        b2.add_edge(NodeId(0), NodeId(1));
+        b2.add_edge(NodeId(3), NodeId(2));
+        let g2 = b2.build();
+
+        for e in g1.edges() {
+            assert_eq!(g1.endpoints(e), g2.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn csr_degrees_match() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(0), NodeId(3));
+        b.add_edge(NodeId(3), NodeId(4));
+        let g = b.build();
+        assert_eq!(g.degree(NodeId(0)), 3);
+        assert_eq!(g.degree(NodeId(1)), 1);
+        assert_eq!(g.degree(NodeId(4)), 1);
+        assert_eq!(g.edge_count(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Barabási–Albert preferential attachment.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Samples a Barabási–Albert graph: start from a clique on `m + 1` nodes, then
+/// attach each new node to `m` distinct existing nodes chosen with probability
+/// proportional to their current degree.
+///
+/// This is the standard model for unstructured peer-to-peer overlays with
+/// heavy-tailed degree distributions (a few well-connected "hub" peers).
+///
+/// # Panics
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    assert!(n > m, "need n > m (got n={n}, m={m})");
+    let mut b = GraphBuilder::new(n);
+
+    // `targets` holds one entry per edge endpoint, so uniform sampling from it
+    // is exactly degree-proportional sampling.
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique on m+1 nodes.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            b.add_edge(NodeId(u as u32), NodeId(v as u32));
+            targets.push(NodeId(u as u32));
+            targets.push(NodeId(v as u32));
+        }
+    }
+
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+    for new in (m + 1)..n {
+        chosen.clear();
+        while chosen.len() < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        let new_id = NodeId(new as u32);
+        for &t in &chosen {
+            b.add_edge(new_id, t);
+            targets.push(new_id);
+            targets.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_formula() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (n, m) = (50, 3);
+        let g = barabasi_albert(n, m, &mut rng);
+        // clique(m+1) + m edges per remaining node
+        let expected = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(g.edge_count(), expected);
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = barabasi_albert(60, 2, &mut rng);
+        let min_deg = g.nodes().map(|i| g.degree(i)).min().unwrap();
+        assert!(min_deg >= 2);
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = barabasi_albert(300, 2, &mut rng);
+        // Preferential attachment should produce at least one node whose
+        // degree is well above the mean.
+        assert!(g.max_degree() as f64 > 3.0 * g.avg_degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "need n > m")]
+    fn rejects_tiny_n() {
+        let mut rng = StdRng::seed_from_u64(8);
+        barabasi_albert(3, 3, &mut rng);
+    }
+}

@@ -1,0 +1,168 @@
+//! Erdős–Rényi random graphs: the `G(n, p)` and `G(n, m)` models.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Samples `G(n, p)`: each of the `n(n−1)/2` possible edges is present
+/// independently with probability `p`.
+///
+/// Uses geometric skipping (Batagelj–Brandes) so the cost is
+/// O(n + m) rather than O(n²) for sparse `p`.
+///
+/// # Panics
+/// Panics unless `0.0 <= p <= 1.0`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32));
+            }
+        }
+        return b.build();
+    }
+
+    // Batagelj–Brandes: walk the strictly-upper-triangular adjacency matrix in
+    // row-major order, skipping ahead by geometrically distributed gaps.
+    let lp = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.gen_range(0.0..1.0);
+        w += 1 + ((1.0 - r).ln() / lp).floor() as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(NodeId(w as u32), NodeId(v as u32));
+        }
+    }
+    b.build()
+}
+
+/// Samples `G(n, m)`: a graph drawn uniformly among all graphs with exactly
+/// `n` nodes and `m` distinct edges.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n(n−1)/2`.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max, "m={m} exceeds max possible edges {max} for n={n}");
+    let mut b = GraphBuilder::new(n);
+    // Rejection sampling is fine while m is at most ~half of all pairs;
+    // otherwise sample the complement.
+    if m <= max / 2 || max == 0 {
+        while b.edge_count() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32));
+            }
+        }
+    } else {
+        // Dense case: pick the m' = max - m edges to *exclude*.
+        let excluded = max - m;
+        let mut excl = std::collections::BTreeSet::new();
+        while excl.len() < excluded {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                let key = (u.min(v), u.max(v));
+                excl.insert(key);
+            }
+        }
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !excl.contains(&(u, v)) {
+                    b.add_edge(NodeId(u as u32), NodeId(v as u32));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Samples a random bipartite graph: left part ids `0..a`, right part ids
+/// `a..a+b`, each of the `a·b` cross edges present independently with
+/// probability `p`.
+pub fn random_bipartite<R: Rng + ?Sized>(a: usize, b: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            if rng.gen_range(0.0..1.0) < p {
+                builder.add_edge(NodeId(u as u32), NodeId((a + v) as u32));
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bipartite_has_no_intra_part_edges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (a, b) = (8usize, 6usize);
+        let g = random_bipartite(a, b, 0.5, &mut rng);
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            assert!(u.index() < a);
+            assert!(v.index() >= a);
+        }
+        assert_eq!(random_bipartite(3, 3, 1.0, &mut rng).edge_count(), 9);
+        assert_eq!(random_bipartite(3, 3, 0.0, &mut rng).edge_count(), 0);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(erdos_renyi(20, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi(20, 1.0, &mut rng).edge_count(), 190);
+        assert_eq!(erdos_renyi(1, 0.5, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi(0, 0.5, &mut rng).edge_count(), 0);
+    }
+
+    #[test]
+    fn gnp_density_close_to_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        // 5 sigma tolerance for a binomial with ~1990 expectation.
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sigma,
+            "got {got}, expected {expected} ± {}",
+            5.0 * sigma
+        );
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(n, m) in &[(10usize, 0usize), (10, 20), (10, 45), (10, 40), (2, 1)] {
+            let g = gnm(n, m, &mut rng);
+            assert_eq!(g.edge_count(), m, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn gnm_rejects_too_many_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        gnm(4, 7, &mut rng);
+    }
+}

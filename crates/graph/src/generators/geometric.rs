@@ -1,0 +1,135 @@
+//! Random geometric graphs — proximity overlays.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// A random geometric graph together with the sampled node coordinates.
+///
+/// The coordinates are returned because the paper's "node's distance" metric
+/// needs them to build preference lists (closer neighbour = better rank).
+#[derive(Clone, Debug)]
+pub struct GeometricGraph {
+    /// The proximity graph: `{u, v} ∈ E` iff `dist(u, v) <= radius`.
+    pub graph: Graph,
+    /// Unit-square positions, indexed by node id.
+    pub positions: Vec<(f64, f64)>,
+    /// The connection radius used.
+    pub radius: f64,
+}
+
+impl GeometricGraph {
+    /// Euclidean distance between nodes `u` and `v`.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        let (x1, y1) = self.positions[u.index()];
+        let (x2, y2) = self.positions[v.index()];
+        ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+    }
+}
+
+/// Samples a random geometric graph: `n` points uniform in the unit square,
+/// an edge between every pair at Euclidean distance at most `radius`.
+///
+/// Grid-bucketed so the cost is O(n + m) in the sparse regime rather than
+/// O(n²).
+pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> GeometricGraph {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    let mut b = GraphBuilder::new(n);
+
+    if radius > 0.0 && n >= 2 {
+        // Bucket points into cells of side `radius`; only compare points in
+        // the same or neighbouring cells.
+        let cells = ((1.0 / radius).floor() as usize).max(1);
+        let cell_of = |p: (f64, f64)| -> (usize, usize) {
+            let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+            let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+            (cx, cy)
+        };
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+        for (i, &p) in positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            buckets[cy * cells + cx].push(i as u32);
+        }
+        let r2 = radius * radius;
+        for cy in 0..cells {
+            for cx in 0..cells {
+                for dy in 0..=1usize {
+                    for dx in -1i64..=1 {
+                        if dy == 0 && dx < 0 {
+                            continue; // visit each unordered cell pair once
+                        }
+                        let nx = cx as i64 + dx;
+                        let ny = cy + dy;
+                        if nx < 0 || nx >= cells as i64 || ny >= cells {
+                            continue;
+                        }
+                        let a = &buckets[cy * cells + cx];
+                        let bkt = &buckets[ny * cells + nx as usize];
+                        let same = dy == 0 && dx == 0;
+                        for (ai, &u) in a.iter().enumerate() {
+                            let start = if same { ai + 1 } else { 0 };
+                            for &v in &bkt[start..] {
+                                if u == v {
+                                    continue;
+                                }
+                                let (x1, y1) = positions[u as usize];
+                                let (x2, y2) = positions[v as usize];
+                                let d2 = (x1 - x2).powi(2) + (y1 - y2).powi(2);
+                                if d2 <= r2 {
+                                    b.add_edge(NodeId(u), NodeId(v));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    GeometricGraph {
+        graph: b.build(),
+        positions,
+        radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let gg = random_geometric(80, 0.2, &mut rng);
+        let g = &gg.graph;
+        for u in 0..80u32 {
+            for v in (u + 1)..80 {
+                let (u, v) = (NodeId(u), NodeId(v));
+                let within = gg.distance(u, v) <= gg.radius;
+                assert_eq!(g.has_edge(u, v), within, "pair ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_zero_and_large() {
+        let mut rng = StdRng::seed_from_u64(14);
+        assert_eq!(random_geometric(30, 0.0, &mut rng).graph.edge_count(), 0);
+        let full = random_geometric(30, 2.0, &mut rng);
+        assert_eq!(full.graph.edge_count(), 30 * 29 / 2);
+    }
+
+    #[test]
+    fn positions_in_unit_square() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let gg = random_geometric(100, 0.1, &mut rng);
+        assert!(gg
+            .positions
+            .iter()
+            .all(|&(x, y)| (0.0..1.0).contains(&x) && (0.0..1.0).contains(&y)));
+    }
+}

@@ -1,0 +1,82 @@
+//! Random and structured topology generators.
+//!
+//! The paper motivates overlays whose shape depends on the application —
+//! resource sharing, search, ad-hoc connectivity. The experiment harness
+//! therefore sweeps over the classic families:
+//!
+//! * [`erdos_renyi`] / [`gnm`] — unstructured random overlays;
+//! * [`barabasi_albert`] — preferential attachment (heavy-tailed degrees, the
+//!   usual model for unstructured P2P networks);
+//! * [`watts_strogatz`] — small-world rewiring;
+//! * [`random_geometric`] — proximity overlays (the "node's distance" metric
+//!   from the introduction arises naturally here);
+//! * [`random_regular`] — fixed-degree overlays;
+//! * structured graphs ([`ring`], [`path`], [`star`], [`complete`], [`grid`],
+//!   [`complete_bipartite`]) used by unit tests and worst-case constructions.
+//!
+//! All generators are deterministic given the caller-supplied RNG, which is
+//! how every experiment in `EXPERIMENTS.md` pins its seeds.
+
+mod barabasi_albert;
+mod erdos_renyi;
+mod geometric;
+mod regular;
+mod structured;
+mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use erdos_renyi::{erdos_renyi, gnm, random_bipartite};
+pub use geometric::{random_geometric, GeometricGraph};
+pub use regular::random_regular;
+pub use structured::{complete, complete_bipartite, grid, path, ring, star};
+pub use watts_strogatz::watts_strogatz;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_generators_produce_simple_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let graphs = vec![
+            erdos_renyi(30, 0.2, &mut rng),
+            gnm(30, 60, &mut rng),
+            barabasi_albert(30, 3, &mut rng),
+            watts_strogatz(30, 4, 0.2, &mut rng),
+            random_geometric(30, 0.35, &mut rng).graph,
+            random_regular(30, 4, &mut rng),
+            ring(30),
+            path(30),
+            star(30),
+            complete(10),
+            grid(5, 6),
+            complete_bipartite(4, 5),
+        ];
+        for g in graphs {
+            // Simplicity: neighbour lists strictly increasing implies no
+            // self-loops or parallel edges.
+            for i in g.nodes() {
+                let nbrs = g.neighbors(i);
+                assert!(nbrs.windows(2).all(|w| w[0].0 < w[1].0));
+                assert!(nbrs.iter().all(|&(v, _)| v != i));
+            }
+            // Handshake lemma.
+            let total: usize = g.nodes().map(|i| g.degree(i)).sum();
+            assert_eq!(total, 2 * g.edge_count());
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        for seed in [1u64, 42, 999] {
+            let g1 = erdos_renyi(40, 0.15, &mut StdRng::seed_from_u64(seed));
+            let g2 = erdos_renyi(40, 0.15, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(g1.edge_count(), g2.edge_count());
+            for e in g1.edges() {
+                assert_eq!(g1.endpoints(e), g2.endpoints(e));
+            }
+        }
+    }
+}

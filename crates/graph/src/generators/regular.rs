@@ -1,0 +1,147 @@
+//! Random regular graphs.
+//!
+//! Construction: start from a deterministic `d`-regular circulant lattice
+//! and randomize it with a long sequence of degree-preserving double-edge
+//! swaps (the standard Markov-chain approach). Unlike naive configuration-
+//! model rejection sampling — whose acceptance probability decays like
+//! `exp(−(d²−1)/4)` and is hopeless beyond `d ≈ 6` — this works for any
+//! feasible `(n, d)` and mixes toward the uniform distribution.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Samples a random `d`-regular simple graph on `n` nodes.
+///
+/// # Panics
+/// Panics if `n * d` is odd or `d >= n` (no simple d-regular graph exists).
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n*d must be even (got n={n}, d={d})");
+    assert!(d < n, "need d < n (got d={d}, n={n})");
+    if d == 0 || n == 0 {
+        return GraphBuilder::new(n).build();
+    }
+
+    // Deterministic d-regular circulant: each node connects to its d/2
+    // nearest ring neighbours on each side, plus the antipode when d is odd
+    // (d odd forces n even by the parity assert).
+    let mut set: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * d / 2);
+    let add = |set: &mut BTreeSet<(u32, u32)>, edges: &mut Vec<(u32, u32)>, a: usize, b: usize| {
+        let key = ((a.min(b)) as u32, (a.max(b)) as u32);
+        if set.insert(key) {
+            edges.push(key);
+        }
+    };
+    for i in 0..n {
+        for step in 1..=(d / 2) {
+            add(&mut set, &mut edges, i, (i + step) % n);
+        }
+        if d % 2 == 1 {
+            add(&mut set, &mut edges, i, (i + n / 2) % n);
+        }
+    }
+    debug_assert_eq!(edges.len(), n * d / 2, "circulant base must be d-regular");
+
+    // Randomize with double-edge swaps: pick edges (a,b), (c,e); replace
+    // with (a,c), (b,e) when that keeps the graph simple. Degrees are
+    // invariant; ~10 swaps per edge mixes well for experiment purposes.
+    let m = edges.len();
+    let attempts = 10 * m;
+    for _ in 0..attempts {
+        let i = rng.gen_range(0..m);
+        let j = rng.gen_range(0..m);
+        if i == j {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (mut c, mut e) = edges[j];
+        // Randomize the orientation of the second edge.
+        if rng.gen_range(0..2) == 1 {
+            std::mem::swap(&mut c, &mut e);
+        }
+        // New edges (a,c) and (b,e): all four endpoints must be distinct.
+        if a == c || a == e || b == c || b == e {
+            continue;
+        }
+        let k1 = (a.min(c), a.max(c));
+        let k2 = (b.min(e), b.max(e));
+        if set.contains(&k1) || set.contains(&k2) {
+            continue;
+        }
+        set.remove(&edges[i]);
+        set.remove(&edges[j]);
+        set.insert(k1);
+        set.insert(k2);
+        edges[i] = k1;
+        edges[j] = k2;
+    }
+
+    let mut builder = GraphBuilder::new(n);
+    for (a, b) in edges {
+        builder.add_edge(NodeId(a), NodeId(b));
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_node_has_degree_d() {
+        let mut rng = StdRng::seed_from_u64(16);
+        for &(n, d) in &[(10usize, 3usize), (20, 4), (7, 2), (4, 3), (64, 10), (50, 7)] {
+            let g = random_regular(n, d, &mut rng);
+            for i in g.nodes() {
+                assert_eq!(g.degree(i), d, "n={n} d={d}");
+            }
+            assert_eq!(g.edge_count(), n * d / 2);
+        }
+    }
+
+    #[test]
+    fn degree_zero() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = random_regular(5, 0, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn swaps_actually_randomize() {
+        // The result should differ from the deterministic circulant: node 0
+        // keeps neighbours {1, n−1, …} in the lattice; after mixing some
+        // long-range edge should exist somewhere.
+        let mut rng = StdRng::seed_from_u64(18);
+        let n = 40;
+        let g = random_regular(n, 4, &mut rng);
+        let mut long_range = 0;
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            let dist = (v.0 - u.0).min(n as u32 - (v.0 - u.0));
+            if dist > 2 {
+                long_range += 1;
+            }
+        }
+        assert!(long_range > 10, "only {long_range} long-range edges after mixing");
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let g1 = random_regular(30, 6, &mut StdRng::seed_from_u64(9));
+        let g2 = random_regular(30, 6, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for e in g1.edges() {
+            assert_eq!(g1.endpoints(e), g2.endpoints(e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn rejects_odd_total() {
+        let mut rng = StdRng::seed_from_u64(18);
+        random_regular(5, 3, &mut rng);
+    }
+}

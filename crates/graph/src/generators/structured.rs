@@ -1,0 +1,136 @@
+//! Deterministic structured topologies used by tests, examples, and the
+//! worst-case constructions of `owp-matching::bounds`.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Cycle graph `C_n`: node `i` connects to `(i+1) mod n`. Empty for `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    if n >= 3 {
+        for i in 0..n {
+            b.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32));
+        }
+    }
+    b.build()
+}
+
+/// Path graph `P_n`: nodes `0 — 1 — … — n−1`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId((i - 1) as u32), NodeId(i as u32));
+    }
+    b.build()
+}
+
+/// Star graph: node 0 is the hub connected to all others.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId(0), NodeId(i as u32));
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(NodeId(u as u32), NodeId(v as u32));
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` grid graph (4-neighbourhood). Node `(r, c)` has id
+/// `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`: left part ids `0..a`, right part ids
+/// `a..a+b`. Used by the exact bipartite flow solver cross-checks.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            builder.add_edge(NodeId(u as u32), NodeId((a + v) as u32));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_degrees() {
+        let g = ring(6);
+        assert_eq!(g.edge_count(), 6);
+        for i in g.nodes() {
+            assert_eq!(g.degree(i), 2);
+        }
+        assert_eq!(ring(2).edge_count(), 0);
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(4)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn star_hub() {
+        let g = star(7);
+        assert_eq!(g.degree(NodeId(0)), 6);
+        for i in 1..7u32 {
+            assert_eq!(g.degree(NodeId(i)), 1);
+        }
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(8).edge_count(), 28);
+        assert_eq!(complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(g.degree(NodeId(0)), 2); // corner
+        assert_eq!(g.degree(NodeId(5)), 4); // interior (1,1)
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.edge_count(), 12);
+        for u in 0..3u32 {
+            assert_eq!(g.degree(NodeId(u)), 4);
+            for v in 0..3u32 {
+                if u != v {
+                    assert!(!g.has_edge(NodeId(u), NodeId(v)));
+                }
+            }
+        }
+    }
+}

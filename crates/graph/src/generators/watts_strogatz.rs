@@ -1,0 +1,96 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Samples a Watts–Strogatz small-world graph: a ring lattice where every node
+/// connects to its `k` nearest neighbours (`k/2` on each side), then each
+/// lattice edge is rewired to a uniformly random endpoint with probability
+/// `beta`.
+///
+/// # Panics
+/// Panics unless `k` is even, `k < n`, and `0.0 <= beta <= 1.0`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k.is_multiple_of(2), "k must be even (got {k})");
+    assert!(k < n, "need k < n (got k={k}, n={n})");
+    assert!((0.0..=1.0).contains(&beta), "beta={beta} out of [0,1]");
+    let mut b = GraphBuilder::new(n);
+    if n == 0 || k == 0 {
+        return b.build();
+    }
+
+    // Rewire `(u, ·)` to a uniformly random free endpoint. Succeeds whenever
+    // `u` still has a non-neighbour, which is guaranteed here because every
+    // node adds at most k < n − 1 edges... except in near-complete corners, so
+    // we fall back to dropping the edge only when `u` is saturated.
+    let rewire = |b: &mut GraphBuilder, u: usize, rng: &mut R| -> bool {
+        let uid = NodeId(u as u32);
+        for _ in 0..8 * n {
+            let w = rng.gen_range(0..n);
+            if w != u && !b.has_edge(uid, NodeId(w as u32)) {
+                b.add_edge(uid, NodeId(w as u32));
+                return true;
+            }
+        }
+        // Exhaustive fallback (only reachable in pathological densities).
+        for w in 0..n {
+            if w != u && !b.has_edge(uid, NodeId(w as u32)) {
+                b.add_edge(uid, NodeId(w as u32));
+                return true;
+            }
+        }
+        false
+    };
+
+    for u in 0..n {
+        for step in 1..=(k / 2) {
+            let v = (u + step) % n;
+            let (uid, vid) = (NodeId(u as u32), NodeId(v as u32));
+            if rng.gen_range(0.0..1.0) < beta || b.has_edge(uid, vid) {
+                rewire(&mut b, u, rng);
+            } else {
+                b.add_edge(uid, vid);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 20 * 4 / 2);
+        for i in g.nodes() {
+            assert_eq!(g.degree(i), 4);
+        }
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = watts_strogatz(50, 6, 0.3, &mut rng);
+        assert_eq!(g.edge_count(), 50 * 6 / 2);
+    }
+
+    #[test]
+    fn beta_one_destroys_lattice() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = watts_strogatz(100, 4, 1.0, &mut rng);
+        // With full rewiring some node should deviate from degree 4.
+        assert!(g.nodes().any(|i| g.degree(i) != 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn rejects_odd_k() {
+        let mut rng = StdRng::seed_from_u64(12);
+        watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+}

@@ -1,0 +1,260 @@
+//! Plain-text serialization of problem instances.
+//!
+//! The format records everything needed to rerun an experiment instance:
+//!
+//! ```text
+//! # comment
+//! nodes 4
+//! edge 0 1
+//! edge 1 2
+//! pref 0: 1
+//! pref 1: 2 0
+//! pref 2: 1
+//! pref 3:
+//! quota 0 1
+//! quota 1 2
+//! ```
+//!
+//! `pref` and `quota` lines are optional; [`Instance`] fills in random
+//! defaults when they are absent is *not* done here — absence simply leaves
+//! the corresponding field `None` so the caller decides.
+
+use crate::graph::{Graph, NodeId};
+use crate::preferences::PreferenceTable;
+use crate::quota::Quotas;
+use crate::GraphBuilder;
+use std::fmt::Write as _;
+
+/// A full problem instance: topology plus (optionally) preferences and quotas.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The overlay graph.
+    pub graph: Graph,
+    /// Preference lists, if recorded.
+    pub preferences: Option<PreferenceTable>,
+    /// Quotas, if recorded.
+    pub quotas: Option<Quotas>,
+}
+
+/// Errors raised while parsing the instance format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The `nodes` header line is missing or malformed.
+    MissingHeader,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Preference lists were present but invalid for the graph.
+    BadPreferences(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing `nodes <n>` header"),
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::BadPreferences(msg) => write!(f, "invalid preferences: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes an instance to the plain-text format.
+pub fn write_instance(inst: &Instance) -> String {
+    let g = &inst.graph;
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {}", g.node_count());
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        let _ = writeln!(out, "edge {u} {v}");
+    }
+    if let Some(p) = &inst.preferences {
+        for i in g.nodes() {
+            let list: Vec<String> = p.list(i).iter().map(|j| j.to_string()).collect();
+            let _ = writeln!(out, "pref {i}: {}", list.join(" "));
+        }
+    }
+    if let Some(q) = &inst.quotas {
+        for (i, b) in q.iter() {
+            let _ = writeln!(out, "quota {i} {b}");
+        }
+    }
+    out
+}
+
+/// Parses the plain-text instance format.
+pub fn read_instance(text: &str) -> Result<Instance, ParseError> {
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut prefs: Vec<(u32, Vec<NodeId>)> = Vec::new();
+    let mut quotas: Vec<(u32, u32)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |reason: &str| ParseError::BadLine {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("nodes") => {
+                let v = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("expected `nodes <n>`"))?;
+                n = Some(v);
+            }
+            Some("edge") => {
+                let u = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("expected `edge <u> <v>`"))?;
+                let v = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("expected `edge <u> <v>`"))?;
+                edges.push((u, v));
+            }
+            Some("pref") => {
+                let head = parts.next().ok_or_else(|| bad("expected `pref <i>:`"))?;
+                let i: u32 = head
+                    .trim_end_matches(':')
+                    .parse()
+                    .map_err(|_| bad("bad node id in pref line"))?;
+                let mut list = Vec::new();
+                for tok in parts {
+                    let j: u32 = tok.parse().map_err(|_| bad("bad node id in pref list"))?;
+                    list.push(NodeId(j));
+                }
+                prefs.push((i, list));
+            }
+            Some("quota") => {
+                let i = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("expected `quota <i> <b>`"))?;
+                let b = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("expected `quota <i> <b>`"))?;
+                quotas.push((i, b));
+            }
+            _ => return Err(bad("unknown directive")),
+        }
+    }
+
+    let n = n.ok_or(ParseError::MissingHeader)?;
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    let graph = b.build();
+
+    let preferences = if prefs.is_empty() {
+        None
+    } else {
+        let mut lists = vec![Vec::new(); n];
+        for (i, list) in prefs {
+            lists[i as usize] = list;
+        }
+        Some(
+            PreferenceTable::from_lists(&graph, lists)
+                .map_err(|e| ParseError::BadPreferences(e.to_string()))?,
+        )
+    };
+
+    let quotas_out = if quotas.is_empty() {
+        None
+    } else {
+        let mut q = vec![0u32; n];
+        for (i, b) in quotas {
+            q[i as usize] = b;
+        }
+        Some(Quotas::from_vec(&graph, q))
+    };
+
+    Ok(Instance {
+        graph,
+        preferences,
+        quotas: quotas_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::complete;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_full_instance() {
+        let g = complete(5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = PreferenceTable::random(&g, &mut rng);
+        let q = Quotas::uniform(&g, 2);
+        let inst = Instance {
+            graph: g,
+            preferences: Some(p),
+            quotas: Some(q),
+        };
+        let text = write_instance(&inst);
+        let back = read_instance(&text).expect("parse");
+        assert_eq!(back.graph.node_count(), 5);
+        assert_eq!(back.graph.edge_count(), 10);
+        let (p1, p2) = (
+            inst.preferences.as_ref().unwrap(),
+            back.preferences.as_ref().unwrap(),
+        );
+        for i in inst.graph.nodes() {
+            assert_eq!(p1.list(i), p2.list(i));
+        }
+        assert_eq!(inst.quotas, back.quotas);
+    }
+
+    #[test]
+    fn roundtrip_graph_only() {
+        let g = complete(3);
+        let inst = Instance {
+            graph: g,
+            preferences: None,
+            quotas: None,
+        };
+        let back = read_instance(&write_instance(&inst)).expect("parse");
+        assert!(back.preferences.is_none());
+        assert!(back.quotas.is_none());
+        assert_eq!(back.graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            read_instance("edge 0 1"),
+            Err(ParseError::MissingHeader)
+        ));
+        assert!(matches!(
+            read_instance("nodes 2\nedge 0"),
+            Err(ParseError::BadLine { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_instance("nodes 2\nfrobnicate"),
+            Err(ParseError::BadLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# instance\n\nnodes 2\n  edge 0 1  \n";
+        let inst = read_instance(text).expect("parse");
+        assert_eq!(inst.graph.edge_count(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Structural graph properties used by the experiment harness.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Connected-component labelling via BFS.
+///
+/// Returns `(labels, component_count)` where `labels[i]` is the 0-based
+/// component index of node `i`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    const UNSEEN: usize = usize::MAX;
+    let mut label = vec![UNSEEN; g.node_count()];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for s in g.nodes() {
+        if label[s.index()] != UNSEEN {
+            continue;
+        }
+        label[s.index()] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbor_ids(u) {
+                if label[v.index()] == UNSEEN {
+                    label[v.index()] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+/// `true` iff the graph has at most one connected component.
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() <= 1 || connected_components(g).1 == 1
+}
+
+/// BFS hop distances from `source`; `None` for unreachable nodes.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    let mut dist: Vec<Option<u32>> = vec![None; g.node_count()];
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued node has distance");
+        for v in g.neighbor_ids(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Histogram of node degrees: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for i in g.nodes() {
+        hist[g.degree(i)] += 1;
+    }
+    hist
+}
+
+/// Average local clustering coefficient (Watts–Strogatz definition).
+/// Nodes of degree < 2 contribute 0.
+pub fn avg_clustering(g: &Graph) -> f64 {
+    if g.node_count() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in g.nodes() {
+        let nbrs = g.neighbors(i);
+        let d = nbrs.len();
+        if d < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for a in 0..d {
+            for b in (a + 1)..d {
+                if g.has_edge(nbrs[a].0, nbrs[b].0) {
+                    links += 1;
+                }
+            }
+        }
+        total += 2.0 * links as f64 / (d * (d - 1)) as f64;
+    }
+    total / g.node_count() as f64
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges). Positive for BA-like "rich club" mixing, ~0 for G(n,p).
+/// Returns 0 for graphs with fewer than 2 edges or zero degree variance.
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let m = g.edge_count();
+    if m < 2 {
+        return 0.0;
+    }
+    // Over directed edge endpoints (each edge counted both ways).
+    let (mut sum_xy, mut sum_x, mut sum_x2) = (0.0f64, 0.0f64, 0.0f64);
+    let cnt = (2 * m) as f64;
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
+        sum_xy += 2.0 * du * dv;
+        sum_x += du + dv;
+        sum_x2 += du * du + dv * dv;
+    }
+    let mean = sum_x / cnt;
+    let var = sum_x2 / cnt - mean * mean;
+    if var <= 1e-15 {
+        return 0.0;
+    }
+    (sum_xy / cnt - mean * mean) / var
+}
+
+/// Exact diameter (max eccentricity over the largest component) via BFS
+/// from every node — O(n·m); fine for experiment-sized graphs. Returns 0
+/// for graphs with no edges.
+pub fn diameter(g: &Graph) -> u32 {
+    let mut best = 0;
+    for s in g.nodes() {
+        for d in bfs_distances(g, s).into_iter().flatten() {
+            best = best.max(d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, path, ring};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn diameter_of_classics() {
+        assert_eq!(diameter(&path(6)), 5);
+        assert_eq!(diameter(&ring(8)), 4);
+        assert_eq!(diameter(&complete(5)), 1);
+        assert_eq!(diameter(&GraphBuilder::new(3).build()), 0);
+    }
+
+    #[test]
+    fn assortativity_signs() {
+        // Regular graphs have zero degree variance → defined as 0.
+        assert_eq!(degree_assortativity(&ring(10)), 0.0);
+        // A star is maximally disassortative.
+        let star = crate::generators::star(10);
+        assert!(degree_assortativity(&star) < -0.99);
+        // BA graphs on few nodes are typically disassortative; just check
+        // the value is a sane correlation.
+        use rand::SeedableRng;
+        let g = crate::generators::barabasi_albert(
+            200,
+            3,
+            &mut rand::rngs::StdRng::seed_from_u64(1),
+        );
+        let r = degree_assortativity(&g);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 4); // {0,1}, {2,3}, {4}, {5}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&ring(5)));
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = GraphBuilder::new(3).build();
+        let d = bfs_distances(&g, NodeId(1));
+        assert_eq!(d, vec![None, Some(0), None]);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert!((avg_clustering(&complete(5)) - 1.0).abs() < 1e-12);
+        assert_eq!(avg_clustering(&ring(6)), 0.0);
+        assert_eq!(avg_clustering(&GraphBuilder::new(0).build()), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = crate::generators::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+    }
+}

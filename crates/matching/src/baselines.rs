@@ -1,0 +1,208 @@
+//! Baseline matching algorithms the experiments compare LIC/LID against.
+//!
+//! * [`global_greedy`] — the textbook greedy over the *global* weight order
+//!   (what a centralized coordinator with full knowledge would run);
+//! * [`random_maximal`] — maximal b-matching in a random edge order (the
+//!   "no coordination at all" floor);
+//! * [`rank_greedy`] — a preference-only heuristic (greedy on mutual rank
+//!   sum, blind to quotas' weight normalization) representing naive
+//!   preference-based pairing;
+//! * [`path_growing`] — Drake & Hougardy's ½-approximation path-growing
+//!   algorithm for the classic one-to-one case (`b ≡ 1`), the standard
+//!   comparison point in the distributed-matching literature the paper cites.
+
+use crate::bmatching::BMatching;
+use crate::problem::Problem;
+use crate::weights::edges_by_weight_desc;
+use owp_graph::EdgeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Takes edges heaviest-first whenever both endpoints still have quota.
+/// With unique weights this is one particular locally-heaviest selection
+/// order, so it must coincide with LIC (tested in `lic.rs`' cross-checks).
+pub fn global_greedy(problem: &Problem) -> BMatching {
+    greedy_in_order(problem, edges_by_weight_desc(&problem.graph, &problem.weights))
+}
+
+/// Takes edges in a seeded random order whenever feasible. Maximal, but with
+/// no weight guarantee — the coordination-free floor.
+pub fn random_maximal(problem: &Problem, seed: u64) -> BMatching {
+    let mut order: Vec<EdgeId> = problem.graph.edges().collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    greedy_in_order(problem, order)
+}
+
+/// Greedy on ascending mutual rank sum `R_i(j) + R_j(i)` (ties by edge id):
+/// pairs that rank each other highly are taken first, ignoring the
+/// quota-normalized weights of eq. 9.
+pub fn rank_greedy(problem: &Problem) -> BMatching {
+    let g = &problem.graph;
+    let mut order: Vec<EdgeId> = g.edges().collect();
+    order.sort_by_key(|&e| {
+        let (u, v) = g.endpoints(e);
+        let ru = problem.prefs.rank(u, v).expect("neighbour") as u64;
+        let rv = problem.prefs.rank(v, u).expect("neighbour") as u64;
+        (ru + rv, e.0)
+    });
+    greedy_in_order(problem, order)
+}
+
+fn greedy_in_order<I: IntoIterator<Item = EdgeId>>(problem: &Problem, order: I) -> BMatching {
+    let g = &problem.graph;
+    let mut m = BMatching::empty(g);
+    let mut quota: Vec<u32> = g.nodes().map(|i| problem.quotas.get(i)).collect();
+    for e in order {
+        let (u, v) = g.endpoints(e);
+        if quota[u.index()] > 0 && quota[v.index()] > 0 {
+            quota[u.index()] -= 1;
+            quota[v.index()] -= 1;
+            m.insert(problem, e);
+        }
+    }
+    m
+}
+
+/// Drake–Hougardy path growing for the one-to-one case.
+///
+/// Grows paths by repeatedly following the heaviest remaining edge, placing
+/// edges alternately into two candidate matchings, and returns the heavier
+/// one — a ½-approximation of the maximum weight matching.
+///
+/// # Panics
+/// Panics if any quota exceeds 1 (the algorithm is defined for `b ≡ 1`).
+pub fn path_growing(problem: &Problem) -> BMatching {
+    assert!(
+        problem.quotas.bmax() <= 1,
+        "path growing is a one-to-one (b = 1) algorithm"
+    );
+    let g = &problem.graph;
+    let w = &problem.weights;
+    let mut used_node = vec![false; g.node_count()];
+    let mut used_edge = vec![false; g.edge_count()];
+    let mut m1: Vec<EdgeId> = Vec::new();
+    let mut m2: Vec<EdgeId> = Vec::new();
+
+    for start in g.nodes() {
+        if used_node[start.index()] || problem.quotas.get(start) == 0 {
+            continue;
+        }
+        let mut x = start;
+        let mut side = 0;
+        loop {
+            used_node[x.index()] = true;
+            // Heaviest unused edge to an unused, quota-positive neighbour.
+            let next = g
+                .neighbors(x)
+                .iter()
+                .filter(|&&(y, e)| {
+                    !used_edge[e.index()]
+                        && !used_node[y.index()]
+                        && problem.quotas.get(y) > 0
+                })
+                .max_by(|&&(_, a), &&(_, b)| w.key(g, a).cmp(&w.key(g, b)))
+                .copied();
+            let Some((y, e)) = next else { break };
+            used_edge[e.index()] = true;
+            if side == 0 {
+                m1.push(e);
+            } else {
+                m2.push(e);
+            }
+            side ^= 1;
+            x = y;
+        }
+    }
+
+    let weight = |edges: &[EdgeId]| -> f64 { edges.iter().map(|&e| w.get_f64(e)).sum() };
+    let chosen = if weight(&m1) >= weight(&m2) { m1 } else { m2 };
+    // Paths alternate, so each candidate is a valid 1-matching.
+    BMatching::from_edges(problem, chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lic::{lic, SelectionPolicy};
+    use crate::verify;
+    use owp_graph::generators::complete;
+    use owp_graph::{NodeId, PreferenceTable, Quotas};
+
+    #[test]
+    fn global_greedy_equals_lic() {
+        for seed in 0..20 {
+            let p = Problem::random_gnp(24, 0.35, 2, seed);
+            let a = global_greedy(&p);
+            let b = lic(&p, SelectionPolicy::InOrder);
+            assert!(a.same_edges(&b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_baselines_valid_and_maximal() {
+        for seed in 0..10 {
+            let p = Problem::random_gnp(20, 0.4, 3, seed);
+            for m in [
+                global_greedy(&p),
+                random_maximal(&p, seed),
+                rank_greedy(&p),
+            ] {
+                verify::check_valid(&p, &m).expect("valid");
+                verify::check_maximal(&p, &m).expect("maximal");
+            }
+        }
+    }
+
+    #[test]
+    fn random_maximal_is_seed_deterministic() {
+        let p = Problem::random_gnp(20, 0.4, 2, 5);
+        assert!(random_maximal(&p, 9).same_edges(&random_maximal(&p, 9)));
+    }
+
+    #[test]
+    fn greedy_beats_or_ties_random() {
+        let mut greedy_wins = 0;
+        for seed in 0..20 {
+            let p = Problem::random_gnp(30, 0.3, 2, seed);
+            let gw = global_greedy(&p).total_weight(&p);
+            let rw = random_maximal(&p, seed).total_weight(&p);
+            assert!(gw >= rw - 1e-9, "greedy below random at seed {seed}");
+            if gw > rw + 1e-9 {
+                greedy_wins += 1;
+            }
+        }
+        assert!(greedy_wins > 10, "greedy should usually strictly win");
+    }
+
+    #[test]
+    fn path_growing_valid_one_to_one() {
+        for seed in 0..10 {
+            let p = Problem::random_gnp(30, 0.25, 1, seed);
+            let m = path_growing(&p);
+            verify::check_valid(&p, &m).expect("valid");
+            assert!(p.nodes().all(|i| m.degree(i) <= 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one-to-one")]
+    fn path_growing_rejects_b2() {
+        let p = Problem::random_over(complete(6), 2, 1);
+        path_growing(&p);
+    }
+
+    #[test]
+    fn rank_greedy_prefers_mutual_top_choices() {
+        // Two nodes ranking each other first must be matched by rank_greedy
+        // if both have quota (their edge has rank sum 0 — processed first).
+        let g = complete(4);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 1);
+        let p = Problem::new(g, prefs, quotas);
+        // With id-ordered prefs, 0 and 1 rank each other ~top.
+        let m = rank_greedy(&p);
+        let e01 = p.graph.edge_between(NodeId(0), NodeId(1)).unwrap();
+        assert!(m.contains(e01));
+    }
+}

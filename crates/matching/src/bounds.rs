@@ -1,0 +1,134 @@
+//! Theoretical bounds of the paper, and instances that make them tight.
+
+use crate::problem::Problem;
+use owp_graph::{GraphBuilder, NodeId, PreferenceTable, Quotas};
+
+/// Lemma 1 / Theorem 1 bound: the modified (static-only) objective is a
+/// `½ (1 + 1/b_max)`-approximation of true satisfaction maximization.
+pub fn modified_bound(bmax: u32) -> f64 {
+    assert!(bmax >= 1, "bound defined for b_max ≥ 1");
+    0.5 * (1.0 + 1.0 / bmax as f64)
+}
+
+/// Theorem 3 bound: LID/LIC achieve at least `¼ (1 + 1/b_max)` of the
+/// optimal total satisfaction.
+pub fn overall_bound(bmax: u32) -> f64 {
+    0.5 * modified_bound(bmax)
+}
+
+/// Theorem 2 bound: LIC/LID reach at least half of the optimal many-to-many
+/// matching weight.
+pub const WEIGHT_BOUND: f64 = 0.5;
+
+/// Builds the Lemma-1 stress instance for quota `b` and list length `l`
+/// (`l > b ≥ 1`): a "centre" node whose `l` neighbours are ranked
+/// `v_0 ≻ v_1 ≻ …`, where each of the top `l − b` neighbours also has a
+/// private "stealer" partner it mutually top-ranks.
+///
+/// The eq. 9 weights make every (leaf, stealer) edge heavier than every
+/// (centre, leaf) edge, so the weighted matching hands the centre exactly
+/// its `b` *bottom-ranked* neighbours — the worst case for the dynamic
+/// satisfaction term that Lemma 1's `½(1 + 1/b)` ratio is computed from.
+///
+/// Node ids: centre = 0, leaves = `1..=l`, stealers = `l+1..=l+(l−b)`
+/// (stealer `l+k` pairs with leaf `k`).
+pub fn lemma1_tight_instance(b: u32, l: u32) -> Problem {
+    assert!(b >= 1 && l > b, "need l > b ≥ 1 (got b={b}, l={l})");
+    let stealers = l - b;
+    let n = 1 + l + stealers;
+    let mut builder = GraphBuilder::new(n as usize);
+    for k in 1..=l {
+        builder.add_edge(NodeId(0), NodeId(k));
+    }
+    for k in 1..=stealers {
+        builder.add_edge(NodeId(k), NodeId(l + k));
+    }
+    let g = builder.build();
+
+    let mut lists: Vec<Vec<NodeId>> = vec![Vec::new(); n as usize];
+    // Centre ranks leaves by id: leaf k has rank k − 1.
+    lists[0] = (1..=l).map(NodeId).collect();
+    for k in 1..=l {
+        if k <= stealers {
+            // Top leaves prefer their stealer over the centre.
+            lists[k as usize] = vec![NodeId(l + k), NodeId(0)];
+        } else {
+            lists[k as usize] = vec![NodeId(0)];
+        }
+    }
+    for k in 1..=stealers {
+        lists[(l + k) as usize] = vec![NodeId(k)];
+    }
+    let prefs = PreferenceTable::from_lists(&g, lists).expect("valid lists");
+
+    let mut quotas = vec![1u32; n as usize];
+    quotas[0] = b;
+    let quotas = Quotas::from_vec(&g, quotas);
+    Problem::new(g, prefs, quotas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lic::{lic, SelectionPolicy};
+    use crate::satisfaction::node_satisfaction;
+
+    #[test]
+    fn bound_values() {
+        assert!((modified_bound(1) - 1.0).abs() < 1e-12);
+        assert!((modified_bound(2) - 0.75).abs() < 1e-12);
+        assert!((overall_bound(1) - 0.5).abs() < 1e-12);
+        assert!((overall_bound(4) - 0.3125).abs() < 1e-12);
+        // Monotone decreasing towards ½ and ¼.
+        assert!(modified_bound(100) > 0.5 && modified_bound(100) < modified_bound(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "b_max ≥ 1")]
+    fn bound_rejects_zero() {
+        modified_bound(0);
+    }
+
+    #[test]
+    fn tight_instance_centre_gets_bottom_neighbours() {
+        for (b, l) in [(2u32, 5u32), (3, 7), (1, 4)] {
+            let p = lemma1_tight_instance(b, l);
+            let m = lic(&p, SelectionPolicy::InOrder);
+            // Centre is saturated with exactly the b bottom-ranked leaves.
+            let centre = NodeId(0);
+            assert_eq!(m.degree(centre), b as usize, "b={b} l={l}");
+            for &j in m.connections(centre) {
+                let r = p.prefs.rank(centre, j).unwrap();
+                assert!(
+                    r >= l - b,
+                    "b={b} l={l}: centre matched rank {r}, expected bottom {b}"
+                );
+            }
+            // Every stealer got its leaf.
+            for k in 1..=(l - b) {
+                assert_eq!(m.degree(NodeId(l + k)), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn tight_instance_realizes_lemma1_ratio() {
+        // On the gadget, the centre's achieved static share of its own
+        // satisfaction is exactly ½(1 + 1/b) when c = b bottom slots.
+        let (b, l) = (3u32, 9u32);
+        let p = lemma1_tight_instance(b, l);
+        let m = lic(&p, SelectionPolicy::InOrder);
+        let centre = NodeId(0);
+        let (s, d) =
+            crate::satisfaction::static_dynamic_split(&p.prefs, &p.quotas, centre, m.connections(centre));
+        let ratio = s / (s + d);
+        assert!(
+            (ratio - modified_bound(b)).abs() < 1e-12,
+            "ratio {ratio} vs bound {}",
+            modified_bound(b)
+        );
+        // And the centre's true satisfaction is the worst-case value.
+        let sat = node_satisfaction(&p.prefs, &p.quotas, centre, m.connections(centre));
+        assert!(sat < 1.0);
+    }
+}

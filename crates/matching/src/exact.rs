@@ -1,0 +1,443 @@
+//! Exact optimal solvers (branch & bound) — the "OPT" the approximation
+//! ratios are measured against.
+//!
+//! The paper uses OPT only analytically; to *measure* how far LIC/LID
+//! actually sit from optimal (experiments E2, E3, E7) we need the true
+//! optimum on small instances. Two objectives are supported:
+//!
+//! * [`optimal_weight`] — maximum-weight many-to-many matching (Theorem 2's
+//!   reference point);
+//! * [`optimal_satisfaction`] — maximum *true* total satisfaction (eq. 1,
+//!   Theorem 3's reference point). Satisfaction is not edge-separable (the
+//!   dynamic term depends on connection counts), but the total per node
+//!   depends only on the rank *set*, so an order-independent incremental
+//!   gain exists: adding a connection to a node holding `c` of them gains
+//!   `1/b + (c − R)/(bL)`.
+//!
+//! Both searches branch on edges in descending weight order, seed the
+//! incumbent with the greedy solution, and prune with a per-node capacity
+//! bound. The search is exact for the `f64` objective; weights differing by
+//! less than ~1e-12 are beyond its resolution (see `DESIGN.md`).
+
+use crate::baselines::global_greedy;
+use crate::bmatching::BMatching;
+use crate::problem::Problem;
+use crate::weights::edges_by_weight_desc;
+use owp_graph::{EdgeId, NodeId};
+
+/// Result of an exact search.
+#[derive(Clone, Debug)]
+pub struct ExactResult {
+    /// The best matching found.
+    pub matching: BMatching,
+    /// Objective value of `matching`.
+    pub value: f64,
+    /// Search nodes expanded.
+    pub nodes_expanded: u64,
+    /// `true` iff the search completed within budget (result proven optimal).
+    pub proven_optimal: bool,
+}
+
+/// Default expansion budget (search nodes) before giving up on optimality.
+pub const DEFAULT_BUDGET: u64 = 50_000_000;
+
+struct Search<'p> {
+    problem: &'p Problem,
+    /// Edges in descending weight order.
+    order: Vec<EdgeId>,
+    /// `true` = maximize eq. 1 satisfaction, `false` = maximize eq. 9 weight.
+    satisfaction_mode: bool,
+    /// Per node: positions `k` into `order` of its incident edges, ascending.
+    node_positions: Vec<Vec<u32>>,
+    budget: u64,
+    nodes_expanded: u64,
+    best_value: f64,
+    best_edges: Vec<EdgeId>,
+    cur_edges: Vec<EdgeId>,
+}
+
+impl<'p> Search<'p> {
+    fn new(problem: &'p Problem, satisfaction_mode: bool) -> Self {
+        let g = &problem.graph;
+        let order = edges_by_weight_desc(g, &problem.weights);
+        let mut node_positions: Vec<Vec<u32>> = vec![Vec::new(); g.node_count()];
+        for (k, &e) in order.iter().enumerate() {
+            let (u, v) = g.endpoints(e);
+            node_positions[u.index()].push(k as u32);
+            node_positions[v.index()].push(k as u32);
+        }
+        Search {
+            problem,
+            order,
+            satisfaction_mode,
+            node_positions,
+            budget: DEFAULT_BUDGET,
+            nodes_expanded: 0,
+            best_value: f64::NEG_INFINITY,
+            best_edges: Vec::new(),
+            cur_edges: Vec::new(),
+        }
+    }
+
+    /// Per-endpoint gain of matching edge `e` at node `x` currently holding
+    /// `c` connections.
+    fn endpoint_gain(&self, e: EdgeId, x: NodeId, c: u32) -> f64 {
+        let b = self.problem.quotas.get(x) as f64;
+        if b == 0.0 {
+            return 0.0;
+        }
+        let l = self.problem.prefs.list_len(x) as f64;
+        let y = self.problem.graph.other_endpoint(e, x);
+        let r = self.problem.prefs.rank(x, y).expect("neighbour") as f64;
+        if self.satisfaction_mode {
+            1.0 / b + (c as f64 - r) / (b * l)
+        } else {
+            // Static part = eq. 5 (the weight objective splits per endpoint).
+            (1.0 - r / l) / b
+        }
+    }
+
+    /// Admissible upper bound on the objective gain obtainable from edges at
+    /// positions ≥ `k` given remaining quotas. Per-node relaxation: each
+    /// node `i` can still collect at most `q_i` connections; its best case is
+    ///
+    /// * weight mode — the `q_i` largest remaining static gains;
+    /// * satisfaction mode — the `q_i` *smallest remaining ranks* placed at
+    ///   the highest possible positions `c_i, c_i+1, …` (the per-connection
+    ///   gain is `1/b + (pos − R)/(bL)`, so positions are maximized and
+    ///   ranks minimized independently — a valid over-count).
+    ///
+    /// Summing the per-node caps over-counts any feasible completion because
+    /// every edge needs both endpoints simultaneously.
+    fn bound_from(&self, k: usize, quota: &[u32], conn: &[u32]) -> f64 {
+        let g = &self.problem.graph;
+        let mut total = 0.0;
+        let mut scratch: Vec<f64> = Vec::new();
+        for i in g.nodes() {
+            let q = quota[i.index()] as usize;
+            if q == 0 {
+                continue;
+            }
+            let b = self.problem.quotas.get(i) as f64;
+            let l = self.problem.prefs.list_len(i) as f64;
+            scratch.clear();
+            for &pos in &self.node_positions[i.index()] {
+                if (pos as usize) < k {
+                    continue;
+                }
+                let e = self.order[pos as usize];
+                let other = g.other_endpoint(e, i);
+                if quota[other.index()] == 0 {
+                    continue; // edge can never be taken
+                }
+                if self.satisfaction_mode {
+                    // Collect candidate ranks (to be minimized).
+                    scratch.push(self.problem.prefs.rank(i, other).expect("neighbour") as f64);
+                } else {
+                    scratch.push(self.endpoint_gain(e, i, 0));
+                }
+            }
+            if scratch.is_empty() {
+                continue;
+            }
+            let t = q.min(scratch.len());
+            if self.satisfaction_mode {
+                // t smallest ranks, positions c, c+1, …, c+t−1.
+                scratch.sort_by(|a, b| a.partial_cmp(b).expect("no NaN ranks"));
+                let rank_sum: f64 = scratch[..t].iter().sum();
+                let c = conn[i.index()] as f64;
+                let pos_sum = t as f64 * c + (t * (t - 1)) as f64 / 2.0;
+                total += t as f64 / b + (pos_sum - rank_sum) / (b * l);
+            } else {
+                // t largest static gains.
+                scratch.sort_by(|a, b| b.partial_cmp(a).expect("no NaN gains"));
+                total += scratch[..t].iter().sum::<f64>();
+            }
+        }
+        total
+    }
+
+    fn dfs(&mut self, k: usize, quota: &mut Vec<u32>, acc: f64, conn: &mut Vec<u32>) {
+        self.nodes_expanded += 1;
+        if self.nodes_expanded > self.budget {
+            return;
+        }
+        if acc > self.best_value {
+            self.best_value = acc;
+            self.best_edges = self.cur_edges.clone();
+        }
+        if k == self.order.len() {
+            return;
+        }
+        // Prune: even the optimistic completion cannot beat the incumbent.
+        if acc + self.bound_from(k, quota, conn) <= self.best_value + 1e-12 {
+            return;
+        }
+
+        let e = self.order[k];
+        let (u, v) = self.problem.graph.endpoints(e);
+
+        // Branch 1: include e (if feasible) — explored first so good
+        // incumbents appear early.
+        if quota[u.index()] > 0 && quota[v.index()] > 0 {
+            let gain = self.endpoint_gain(e, u, conn[u.index()])
+                + self.endpoint_gain(e, v, conn[v.index()]);
+            quota[u.index()] -= 1;
+            quota[v.index()] -= 1;
+            conn[u.index()] += 1;
+            conn[v.index()] += 1;
+            self.cur_edges.push(e);
+            self.dfs(k + 1, quota, acc + gain, conn);
+            self.cur_edges.pop();
+            conn[u.index()] -= 1;
+            conn[v.index()] -= 1;
+            quota[u.index()] += 1;
+            quota[v.index()] += 1;
+        }
+
+        // Branch 2: exclude e.
+        self.dfs(k + 1, quota, acc, conn);
+    }
+
+    fn run(mut self, budget: u64) -> ExactResult {
+        self.budget = budget;
+        // Seed incumbent with greedy (always feasible, usually very good).
+        let greedy = global_greedy(self.problem);
+        let greedy_value = if self.satisfaction_mode {
+            greedy.total_satisfaction_adjusted(self.problem)
+        } else {
+            greedy.total_weight(self.problem)
+        };
+        self.best_value = greedy_value;
+        self.best_edges = greedy.edge_ids();
+
+        let n = self.problem.graph.node_count();
+        let mut quota: Vec<u32> = (0..n)
+            .map(|i| self.problem.quotas.get(NodeId(i as u32)))
+            .collect();
+        let mut conn = vec![0u32; n];
+        self.dfs(0, &mut quota, 0.0, &mut conn);
+
+        let matching = BMatching::from_edges(self.problem, self.best_edges.iter().copied());
+        ExactResult {
+            value: self.best_value,
+            proven_optimal: self.nodes_expanded <= self.budget,
+            nodes_expanded: self.nodes_expanded,
+            matching,
+        }
+    }
+}
+
+impl BMatching {
+    /// Total true satisfaction minus the constant contribution of quota-0
+    /// nodes (which [`crate::satisfaction::node_satisfaction`] defines as 1).
+    /// The B&B objective accumulates only *gains*, so the constant must be
+    /// excluded when comparing incumbent values.
+    fn total_satisfaction_adjusted(&self, problem: &Problem) -> f64 {
+        let zero_quota = problem
+            .nodes()
+            .filter(|&i| problem.quotas.get(i) == 0)
+            .count() as f64;
+        self.total_satisfaction(problem) - zero_quota
+    }
+}
+
+/// Exact maximum-weight many-to-many matching within the given budget.
+pub fn optimal_weight(problem: &Problem, budget: u64) -> ExactResult {
+    Search::new(problem, false).run(budget)
+}
+
+/// Exact maximum-weight **one-to-one** matching by bitmask dynamic
+/// programming — an algorithmically independent oracle for `b ≡ 1`
+/// instances with at most 24 nodes (O(n·2ⁿ) time, O(2ⁿ) space).
+///
+/// `dp[mask]` = best total weight using only the vertices in `mask`; the
+/// lowest set vertex is either left unmatched or paired with a neighbour in
+/// the mask. Used by the test suite to cross-check [`optimal_weight`] and
+/// the bipartite flow solver with a third method.
+///
+/// # Panics
+/// Panics if `n > 24` or any quota exceeds 1.
+pub fn optimal_weight_b1_dp(problem: &Problem) -> f64 {
+    let g = &problem.graph;
+    let n = g.node_count();
+    assert!(n <= 24, "bitmask DP limited to n ≤ 24 (got {n})");
+    assert!(problem.quotas.bmax() <= 1, "DP oracle is one-to-one only");
+
+    // Adjacency with weights, excluding quota-0 endpoints.
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        if problem.quotas.get(u) == 1 && problem.quotas.get(v) == 1 {
+            let w = problem.weights.get_f64(e);
+            adj[u.index()].push((v.index(), w));
+            adj[v.index()].push((u.index(), w));
+        }
+    }
+
+    let full = 1usize << n;
+    let mut dp = vec![0.0f64; full];
+    for mask in 1..full {
+        let i = mask.trailing_zeros() as usize;
+        let rest = mask & !(1 << i);
+        // Leave i unmatched.
+        let mut best = dp[rest];
+        // Pair i with some neighbour in the mask.
+        for &(j, w) in &adj[i] {
+            if rest & (1 << j) != 0 {
+                let cand = w + dp[rest & !(1 << j)];
+                if cand > best {
+                    best = cand;
+                }
+            }
+        }
+        dp[mask] = best;
+    }
+    dp[full - 1]
+}
+
+/// Exact maximum total-satisfaction b-matching within the given budget.
+///
+/// Note: `ExactResult::value` excludes the constant `+1` contribution of
+/// quota-0 nodes; use `matching.total_satisfaction(problem)` for the
+/// eq. 1 total including them.
+pub fn optimal_satisfaction(problem: &Problem, budget: u64) -> ExactResult {
+    Search::new(problem, true).run(budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lic::{lic, SelectionPolicy};
+    use owp_graph::generators::{complete, path};
+    use owp_graph::{PreferenceTable, Quotas};
+
+    #[test]
+    fn opt_weight_at_least_greedy() {
+        for seed in 0..10 {
+            let p = Problem::random_gnp(12, 0.4, 2, seed);
+            let greedy = global_greedy(&p).total_weight(&p);
+            let opt = optimal_weight(&p, DEFAULT_BUDGET);
+            assert!(opt.proven_optimal);
+            assert!(opt.value >= greedy - 1e-9, "seed {seed}");
+            assert!((opt.matching.total_weight(&p) - opt.value).abs() < 1e-9);
+            crate::verify::check_valid(&p, &opt.matching).expect("valid");
+        }
+    }
+
+    #[test]
+    fn half_approximation_holds_empirically() {
+        // Theorem 2: LIC ≥ ½ OPT — must hold on every instance.
+        for seed in 0..15 {
+            let p = Problem::random_gnp(12, 0.45, 2, 50 + seed);
+            let m = lic(&p, SelectionPolicy::InOrder).total_weight(&p);
+            let opt = optimal_weight(&p, DEFAULT_BUDGET).value;
+            assert!(
+                m >= 0.5 * opt - 1e-9,
+                "seed {seed}: LIC {m} < ½·OPT {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_b1_opt_is_max_weight_matching() {
+        // Path 0—1—2: OPT with b=1 takes the single heavier edge.
+        let g = path(3);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 1);
+        let p = Problem::new(g, prefs, quotas);
+        let opt = optimal_weight(&p, DEFAULT_BUDGET);
+        assert_eq!(opt.matching.size(), 1);
+        let best = edges_by_weight_desc(&p.graph, &p.weights)[0];
+        assert!(opt.matching.contains(best));
+    }
+
+    #[test]
+    fn satisfaction_opt_at_least_weight_opt_matching() {
+        // The satisfaction-optimal matching scores ≥ the weight-optimal
+        // matching under the satisfaction objective, by definition.
+        for seed in 0..8 {
+            let p = Problem::random_gnp(10, 0.5, 2, 200 + seed);
+            let w_opt = optimal_weight(&p, DEFAULT_BUDGET);
+            let s_opt = optimal_satisfaction(&p, DEFAULT_BUDGET);
+            assert!(s_opt.proven_optimal);
+            assert!(
+                s_opt.matching.total_satisfaction(&p)
+                    >= w_opt.matching.total_satisfaction(&p) - 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn satisfaction_incremental_gain_consistent() {
+        // The B&B's accumulated objective equals eq. 1 recomputed from
+        // scratch on the final matching.
+        for seed in 0..8 {
+            let p = Problem::random_gnp(9, 0.5, 3, 300 + seed);
+            let s_opt = optimal_satisfaction(&p, DEFAULT_BUDGET);
+            let recomputed = s_opt.matching.total_satisfaction_adjusted(&p);
+            assert!(
+                (s_opt.value - recomputed).abs() < 1e-9,
+                "seed {seed}: {} vs {recomputed}",
+                s_opt.value
+            );
+        }
+    }
+
+    #[test]
+    fn three_exact_methods_agree_on_b1() {
+        // B&B vs bitmask DP on general graphs; plus the flow solver on
+        // bipartite ones — three independent algorithms, one optimum.
+        use crate::flow::optimal_weight_bipartite;
+        use owp_graph::generators::random_bipartite;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        for seed in 0..12 {
+            let p = Problem::random_gnp(14, 0.4, 1, 900 + seed);
+            let bnb = optimal_weight(&p, DEFAULT_BUDGET);
+            assert!(bnb.proven_optimal);
+            let dp = optimal_weight_b1_dp(&p);
+            assert!(
+                (bnb.value - dp).abs() < 1e-9,
+                "seed {seed}: B&B {} vs DP {dp}",
+                bnb.value
+            );
+        }
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_bipartite(7, 7, 0.5, &mut rng);
+            let p = Problem::random_over(g, 1, seed);
+            let dp = optimal_weight_b1_dp(&p);
+            let flow = optimal_weight_bipartite(&p).expect("bipartite");
+            assert!(
+                (flow.total_weight(&p) - dp).abs() < 1e-9,
+                "seed {seed}: flow vs DP"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one-to-one")]
+    fn dp_rejects_b2() {
+        let p = Problem::random_over(complete(5), 2, 1);
+        optimal_weight_b1_dp(&p);
+    }
+
+    #[test]
+    fn complete_graph_full_quota_takes_everything() {
+        let p = Problem::random_over(complete(5), 4, 1);
+        let opt = optimal_weight(&p, DEFAULT_BUDGET);
+        assert_eq!(opt.matching.size(), 10);
+    }
+
+    #[test]
+    fn tiny_budget_reports_not_proven() {
+        let p = Problem::random_gnp(14, 0.5, 2, 1);
+        let r = optimal_weight(&p, 3);
+        assert!(!r.proven_optimal);
+        // Still returns a feasible (greedy-seeded) matching.
+        crate::verify::check_valid(&p, &r.matching).expect("valid");
+    }
+}

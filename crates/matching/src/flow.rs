@@ -1,0 +1,240 @@
+//! Exact maximum-weight b-matching on *bipartite* instances via min-cost
+//! flow — an algorithmically independent cross-check of the branch & bound
+//! solver in [`crate::exact`].
+//!
+//! Construction: `source → left (cap b_i, cost 0)`, `left → right (cap 1,
+//! cost −w)`, `right → sink (cap b_j, cost 0)`. Successive shortest
+//! augmenting paths (Bellman–Ford, handles the negative arc costs) are sent
+//! while the shortest path is negative, i.e. while one more matched edge
+//! still increases total weight — since eq. 9 weights are all positive this
+//! saturates greedily but *optimally*.
+
+use crate::bmatching::BMatching;
+use crate::problem::Problem;
+use owp_graph::{EdgeId, Graph, NodeId};
+
+/// Two-colours the graph; returns `side[i] ∈ {0, 1}` per node or `None` if
+/// an odd cycle exists (graph not bipartite). Isolated nodes get side 0.
+pub fn two_color(g: &Graph) -> Option<Vec<u8>> {
+    let n = g.node_count();
+    let mut side = vec![u8::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if side[s] != u8::MAX {
+            continue;
+        }
+        side[s] = 0;
+        queue.push_back(NodeId(s as u32));
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbor_ids(u) {
+                if side[v.index()] == u8::MAX {
+                    side[v.index()] = 1 - side[u.index()];
+                    queue.push_back(v);
+                } else if side[v.index()] == side[u.index()] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(side)
+}
+
+struct Arc {
+    to: usize,
+    cap: i64,
+    cost: f64,
+    /// Index of the reverse arc in `to`'s list.
+    rev: usize,
+    /// Matching edge this arc realizes (forward matching arcs only).
+    edge: Option<EdgeId>,
+}
+
+struct FlowNet {
+    adj: Vec<Vec<Arc>>,
+}
+
+impl FlowNet {
+    fn new(n: usize) -> Self {
+        FlowNet {
+            adj: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn add(&mut self, from: usize, to: usize, cap: i64, cost: f64, edge: Option<EdgeId>) {
+        let rev_f = self.adj[to].len();
+        let rev_b = self.adj[from].len();
+        self.adj[from].push(Arc {
+            to,
+            cap,
+            cost,
+            rev: rev_f,
+            edge,
+        });
+        self.adj[to].push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+            rev: rev_b,
+            edge: None,
+        });
+    }
+
+    /// One Bellman–Ford shortest-path pass from `s`; returns per-node
+    /// `(dist, prev node, prev arc idx)`.
+    fn bellman_ford(&self, s: usize) -> Vec<(f64, usize, usize)> {
+        let n = self.adj.len();
+        let mut state = vec![(f64::INFINITY, usize::MAX, usize::MAX); n];
+        state[s].0 = 0.0;
+        for _ in 0..n {
+            let mut changed = false;
+            for u in 0..n {
+                let du = state[u].0;
+                if !du.is_finite() {
+                    continue;
+                }
+                for (k, arc) in self.adj[u].iter().enumerate() {
+                    if arc.cap > 0 && du + arc.cost < state[arc.to].0 - 1e-12 {
+                        state[arc.to] = (du + arc.cost, u, k);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        state
+    }
+}
+
+/// Exact maximum-weight b-matching of a **bipartite** problem. Returns
+/// `None` if the graph is not bipartite (use [`crate::exact::optimal_weight`]
+/// then).
+pub fn optimal_weight_bipartite(problem: &Problem) -> Option<BMatching> {
+    let g = &problem.graph;
+    let side = two_color(g)?;
+
+    let n = g.node_count();
+    let (s, t) = (n, n + 1);
+    let mut net = FlowNet::new(n + 2);
+    for i in g.nodes() {
+        let b = problem.quotas.get(i) as i64;
+        if side[i.index()] == 0 {
+            net.add(s, i.index(), b, 0.0, None);
+        } else {
+            net.add(i.index(), t, b, 0.0, None);
+        }
+    }
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        let (left, right) = if side[u.index()] == 0 { (u, v) } else { (v, u) };
+        debug_assert_ne!(side[left.index()], side[right.index()]);
+        let w = problem.weights.get_f64(e);
+        net.add(left.index(), right.index(), 1, -w, Some(e));
+    }
+
+    // Successive shortest paths while they strictly improve total weight.
+    loop {
+        let state = net.bellman_ford(s);
+        let (dist_t, ..) = state[t];
+        if !dist_t.is_finite() || dist_t >= -1e-12 {
+            break;
+        }
+        // Unit augmentation along the path.
+        let mut v = t;
+        while v != s {
+            let (_, pu, pk) = state[v];
+            let rev = net.adj[pu][pk].rev;
+            net.adj[pu][pk].cap -= 1;
+            net.adj[v][rev].cap += 1;
+            v = pu;
+        }
+    }
+
+    // Matched edges = forward matching arcs whose capacity was consumed.
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for arc in &net.adj[u] {
+            if let Some(e) = arc.edge {
+                if arc.cap == 0 {
+                    edges.push(e);
+                }
+            }
+        }
+    }
+    Some(BMatching::from_edges(problem, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{optimal_weight, DEFAULT_BUDGET};
+    use crate::lic::{lic, SelectionPolicy};
+    use crate::verify;
+    use owp_graph::generators::{complete, complete_bipartite, random_bipartite};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_color_classifies() {
+        assert!(two_color(&complete_bipartite(3, 4)).is_some());
+        assert!(two_color(&complete(3)).is_none(), "odd cycle");
+        assert!(two_color(&owp_graph::generators::ring(6)).is_some());
+        assert!(two_color(&owp_graph::generators::ring(5)).is_none());
+        let side = two_color(&complete_bipartite(2, 2)).unwrap();
+        assert_eq!(side, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn agrees_with_branch_and_bound() {
+        // The decisive cross-check: two independent exact algorithms must
+        // produce the same optimal value on every bipartite instance.
+        for seed in 0..15 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_bipartite(7, 6, 0.5, &mut rng);
+            for b in [1u32, 2, 3] {
+                let p = Problem::random_over(g.clone(), b, seed * 13 + b as u64);
+                let flow = optimal_weight_bipartite(&p).expect("bipartite");
+                verify::check_valid(&p, &flow).expect("valid");
+                let bnb = optimal_weight(&p, DEFAULT_BUDGET);
+                assert!(bnb.proven_optimal);
+                let fw = flow.total_weight(&p);
+                assert!(
+                    (fw - bnb.value).abs() < 1e-9,
+                    "seed {seed} b={b}: flow {fw} vs B&B {}",
+                    bnb.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beats_or_ties_greedy() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let g = random_bipartite(8, 8, 0.4, &mut rng);
+            let p = Problem::random_over(g, 2, seed);
+            let Some(flow) = optimal_weight_bipartite(&p) else {
+                panic!("bipartite")
+            };
+            let greedy = lic(&p, SelectionPolicy::InOrder);
+            assert!(flow.total_weight(&p) >= greedy.total_weight(&p) - 1e-9);
+            // And the ½-approximation seen from the other side.
+            assert!(greedy.total_weight(&p) >= 0.5 * flow.total_weight(&p) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_bipartite_returns_none() {
+        let p = Problem::random_over(complete(5), 2, 1);
+        assert!(optimal_weight_bipartite(&p).is_none());
+    }
+
+    #[test]
+    fn saturates_complete_bipartite_with_ample_quota() {
+        let g = complete_bipartite(3, 3);
+        let p = Problem::random_over(g, 3, 2);
+        let m = optimal_weight_bipartite(&p).unwrap();
+        assert_eq!(m.size(), 9, "all positive-weight edges fit");
+    }
+}

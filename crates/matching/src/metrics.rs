@@ -1,0 +1,119 @@
+//! Aggregate quality metrics of a matching — the rows the experiment tables
+//! print.
+
+use crate::bmatching::BMatching;
+use crate::problem::Problem;
+use crate::satisfaction::{node_satisfaction, node_satisfaction_modified};
+use owp_graph::NodeId;
+
+/// Summary statistics of one matching on one problem instance.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct MatchingReport {
+    /// Edges selected.
+    pub edges: usize,
+    /// Total eq. 9 weight.
+    pub total_weight: f64,
+    /// Total true satisfaction (eq. 1).
+    pub satisfaction_total: f64,
+    /// Mean per-node true satisfaction.
+    pub satisfaction_mean: f64,
+    /// Minimum per-node true satisfaction.
+    pub satisfaction_min: f64,
+    /// Total modified satisfaction (eq. 6).
+    pub satisfaction_modified_total: f64,
+    /// Jain's fairness index over per-node satisfactions.
+    pub jain_index: f64,
+    /// Fraction of nodes with `c_i = b_i` (fully served).
+    pub saturated_fraction: f64,
+    /// Per-node satisfactions, indexed by node id.
+    pub per_node: Vec<f64>,
+}
+
+impl MatchingReport {
+    /// Computes the full report.
+    pub fn compute(problem: &Problem, m: &BMatching) -> Self {
+        let n = problem.node_count();
+        let per_node: Vec<f64> = (0..n)
+            .map(|i| {
+                let i = NodeId(i as u32);
+                node_satisfaction(&problem.prefs, &problem.quotas, i, m.connections(i))
+            })
+            .collect();
+        let modified_total: f64 = (0..n)
+            .map(|i| {
+                let i = NodeId(i as u32);
+                node_satisfaction_modified(&problem.prefs, &problem.quotas, i, m.connections(i))
+            })
+            .sum();
+        let total: f64 = per_node.iter().sum();
+        let mean = if n == 0 { 0.0 } else { total / n as f64 };
+        let min = per_node.iter().copied().fold(f64::INFINITY, f64::min);
+        let sum_sq: f64 = per_node.iter().map(|s| s * s).sum();
+        let jain = if sum_sq == 0.0 || n == 0 {
+            1.0
+        } else {
+            total * total / (n as f64 * sum_sq)
+        };
+        let saturated = (0..n)
+            .filter(|&i| {
+                let i = NodeId(i as u32);
+                m.degree(i) == problem.quotas.get(i) as usize
+            })
+            .count() as f64;
+        MatchingReport {
+            edges: m.size(),
+            total_weight: m.total_weight(problem),
+            satisfaction_total: total,
+            satisfaction_mean: mean,
+            satisfaction_min: if min.is_finite() { min } else { 0.0 },
+            satisfaction_modified_total: modified_total,
+            jain_index: jain,
+            saturated_fraction: if n == 0 { 1.0 } else { saturated / n as f64 },
+            per_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lic::{lic, SelectionPolicy};
+    use owp_graph::generators::complete;
+
+    #[test]
+    fn report_fields_consistent() {
+        let p = Problem::random_over(complete(10), 3, 5);
+        let m = lic(&p, SelectionPolicy::InOrder);
+        let r = MatchingReport::compute(&p, &m);
+        assert_eq!(r.edges, m.size());
+        assert!((r.satisfaction_total - r.per_node.iter().sum::<f64>()).abs() < 1e-12);
+        assert!(r.satisfaction_min <= r.satisfaction_mean + 1e-12);
+        assert!((0.0..=1.0 + 1e-12).contains(&r.jain_index));
+        assert!((0.0..=1.0).contains(&r.saturated_fraction));
+        assert!(r.total_weight > 0.0);
+    }
+
+    #[test]
+    fn perfect_equality_gives_jain_one() {
+        // K4 with b=3 and full saturation: everyone gets everything → S = 1.
+        let p = Problem::random_over(complete(4), 3, 1);
+        let m = lic(&p, SelectionPolicy::InOrder);
+        let r = MatchingReport::compute(&p, &m);
+        assert_eq!(r.edges, 6);
+        assert!((r.jain_index - 1.0).abs() < 1e-12);
+        assert!((r.satisfaction_mean - 1.0).abs() < 1e-12);
+        assert_eq!(r.saturated_fraction, 1.0);
+    }
+
+    #[test]
+    fn empty_matching_report() {
+        let p = Problem::random_over(complete(5), 2, 2);
+        let m = BMatching::empty(&p.graph);
+        let r = MatchingReport::compute(&p, &m);
+        assert_eq!(r.edges, 0);
+        assert_eq!(r.total_weight, 0.0);
+        assert_eq!(r.satisfaction_total, 0.0);
+        assert_eq!(r.saturated_fraction, 0.0);
+        assert_eq!(r.jain_index, 1.0, "all-zero vector treated as fair");
+    }
+}

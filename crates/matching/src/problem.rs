@@ -1,0 +1,136 @@
+//! A bundled problem instance: graph + preferences + quotas + derived weights.
+
+use crate::weights::EdgeWeights;
+use owp_graph::{Graph, NodeId, PreferenceTable, Quotas};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One instance of the maximizing-satisfaction b-matching problem, with the
+/// eq. 9 edge weights precomputed.
+///
+/// All algorithms in this crate take a `&Problem`; bundling keeps the four
+/// pieces consistent (preferences defined on exactly this graph, quotas
+/// clamped to its degrees, weights derived from exactly these lists).
+#[derive(Clone, Debug)]
+pub struct Problem {
+    /// The overlay graph `G(V, E)`.
+    pub graph: Graph,
+    /// Private preference lists `L_i`.
+    pub prefs: PreferenceTable,
+    /// Connection quotas `b_i`.
+    pub quotas: Quotas,
+    /// Eq. 9 edge weights (derived).
+    pub weights: EdgeWeights,
+}
+
+impl Problem {
+    /// Bundles the pieces, computing eq. 9 weights.
+    pub fn new(graph: Graph, prefs: PreferenceTable, quotas: Quotas) -> Self {
+        assert_eq!(prefs.node_count(), graph.node_count(), "prefs/graph mismatch");
+        assert_eq!(quotas.node_count(), graph.node_count(), "quotas/graph mismatch");
+        let weights = EdgeWeights::compute(&graph, &prefs, &quotas);
+        Problem {
+            graph,
+            prefs,
+            quotas,
+            weights,
+        }
+    }
+
+    /// Bundles the pieces with **explicit** weights instead of eq. 9 — used
+    /// by the weight-design ablations (e.g. the unnormalized variant of
+    /// [`EdgeWeights::compute_unnormalized`]).
+    ///
+    /// # Panics
+    /// Panics if the weight table does not cover exactly the graph's edges.
+    pub fn with_weights(
+        graph: Graph,
+        prefs: PreferenceTable,
+        quotas: Quotas,
+        weights: EdgeWeights,
+    ) -> Self {
+        assert_eq!(prefs.node_count(), graph.node_count(), "prefs/graph mismatch");
+        assert_eq!(quotas.node_count(), graph.node_count(), "quotas/graph mismatch");
+        assert_eq!(weights.len(), graph.edge_count(), "weights/graph mismatch");
+        Problem {
+            graph,
+            prefs,
+            quotas,
+            weights,
+        }
+    }
+
+    /// Random preferences and uniform quota `b` over a given graph — the
+    /// workhorse constructor of the experiment suite.
+    pub fn random_over(graph: Graph, b: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prefs = PreferenceTable::random(&graph, &mut rng);
+        let quotas = Quotas::uniform(&graph, b);
+        Problem::new(graph, prefs, quotas)
+    }
+
+    /// Random G(n, p) topology, random preferences, uniform quota `b`.
+    pub fn random_gnp(n: usize, p: f64, b: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = owp_graph::generators::erdos_renyi(n, p, &mut rng);
+        let prefs = PreferenceTable::random(&graph, &mut rng);
+        let quotas = Quotas::uniform(&graph, b);
+        Problem::new(graph, prefs, quotas)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// `b_max` over the instance.
+    pub fn bmax(&self) -> u32 {
+        self.quotas.bmax()
+    }
+
+    /// Iterator over nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_graph::generators::complete;
+
+    #[test]
+    fn bundles_consistently() {
+        let p = Problem::random_gnp(20, 0.3, 3, 7);
+        assert_eq!(p.weights.len(), p.edge_count());
+        assert!(p.bmax() <= 3);
+        assert_eq!(p.node_count(), 20);
+    }
+
+    #[test]
+    fn random_over_deterministic() {
+        let p1 = Problem::random_over(complete(8), 2, 11);
+        let p2 = Problem::random_over(complete(8), 2, 11);
+        for i in p1.nodes() {
+            assert_eq!(p1.prefs.list(i), p2.prefs.list(i));
+        }
+        for e in p1.graph.edges() {
+            assert_eq!(p1.weights.get(e), p2.weights.get(e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_mismatched_parts() {
+        let g1 = complete(4);
+        let g2 = complete(5);
+        let prefs = PreferenceTable::by_node_id(&g2);
+        let quotas = Quotas::uniform(&g1, 1);
+        Problem::new(g1, prefs, quotas);
+    }
+}

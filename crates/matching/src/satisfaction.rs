@@ -1,0 +1,298 @@
+//! The satisfaction metric (paper §3, eqs. 1, 4, 5, 6, 7).
+//!
+//! Satisfaction `S_i ∈ [0, 1]` measures how happy node `i` is with its
+//! connection list `C_i` relative to the best it could have done: `c_i/b_i`
+//! minus a penalty for every connection that sits lower in the preference
+//! list than it would in the optimal case. The increment `ΔS_i^j` of adding
+//! `j` as the `(c_i+1)`-th connection splits into a *static* part (knowable
+//! upfront, eq. 5) and a *dynamic* part (execution-dependent); the whole
+//! approximation story of the paper rests on that split.
+
+use crate::numeric::Rational;
+use owp_graph::{NodeId, PreferenceTable, Quotas};
+
+/// Rank of `j` in `i`'s list, panicking with context if `j ∉ Γ_i`.
+fn rank(prefs: &PreferenceTable, i: NodeId, j: NodeId) -> u64 {
+    prefs
+        .rank(i, j)
+        .unwrap_or_else(|| panic!("{j:?} is not in the preference list of {i:?}")) as u64
+}
+
+/// True satisfaction increment `ΔS_i^j` (eq. 4) of node `i` adopting `j` as
+/// its connection at 0-based preference position `position` (`Q_i(j)`).
+///
+/// `ΔS_i^j = 1/b_i − (R_i(j) − Q_i(j)) / (b_i · L_i)`.
+pub fn delta_true(
+    prefs: &PreferenceTable,
+    quotas: &Quotas,
+    i: NodeId,
+    j: NodeId,
+    position: u32,
+) -> f64 {
+    let b = quotas.get(i) as f64;
+    let l = prefs.list_len(i) as f64;
+    assert!(b > 0.0, "ΔS undefined for b_i = 0");
+    let r = rank(prefs, i, j) as f64;
+    1.0 / b - (r - position as f64) / (b * l)
+}
+
+/// Static (execution-independent) satisfaction increment `ΔS̄_i^j` (eq. 5),
+/// exact: `(1 − R_i(j)/L_i) / b_i = (L_i − R_i(j)) / (b_i · L_i)`.
+///
+/// Returns [`Rational::ZERO`] when `b_i = 0` or `L_i = 0` — such a node can
+/// never gain satisfaction from a connection (and the matching algorithms
+/// exclude its edges anyway).
+pub fn delta_static(prefs: &PreferenceTable, quotas: &Quotas, i: NodeId, j: NodeId) -> Rational {
+    let b = quotas.get(i) as i128;
+    let l = prefs.list_len(i) as i128;
+    if b == 0 || l == 0 {
+        return Rational::ZERO;
+    }
+    let r = rank(prefs, i, j) as i128;
+    Rational::new(l - r, b * l)
+}
+
+/// Sorts a connection set into the ordered list `C_i` (decreasing preference,
+/// i.e. increasing rank). Panics if some connection is not a neighbour.
+pub fn ordered_connections(
+    prefs: &PreferenceTable,
+    i: NodeId,
+    connections: &[NodeId],
+) -> Vec<NodeId> {
+    let mut c: Vec<NodeId> = connections.to_vec();
+    c.sort_by_key(|&j| rank(prefs, i, j));
+    c
+}
+
+/// True satisfaction `S_i` of node `i` with the given (unordered) connection
+/// set (eq. 1):
+///
+/// `S_i = c_i/b_i + c_i(c_i−1)/(2 b_i L_i) − Σ_{j∈C_i} R_i(j)/(b_i L_i)`.
+///
+/// Conventions (documented in `DESIGN.md`): a node with `b_i = 0` wants
+/// nothing and is defined fully satisfied (`S_i = 1`).
+pub fn node_satisfaction(
+    prefs: &PreferenceTable,
+    quotas: &Quotas,
+    i: NodeId,
+    connections: &[NodeId],
+) -> f64 {
+    let b = quotas.get(i) as f64;
+    if b == 0.0 {
+        return 1.0;
+    }
+    let l = prefs.list_len(i) as f64;
+    let c = connections.len() as f64;
+    assert!(
+        connections.len() <= quotas.get(i) as usize,
+        "{i:?} has {} connections but quota {}",
+        connections.len(),
+        quotas.get(i)
+    );
+    let rank_sum: f64 = connections.iter().map(|&j| rank(prefs, i, j) as f64).sum();
+    c / b + c * (c - 1.0) / (2.0 * b * l) - rank_sum / (b * l)
+}
+
+/// Modified satisfaction `S̄_i` (eq. 6): `c_i/b_i − Σ R_i(j)/(b_i L_i)` —
+/// the objective the weighted-matching reduction actually optimizes.
+pub fn node_satisfaction_modified(
+    prefs: &PreferenceTable,
+    quotas: &Quotas,
+    i: NodeId,
+    connections: &[NodeId],
+) -> f64 {
+    let b = quotas.get(i) as f64;
+    if b == 0.0 {
+        return 1.0;
+    }
+    let l = prefs.list_len(i) as f64;
+    let c = connections.len() as f64;
+    let rank_sum: f64 = connections.iter().map(|&j| rank(prefs, i, j) as f64).sum();
+    c / b - rank_sum / (b * l)
+}
+
+/// The static/dynamic split of eq. 7: returns `(S_i^s, S_i^d)` with
+/// `S_i = S_i^s + S_i^d`.
+///
+/// `S_i^s = Σ (1 − R_i(j)/L_i)/b_i` and `S_i^d = Σ_{q=0}^{c−1} q/(b_i L_i)
+/// = c(c−1)/(2 b_i L_i)`.
+pub fn static_dynamic_split(
+    prefs: &PreferenceTable,
+    quotas: &Quotas,
+    i: NodeId,
+    connections: &[NodeId],
+) -> (f64, f64) {
+    let b = quotas.get(i) as f64;
+    if b == 0.0 {
+        return (1.0, 0.0);
+    }
+    let l = prefs.list_len(i) as f64;
+    let c = connections.len() as f64;
+    let static_part: f64 = connections
+        .iter()
+        .map(|&j| (1.0 - rank(prefs, i, j) as f64 / l) / b)
+        .sum();
+    let dynamic_part = c * (c - 1.0) / (2.0 * b * l);
+    (static_part, dynamic_part)
+}
+
+/// Sum of [`node_satisfaction`] over all nodes given per-node connection
+/// lists (`connections[i]` = connections of node `i`).
+pub fn total_satisfaction(
+    prefs: &PreferenceTable,
+    quotas: &Quotas,
+    connections: &[Vec<NodeId>],
+) -> f64 {
+    connections
+        .iter()
+        .enumerate()
+        .map(|(i, c)| node_satisfaction(prefs, quotas, NodeId(i as u32), c))
+        .sum()
+}
+
+/// Sum of [`node_satisfaction_modified`] over all nodes.
+pub fn total_satisfaction_modified(
+    prefs: &PreferenceTable,
+    quotas: &Quotas,
+    connections: &[Vec<NodeId>],
+) -> f64 {
+    connections
+        .iter()
+        .enumerate()
+        .map(|(i, c)| node_satisfaction_modified(prefs, quotas, NodeId(i as u32), c))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_graph::generators::star;
+    use owp_graph::PreferenceTable;
+
+    /// The exact setting of the paper's Figure 1: `b_i = 4`, `|L_i| = 7`,
+    /// connections occupying preference ranks {0, 1, 3, 5}, giving
+    /// `S_i = 1 − 3/28 = 0.893` (3 d.p.).
+    fn figure1() -> (owp_graph::Graph, PreferenceTable, Quotas, Vec<NodeId>) {
+        let g = star(8); // hub 0 with leaves 1..=7, so |L_0| = 7
+        let prefs = PreferenceTable::by_node_id(&g); // leaf k has rank k−1
+        let quotas = Quotas::uniform(&g, 4);
+        // Ranks 0, 1, 3, 5 → leaves 1, 2, 4, 6.
+        let connections = vec![NodeId(1), NodeId(2), NodeId(4), NodeId(6)];
+        (g, prefs, quotas, connections)
+    }
+
+    #[test]
+    fn figure1_satisfaction_is_0_893() {
+        let (_g, prefs, quotas, conns) = figure1();
+        let s = node_satisfaction(&prefs, &quotas, NodeId(0), &conns);
+        assert!((s - (1.0 - 3.0 / 28.0)).abs() < 1e-12, "S = {s}");
+        assert_eq!(format!("{s:.3}"), "0.893");
+    }
+
+    #[test]
+    fn top_choices_give_satisfaction_one() {
+        let g = star(8);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 4);
+        let top: Vec<NodeId> = prefs.list(NodeId(0))[..4].to_vec();
+        let s = node_satisfaction(&prefs, &quotas, NodeId(0), &top);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_connections_give_zero() {
+        let g = star(8);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 4);
+        assert_eq!(node_satisfaction(&prefs, &quotas, NodeId(0), &[]), 0.0);
+        assert_eq!(
+            node_satisfaction_modified(&prefs, &quotas, NodeId(0), &[]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn quota_zero_is_fully_satisfied() {
+        let g = star(3);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::from_vec(&g, vec![0, 1, 1]);
+        assert_eq!(node_satisfaction(&prefs, &quotas, NodeId(0), &[]), 1.0);
+        assert_eq!(static_dynamic_split(&prefs, &quotas, NodeId(0), &[]), (1.0, 0.0));
+    }
+
+    #[test]
+    fn satisfaction_in_unit_interval() {
+        // Worst case: bottom-of-list connections.
+        let g = star(8);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 4);
+        let bottom: Vec<NodeId> = prefs.list(NodeId(0))[3..].to_vec();
+        let s = node_satisfaction(&prefs, &quotas, NodeId(0), &bottom);
+        assert!((0.0..=1.0).contains(&s), "S = {s}");
+    }
+
+    #[test]
+    fn delta_true_sums_to_satisfaction() {
+        let (_g, prefs, quotas, conns) = figure1();
+        let ordered = ordered_connections(&prefs, NodeId(0), &conns);
+        let sum: f64 = ordered
+            .iter()
+            .enumerate()
+            .map(|(q, &j)| delta_true(&prefs, &quotas, NodeId(0), j, q as u32))
+            .sum();
+        let s = node_satisfaction(&prefs, &quotas, NodeId(0), &conns);
+        assert!((sum - s).abs() < 1e-12, "Σ ΔS = {sum}, S = {s}");
+    }
+
+    #[test]
+    fn split_recombines_to_satisfaction() {
+        let (_g, prefs, quotas, conns) = figure1();
+        let (s_static, s_dynamic) = static_dynamic_split(&prefs, &quotas, NodeId(0), &conns);
+        let s = node_satisfaction(&prefs, &quotas, NodeId(0), &conns);
+        assert!((s_static + s_dynamic - s).abs() < 1e-12);
+        // And the static part is exactly the modified satisfaction (eq. 6).
+        let s_mod = node_satisfaction_modified(&prefs, &quotas, NodeId(0), &conns);
+        assert!((s_static - s_mod).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_static_exact_matches_f64() {
+        let (_g, prefs, quotas, conns) = figure1();
+        for &j in &conns {
+            let exact = delta_static(&prefs, &quotas, NodeId(0), j).to_f64();
+            let r = prefs.rank(NodeId(0), j).unwrap() as f64;
+            let expect = (1.0 - r / 7.0) / 4.0;
+            assert!((exact - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lemma1_worst_case_ratio() {
+        // Lemma 1's tight case: connections drawn from the *bottom* of the
+        // list with c_i = b_i. Then S^s/(S^s+S^d) = ½(1 + 1/b).
+        let g = star(8);
+        let prefs = PreferenceTable::by_node_id(&g);
+        for b in 1..=7u32 {
+            let quotas = Quotas::uniform(&g, b);
+            let list = prefs.list(NodeId(0));
+            let bottom: Vec<NodeId> = list[list.len() - b as usize..].to_vec();
+            let (s, d) = static_dynamic_split(&prefs, &quotas, NodeId(0), &bottom);
+            let ratio = s / (s + d);
+            let bound = 0.5 * (1.0 + 1.0 / b as f64);
+            assert!(
+                (ratio - bound).abs() < 1e-12,
+                "b={b}: ratio {ratio} vs bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the preference list")]
+    fn non_neighbour_connection_panics() {
+        let g = star(4);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 2);
+        // Leaves are not adjacent to each other.
+        node_satisfaction(&prefs, &quotas, NodeId(1), &[NodeId(2)]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Acyclicity of preference systems (Gai et al., Euro-Par 2007).
+//!
+//! Model each undirected edge as a vertex and, for every node `i` and every
+//! consecutive pair in its preference order, add an arc from the less
+//! preferred incident edge to the more preferred one. The preference system
+//! is *acyclic* iff this digraph has no directed cycle — equivalently, the
+//! "i prefers e to f" relations can be embedded into a global edge order.
+//! Gai et al. prove stabilization of preference dynamics exactly for such
+//! systems; the paper's LID side-steps the restriction by optimizing
+//! satisfaction with eq. 9's symmetric weights (which are always globally
+//! ordered, hence always "acyclic").
+
+use crate::problem::Problem;
+use owp_graph::{Graph, NodeId, PreferenceTable, Quotas};
+
+/// `true` iff the preference system `(g, prefs)` is acyclic.
+pub fn is_acyclic(g: &Graph, prefs: &PreferenceTable) -> bool {
+    let m = g.edge_count();
+    // Arcs: worse edge -> immediately better edge, per node.
+    let mut arcs: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for i in g.nodes() {
+        let list = prefs.list(i);
+        for w in list.windows(2) {
+            let better = g.edge_between(i, w[0]).expect("list entry is neighbour");
+            let worse = g.edge_between(i, w[1]).expect("list entry is neighbour");
+            arcs[worse.index()].push(better.0);
+        }
+    }
+
+    // Iterative three-colour DFS cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour = vec![Colour::White; m];
+    for start in 0..m {
+        if colour[start] != Colour::White {
+            continue;
+        }
+        // Stack of (vertex, next-child-index).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        colour[start] = Colour::Grey;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < arcs[v].len() {
+                let child = arcs[v][*next] as usize;
+                *next += 1;
+                match colour[child] {
+                    Colour::Grey => return false, // back-edge: cycle
+                    Colour::White => {
+                        colour[child] = Colour::Grey;
+                        stack.push((child, 0));
+                    }
+                    Colour::Black => {}
+                }
+            } else {
+                colour[v] = Colour::Black;
+                stack.pop();
+            }
+        }
+    }
+    true
+}
+
+/// The rock-paper-scissors gadget: `K_3`, `b ≡ 1`, node 0 prefers 1 ≻ 2,
+/// node 1 prefers 2 ≻ 0, node 2 prefers 0 ≻ 1. Cyclic, and it admits no
+/// stable matching — the canonical instance the paper's satisfaction
+/// approach is designed to survive.
+pub fn rps_gadget() -> Problem {
+    let g = owp_graph::generators::complete(3);
+    let lists = vec![
+        vec![NodeId(1), NodeId(2)],
+        vec![NodeId(2), NodeId(0)],
+        vec![NodeId(0), NodeId(1)],
+    ];
+    let prefs = PreferenceTable::from_lists(&g, lists).expect("valid lists");
+    let quotas = Quotas::uniform(&g, 1);
+    Problem::new(g, prefs, quotas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_graph::generators::complete;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aligned_preferences_are_acyclic() {
+        let g = complete(7);
+        let prefs = PreferenceTable::by_node_id(&g);
+        assert!(is_acyclic(&g, &prefs));
+    }
+
+    #[test]
+    fn score_based_preferences_are_acyclic() {
+        // Preferences induced by any global edge score are acyclic by
+        // construction — this is why eq. 9's weight lists always converge.
+        let g = complete(6);
+        // Symmetric score (shared by both endpoints of an edge).
+        let prefs = PreferenceTable::by_score(&g, |i, j| ((i.0 * 31 + j.0 * 31) + i.0 * j.0) as f64);
+        assert!(is_acyclic(&g, &prefs));
+    }
+
+    #[test]
+    fn rps_is_cyclic() {
+        let p = rps_gadget();
+        assert!(!is_acyclic(&p.graph, &p.prefs));
+    }
+
+    #[test]
+    fn random_preferences_on_k3_sometimes_cyclic() {
+        // Sanity: over many random K3 instances both outcomes occur.
+        let g = complete(3);
+        let mut cyclic = 0;
+        let mut acyclic = 0;
+        for seed in 0..50 {
+            let prefs = PreferenceTable::random(&g, &mut StdRng::seed_from_u64(seed));
+            if is_acyclic(&g, &prefs) {
+                acyclic += 1;
+            } else {
+                cyclic += 1;
+            }
+        }
+        assert!(cyclic > 0, "RPS-like orientations have probability 1/4");
+        assert!(acyclic > 0);
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g = owp_graph::GraphBuilder::new(3).build();
+        let prefs = PreferenceTable::by_node_id(&g);
+        assert!(is_acyclic(&g, &prefs));
+    }
+}

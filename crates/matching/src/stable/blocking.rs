@@ -1,0 +1,109 @@
+//! Blocking pairs for b-matchings with preference lists.
+//!
+//! An unmatched edge `(i, j)` *blocks* a b-matching when both endpoints
+//! would rather have it: each of `i`, `j` either has free quota or prefers
+//! the other to its currently worst connection (stable fixtures criterion,
+//! Irving & Scott). A matching with no blocking pair is *stable*.
+
+use crate::bmatching::BMatching;
+use crate::problem::Problem;
+use owp_graph::NodeId;
+
+/// `true` iff node `x` would accept a connection to `y` given matching `m`:
+/// `x` has free quota, or ranks `y` strictly above its worst connection.
+pub fn would_accept(problem: &Problem, m: &BMatching, x: NodeId, y: NodeId) -> bool {
+    let b = problem.quotas.get(x) as usize;
+    if b == 0 {
+        return false;
+    }
+    let conns = m.connections(x);
+    if conns.len() < b {
+        return true;
+    }
+    let rank_y = problem.prefs.rank(x, y).expect("neighbour");
+    let worst = conns
+        .iter()
+        .map(|&z| problem.prefs.rank(x, z).expect("connection is a neighbour"))
+        .max()
+        .expect("saturated node has connections");
+    rank_y < worst
+}
+
+/// All blocking pairs of `m`, as `(i, j)` with `i < j`.
+pub fn blocking_pairs(problem: &Problem, m: &BMatching) -> Vec<(NodeId, NodeId)> {
+    let g = &problem.graph;
+    let mut out = Vec::new();
+    for e in g.edges() {
+        if m.contains(e) {
+            continue;
+        }
+        let (u, v) = g.endpoints(e);
+        if would_accept(problem, m, u, v) && would_accept(problem, m, v, u) {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+/// `true` iff `m` has no blocking pair (is a stable fixture assignment).
+pub fn is_stable(problem: &Problem, m: &BMatching) -> bool {
+    blocking_pairs(problem, m).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_graph::generators::{complete, path};
+    use owp_graph::{PreferenceTable, Quotas};
+
+    #[test]
+    fn empty_matching_blocked_by_every_edge() {
+        let g = complete(4);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 1);
+        let p = Problem::new(g, prefs, quotas);
+        let m = BMatching::empty(&p.graph);
+        assert_eq!(blocking_pairs(&p, &m).len(), p.edge_count());
+        assert!(!is_stable(&p, &m));
+    }
+
+    #[test]
+    fn aligned_preferences_top_pairing_is_stable() {
+        // Path 0—1—2, b=1, id-ordered prefs: node 1 prefers 0. Matching
+        // {(0,1)} leaves node 2 alone, but (1,2) does not block: 1 is
+        // saturated with a better partner.
+        let g = path(3);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 1);
+        let p = Problem::new(g, prefs, quotas);
+        let e01 = p.graph.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let m = BMatching::from_edges(&p, [e01]);
+        assert!(is_stable(&p, &m));
+    }
+
+    #[test]
+    fn worse_partner_creates_block() {
+        // Same path but match (1,2): node 1 prefers 0, node 0 is free →
+        // (0,1) blocks.
+        let g = path(3);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 1);
+        let p = Problem::new(g, prefs, quotas);
+        let e12 = p.graph.edge_between(NodeId(1), NodeId(2)).unwrap();
+        let m = BMatching::from_edges(&p, [e12]);
+        let blocks = blocking_pairs(&p, &m);
+        assert_eq!(blocks, vec![(NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn would_accept_respects_quota_zero() {
+        let g = path(2);
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::from_vec(&g, vec![0, 1]);
+        let p = Problem::new(g, prefs, quotas);
+        let m = BMatching::empty(&p.graph);
+        assert!(!would_accept(&p, &m, NodeId(0), NodeId(1)));
+        assert!(would_accept(&p, &m, NodeId(1), NodeId(0)));
+        assert!(is_stable(&p, &m), "quota-0 endpoint cannot block");
+    }
+}

@@ -1,0 +1,73 @@
+//! Fault injection: message loss and node crashes.
+//!
+//! The paper assumes reliable channels and non-faulty peers; these knobs
+//! exist for the robustness experiments (E11) that probe what happens when
+//! that assumption is relaxed.
+
+use crate::{NodeId, SimTime};
+
+/// Declarative fault plan applied by the asynchronous simulator.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that any given message is silently dropped.
+    pub drop_probability: f64,
+    /// Nodes that crash at a given time: messages delivered to them at or
+    /// after that time are discarded and they take no further steps.
+    pub crashes: Vec<(NodeId, SimTime)>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the paper's model).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Uniform message-loss plan.
+    pub fn with_drop_probability(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability {p} out of [0,1]");
+        FaultPlan {
+            drop_probability: p,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Adds a crash of `node` at `time`.
+    pub fn crash(mut self, node: NodeId, time: SimTime) -> Self {
+        self.crashes.push((node, time));
+        self
+    }
+
+    /// Crash time of `node`, if scheduled.
+    pub fn crash_time(&self, node: NodeId) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, t)| t)
+    }
+
+    /// `true` iff the plan injects no faults at all.
+    pub fn is_none(&self) -> bool {
+        self.drop_probability == 0.0 && self.crashes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_queries() {
+        let plan = FaultPlan::with_drop_probability(0.1).crash(NodeId(3), 50);
+        assert_eq!(plan.drop_probability, 0.1);
+        assert_eq!(plan.crash_time(NodeId(3)), Some(50));
+        assert_eq!(plan.crash_time(NodeId(4)), None);
+        assert!(!plan.is_none());
+        assert!(FaultPlan::none().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rejects_bad_probability() {
+        FaultPlan::with_drop_probability(1.5);
+    }
+}

@@ -1,0 +1,131 @@
+//! Link-delay distributions.
+//!
+//! Delays are strictly positive integer ticks. The interesting property for
+//! the matching protocol is *asynchrony*: with non-constant models, messages
+//! sent later on one link can overtake messages sent earlier on another,
+//! which is exactly the scheduling freedom Lemma 5's termination proof and
+//! the LIC ≡ LID equivalence (Theorem 3) must survive.
+
+use crate::SimTime;
+use rand::Rng;
+
+/// A distribution of per-message link delays.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly `ticks` (≥ 1) ticks.
+    Constant {
+        /// The fixed delay.
+        ticks: SimTime,
+    },
+    /// Uniform in `lo..=hi` ticks.
+    Uniform {
+        /// Minimum delay (≥ 1).
+        lo: SimTime,
+        /// Maximum delay.
+        hi: SimTime,
+    },
+    /// Exponential with the given mean (ticks); heavy asynchrony, occasional
+    /// stragglers. Sampled by inverse transform, rounded up to ≥ 1.
+    Exponential {
+        /// Mean delay in ticks.
+        mean: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma²))` ticks, rounded up to ≥ 1. Models the
+    /// long-tailed RTTs measured on real overlay links.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Convenience constant-delay model of 1 tick (a synchronous-ish network).
+    pub fn unit() -> Self {
+        LatencyModel::Constant { ticks: 1 }
+    }
+
+    /// Samples one delay. Always ≥ 1 tick so causality is strict.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        match *self {
+            LatencyModel::Constant { ticks } => ticks.max(1),
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "empty latency range {lo}..={hi}");
+                rng.gen_range(lo.max(1)..=hi.max(1))
+            }
+            LatencyModel::Exponential { mean } => {
+                assert!(mean > 0.0, "exponential mean must be positive");
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (-mean * u.ln()).ceil().max(1.0) as SimTime
+            }
+            LatencyModel::LogNormal { mu, sigma } => {
+                assert!(sigma >= 0.0, "sigma must be non-negative");
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mu + sigma * z).exp().ceil().max(1.0) as SimTime
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyModel::Constant { ticks: 5 };
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 5);
+        }
+        assert_eq!(LatencyModel::Constant { ticks: 0 }.sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LatencyModel::Uniform { lo: 3, hi: 9 };
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let s = m.sample(&mut rng);
+            assert!((3..=9).contains(&s));
+            seen.insert(s);
+        }
+        assert!(seen.len() >= 5, "should hit most of the range");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LatencyModel::Exponential { mean: 20.0 };
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| m.sample(&mut rng)).sum();
+        let avg = sum as f64 / n as f64;
+        // ceil() biases up by ~0.5; accept a generous window.
+        assert!((18.0..23.0).contains(&avg), "avg={avg}");
+    }
+
+    #[test]
+    fn lognormal_positive_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = LatencyModel::LogNormal { mu: 2.0, sigma: 0.8 };
+        let samples: Vec<u64> = (0..5_000).map(|_| m.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| s >= 1));
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        assert!(mean > median, "log-normal is right-skewed");
+    }
+
+    #[test]
+    fn unit_helper() {
+        assert_eq!(LatencyModel::unit(), LatencyModel::Constant { ticks: 1 });
+    }
+}

@@ -1,0 +1,145 @@
+//! The distributed-protocol abstraction.
+//!
+//! A protocol instance is one state machine per node. The engine (async
+//! [`crate::Simulator`] or synchronous [`crate::SyncRunner`]) drives every
+//! node through [`Protocol::on_start`] once and [`Protocol::on_message`] for
+//! each delivered message; nodes communicate *only* by sending messages
+//! through the supplied [`Context`] — exactly the model of the paper's
+//! Algorithm 1.
+
+use crate::{NodeId, SimTime};
+
+/// Buffered output of one callback: `(messages, armed timers)`.
+pub(crate) type CtxParts<M> = (Vec<(NodeId, M)>, Vec<(SimTime, u64)>);
+
+/// A message payload exchanged between protocol nodes.
+///
+/// `kind` labels the message class (e.g. `"PROP"`, `"REJ"`) so the engines
+/// can aggregate per-kind statistics without knowing protocol internals.
+pub trait Payload: Clone + std::fmt::Debug {
+    /// A short static label for statistics (default `"msg"`).
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
+}
+
+/// A per-node distributed state machine.
+pub trait Protocol {
+    /// The message type the protocol exchanges.
+    type Message: Payload;
+
+    /// Called exactly once at time 0, before any delivery.
+    fn on_start(&mut self, ctx: &mut Context<Self::Message>);
+
+    /// Called for every message delivered to this node.
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<Self::Message>);
+
+    /// Called when a timer set via [`Context::set_timer`] fires. Default:
+    /// ignore (protocols without timers never see this).
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<Self::Message>) {
+        let _ = (tag, ctx);
+    }
+
+    /// `true` once this node has locally terminated. Purely observational —
+    /// the engines use it for statistics and invariant checks, never for
+    /// control flow (a real distributed node cannot be peeked at either).
+    fn is_terminated(&self) -> bool {
+        false
+    }
+}
+
+/// Handle through which a node interacts with the network during a callback.
+///
+/// Sends are buffered and scheduled by the engine after the callback returns;
+/// a node can therefore not observe any effect of its own sends within the
+/// same callback, mirroring a real asynchronous network interface.
+#[derive(Debug)]
+pub struct Context<M> {
+    node: NodeId,
+    now: SimTime,
+    outbox: Vec<(NodeId, M)>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl<M> Context<M> {
+    pub(crate) fn new(node: NodeId, now: SimTime) -> Self {
+        Context {
+            node,
+            now,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// The id of the node this callback runs on.
+    #[inline]
+    pub fn self_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queues `msg` for delivery to `to`. Delivery latency is decided by the
+    /// engine's latency model.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Number of messages queued so far in this callback.
+    pub fn pending(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Arms a local timer: [`Protocol::on_timer`] fires with `tag` after
+    /// `delay` ticks (at least 1). Timers are local — they never traverse
+    /// the network and are immune to loss. In the synchronous engine a delay
+    /// of `d` ticks fires `d` rounds later.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        self.timers.push((delay.max(1), tag));
+    }
+
+    pub(crate) fn into_parts(self) -> CtxParts<M> {
+        (self.outbox, self.timers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Ping;
+    impl Payload for Ping {
+        fn kind(&self) -> &'static str {
+            "PING"
+        }
+    }
+
+    #[test]
+    fn context_buffers_sends() {
+        let mut ctx: Context<Ping> = Context::new(NodeId(3), 17);
+        assert_eq!(ctx.self_id(), NodeId(3));
+        assert_eq!(ctx.now(), 17);
+        assert_eq!(ctx.pending(), 0);
+        ctx.send(NodeId(1), Ping);
+        ctx.send(NodeId(2), Ping);
+        assert_eq!(ctx.pending(), 2);
+        let (out, timers) = ctx.into_parts();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, NodeId(1));
+        assert!(timers.is_empty());
+    }
+
+    #[test]
+    fn payload_default_kind() {
+        #[derive(Clone, Debug)]
+        struct Plain;
+        impl Payload for Plain {}
+        assert_eq!(Plain.kind(), "msg");
+        assert_eq!(Ping.kind(), "PING");
+    }
+}

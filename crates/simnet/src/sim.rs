@@ -1,0 +1,627 @@
+//! The asynchronous event-driven simulator.
+
+use crate::faults::FaultPlan;
+use crate::latency::LatencyModel;
+use crate::protocol::{Context, Payload, Protocol};
+use crate::stats::NetStats;
+use crate::trace::{Trace, TraceEvent};
+use crate::{NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of one asynchronous run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Link-delay distribution.
+    pub latency: LatencyModel,
+    /// Enforce per-directed-link FIFO delivery (clamp delivery times so a
+    /// later send on the same link never overtakes an earlier one).
+    pub fifo: bool,
+    /// RNG seed for latency sampling and loss decisions.
+    pub seed: u64,
+    /// Fault injection plan.
+    pub faults: FaultPlan,
+    /// Hard stop: abort after this many deliveries (guards against protocol
+    /// bugs that never quiesce). `u64::MAX` by default.
+    pub max_deliveries: u64,
+    /// Record a full event trace.
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: LatencyModel::unit(),
+            fifo: true,
+            seed: 0,
+            faults: FaultPlan::none(),
+            max_deliveries: u64::MAX,
+            trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Unit-latency config with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Replaces the latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replaces the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables trace recording.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// Why and how a run ended.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunOutcome {
+    /// Simulated time of the last delivery.
+    pub end_time: SimTime,
+    /// Total deliveries performed.
+    pub deliveries: u64,
+    /// `true` iff the network quiesced (no in-flight messages remain);
+    /// `false` iff the `max_deliveries` guard tripped first.
+    pub quiescent: bool,
+}
+
+struct InFlight<M> {
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+enum Pending<M> {
+    Msg(InFlight<M>),
+    Timer { node: NodeId, tag: u64 },
+}
+
+/// Deterministic discrete-event simulator over a set of [`Protocol`] nodes.
+///
+/// Events are ordered by `(delivery time, sequence number)`; the sequence
+/// number makes simultaneous deliveries resolve in send order, so a run is a
+/// pure function of `(nodes, config)`.
+pub struct Simulator<P: Protocol> {
+    nodes: Vec<P>,
+    crashed: Vec<bool>,
+    config: SimConfig,
+    rng: StdRng,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<(Reverse<(SimTime, u64)>, usize)>,
+    payloads: HashMap<usize, Pending<P::Message>>,
+    /// Last scheduled delivery time per directed link, for FIFO clamping.
+    link_last: HashMap<(u32, u32), SimTime>,
+    stats: NetStats,
+    trace: Trace,
+    started: bool,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator over `nodes` (node `i` gets id `i`).
+    pub fn new(nodes: Vec<P>, config: SimConfig) -> Self {
+        let n = nodes.len();
+        let rng = StdRng::seed_from_u64(config.seed);
+        let trace = if config.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        Simulator {
+            nodes,
+            crashed: vec![false; n],
+            config,
+            rng,
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            link_last: HashMap::new(),
+            stats: NetStats::default(),
+            trace,
+            started: false,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, pending: Pending<P::Message>) {
+        let id = self.seq;
+        self.seq += 1;
+        self.queue.push((Reverse((at, id)), id as usize));
+        self.payloads.insert(id as usize, pending);
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.queue.len());
+    }
+
+    fn dispatch_ctx(&mut self, from: NodeId, ctx: Context<P::Message>) {
+        let (outbox, timers) = ctx.into_parts();
+        for (delay, tag) in timers {
+            self.schedule(self.now + delay, Pending::Timer { node: from, tag });
+        }
+        for (to, msg) in outbox {
+            assert!(
+                to.index() < self.nodes.len(),
+                "send to unknown node {to:?}"
+            );
+            assert!(to != from, "node {from:?} sent a message to itself");
+            let kind = msg.kind();
+            self.stats.record_send(kind);
+            self.trace.push(TraceEvent::Sent {
+                time: self.now,
+                from,
+                to,
+                kind,
+            });
+
+            if self.config.faults.drop_probability > 0.0
+                && self.rng.gen_range(0.0..1.0) < self.config.faults.drop_probability
+            {
+                self.stats.dropped += 1;
+                self.trace.push(TraceEvent::Dropped {
+                    time: self.now,
+                    from,
+                    to,
+                    kind,
+                });
+                continue;
+            }
+
+            let mut at = self.now + self.config.latency.sample(&mut self.rng);
+            if self.config.fifo {
+                let last = self
+                    .link_last
+                    .entry((from.0, to.0))
+                    .or_insert(0);
+                if at <= *last {
+                    at = *last + 1;
+                }
+                *last = at;
+            }
+            self.schedule(at, Pending::Msg(InFlight { from, to, msg }));
+        }
+    }
+
+    /// Runs every node's `on_start` (at time 0) if not already done.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            if self.config.faults.crash_time(id) == Some(0) {
+                self.crashed[i] = true;
+                continue;
+            }
+            let mut ctx = Context::new(id, 0);
+            self.nodes[i].on_start(&mut ctx);
+            self.dispatch_ctx(id, ctx);
+        }
+    }
+
+    /// Delivers a single event (message or timer). Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some((Reverse((at, _)), id)) = self.queue.pop() else {
+            return false;
+        };
+        let pending = self
+            .payloads
+            .remove(&id)
+            .expect("queued event has a payload");
+        self.now = at;
+
+        match pending {
+            Pending::Timer { node, tag } => {
+                if let Some(t) = self.config.faults.crash_time(node) {
+                    if at >= t {
+                        self.crashed[node.index()] = true;
+                    }
+                }
+                if self.crashed[node.index()] {
+                    return true;
+                }
+                self.stats.timers_fired += 1;
+                let mut ctx = Context::new(node, at);
+                self.nodes[node.index()].on_timer(tag, &mut ctx);
+                self.dispatch_ctx(node, ctx);
+            }
+            Pending::Msg(InFlight { from, to, msg }) => {
+                // Crash handling: a node is dead from its crash time onward.
+                if let Some(t) = self.config.faults.crash_time(to) {
+                    if at >= t {
+                        self.crashed[to.index()] = true;
+                    }
+                }
+                if self.crashed[to.index()] {
+                    self.stats.dead_lettered += 1;
+                    self.trace.push(TraceEvent::Dropped {
+                        time: at,
+                        from,
+                        to,
+                        kind: msg.kind(),
+                    });
+                    return true;
+                }
+
+                self.stats.delivered += 1;
+                self.trace.push(TraceEvent::Delivered {
+                    time: at,
+                    from,
+                    to,
+                    kind: msg.kind(),
+                });
+                let mut ctx = Context::new(to, at);
+                self.nodes[to.index()].on_message(from, msg, &mut ctx);
+                self.dispatch_ctx(to, ctx);
+            }
+        }
+        true
+    }
+
+    /// Runs to quiescence (or until the delivery guard trips).
+    ///
+    /// `RunOutcome::deliveries` counts messages actually handed to handlers;
+    /// dead-lettered messages advance time but are not deliveries.
+    pub fn run(&mut self) -> RunOutcome {
+        self.start();
+        while self.stats.delivered + self.stats.timers_fired < self.config.max_deliveries {
+            if !self.step() {
+                return RunOutcome {
+                    end_time: self.now,
+                    deliveries: self.stats.delivered,
+                    quiescent: true,
+                };
+            }
+        }
+        RunOutcome {
+            end_time: self.now,
+            deliveries: self.stats.delivered,
+            quiescent: self.queue.is_empty(),
+        }
+    }
+
+    /// Immutable access to node `i`'s protocol state (post-run inspection).
+    pub fn node(&self, i: NodeId) -> &P {
+        &self.nodes[i.index()]
+    }
+
+    /// Iterator over all node states.
+    pub fn nodes(&self) -> impl Iterator<Item = &P> {
+        self.nodes.iter()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The recorded trace (empty unless `config.trace`).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Fraction of nodes whose `is_terminated` is `true`.
+    pub fn terminated_fraction(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 1.0;
+        }
+        self.nodes.iter().filter(|n| n.is_terminated()).count() as f64 / self.nodes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Payload;
+
+    /// Token-ring protocol: node 0 starts a token that makes `hops` hops.
+    #[derive(Clone, Debug)]
+    struct Token {
+        remaining: u32,
+    }
+    impl Payload for Token {
+        fn kind(&self) -> &'static str {
+            "TOKEN"
+        }
+    }
+
+    struct RingNode {
+        id: NodeId,
+        n: usize,
+        seen: u32,
+        hops: u32,
+        done: bool,
+    }
+
+    impl Protocol for RingNode {
+        type Message = Token;
+
+        fn on_start(&mut self, ctx: &mut Context<Token>) {
+            if self.id == NodeId(0) && self.hops > 0 {
+                let next = NodeId(((self.id.0 as usize + 1) % self.n) as u32);
+                ctx.send(
+                    next,
+                    Token {
+                        remaining: self.hops - 1,
+                    },
+                );
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: Token, ctx: &mut Context<Token>) {
+            self.seen += 1;
+            if msg.remaining > 0 {
+                let next = NodeId(((self.id.0 as usize + 1) % self.n) as u32);
+                ctx.send(
+                    next,
+                    Token {
+                        remaining: msg.remaining - 1,
+                    },
+                );
+            } else {
+                self.done = true;
+            }
+        }
+
+        fn is_terminated(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn ring(n: usize, hops: u32) -> Vec<RingNode> {
+        (0..n)
+            .map(|i| RingNode {
+                id: NodeId(i as u32),
+                n,
+                seen: 0,
+                hops,
+                done: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn token_ring_quiesces_with_exact_counts() {
+        let mut sim = Simulator::new(ring(5, 12), SimConfig::with_seed(1));
+        let out = sim.run();
+        assert!(out.quiescent);
+        assert_eq!(out.deliveries, 12);
+        assert_eq!(sim.stats().sent, 12);
+        assert_eq!(sim.stats().sent_of("TOKEN"), 12);
+        let total_seen: u32 = sim.nodes().map(|n| n.seen).sum();
+        assert_eq!(total_seen, 12);
+    }
+
+    #[test]
+    fn constant_latency_time_is_hops() {
+        let cfg = SimConfig::with_seed(2).latency(LatencyModel::Constant { ticks: 3 });
+        let mut sim = Simulator::new(ring(4, 8), cfg);
+        let out = sim.run();
+        assert_eq!(out.end_time, 8 * 3);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed: u64| {
+            let cfg = SimConfig::with_seed(seed)
+                .latency(LatencyModel::Exponential { mean: 7.0 })
+                .traced();
+            let mut sim = Simulator::new(ring(6, 30), cfg);
+            let out = sim.run();
+            (out, sim.trace().events().to_vec())
+        };
+        let (o1, t1) = run(42);
+        let (o2, t2) = run(42);
+        assert_eq!(o1, o2);
+        assert_eq!(t1, t2);
+        let (o3, _) = run(43);
+        // Different seed almost surely gives a different end time.
+        assert!(o1.end_time != o3.end_time || o1.deliveries == o3.deliveries);
+    }
+
+    #[test]
+    fn max_deliveries_guard() {
+        let cfg = SimConfig {
+            max_deliveries: 5,
+            ..SimConfig::with_seed(3)
+        };
+        let mut sim = Simulator::new(ring(4, 100), cfg);
+        let out = sim.run();
+        assert!(!out.quiescent);
+        assert_eq!(out.deliveries, 5);
+    }
+
+    #[test]
+    fn message_loss_kills_the_token() {
+        let cfg = SimConfig::with_seed(4).faults(FaultPlan::with_drop_probability(1.0));
+        let mut sim = Simulator::new(ring(4, 10), cfg);
+        let out = sim.run();
+        assert!(out.quiescent);
+        assert_eq!(out.deliveries, 0);
+        assert_eq!(sim.stats().dropped, 1); // the initial send was dropped
+    }
+
+    #[test]
+    fn crashed_node_dead_letters() {
+        // Node 1 crashes at t=0; the token dies there.
+        let cfg = SimConfig::with_seed(5).faults(FaultPlan::none().crash(NodeId(1), 0));
+        let mut sim = Simulator::new(ring(4, 10), cfg);
+        let out = sim.run();
+        assert!(out.quiescent);
+        assert_eq!(sim.stats().dead_lettered, 1);
+        assert_eq!(out.deliveries, 0);
+    }
+
+    #[test]
+    fn fifo_preserves_link_order() {
+        // A node that sends 20 messages to one peer in a single callback;
+        // with FIFO they must arrive in send order even under random latency.
+        struct Burst {
+            id: NodeId,
+            received: Vec<u32>,
+        }
+        #[derive(Clone, Debug)]
+        struct Seq(u32);
+        impl Payload for Seq {}
+        impl Protocol for Burst {
+            type Message = Seq;
+            fn on_start(&mut self, ctx: &mut Context<Seq>) {
+                if self.id == NodeId(0) {
+                    for k in 0..20 {
+                        ctx.send(NodeId(1), Seq(k));
+                    }
+                }
+            }
+            fn on_message(&mut self, _from: NodeId, msg: Seq, _ctx: &mut Context<Seq>) {
+                self.received.push(msg.0);
+            }
+        }
+        let nodes = vec![
+            Burst {
+                id: NodeId(0),
+                received: vec![],
+            },
+            Burst {
+                id: NodeId(1),
+                received: vec![],
+            },
+        ];
+        let cfg = SimConfig::with_seed(6).latency(LatencyModel::Uniform { lo: 1, hi: 50 });
+        let mut sim = Simulator::new(nodes, cfg);
+        sim.run();
+        let got = &sim.node(NodeId(1)).received;
+        assert_eq!(*got, (0..20).collect::<Vec<_>>());
+    }
+
+    /// Retry protocol: node 0 keeps pinging node 1 every 10 ticks until it
+    /// hears back; node 1 answers only the third ping.
+    struct Retry {
+        id: NodeId,
+        pings_seen: u32,
+        done: bool,
+    }
+    #[derive(Clone, Debug)]
+    enum RetryMsg {
+        Ping,
+        Pong,
+    }
+    impl Payload for RetryMsg {
+        fn kind(&self) -> &'static str {
+            match self {
+                RetryMsg::Ping => "PING",
+                RetryMsg::Pong => "PONG",
+            }
+        }
+    }
+    impl Protocol for Retry {
+        type Message = RetryMsg;
+        fn on_start(&mut self, ctx: &mut Context<RetryMsg>) {
+            if self.id == NodeId(0) {
+                ctx.send(NodeId(1), RetryMsg::Ping);
+                ctx.set_timer(10, 0);
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: RetryMsg, ctx: &mut Context<RetryMsg>) {
+            match msg {
+                RetryMsg::Ping => {
+                    self.pings_seen += 1;
+                    if self.pings_seen >= 3 {
+                        ctx.send(from, RetryMsg::Pong);
+                    }
+                }
+                RetryMsg::Pong => self.done = true,
+            }
+        }
+        fn on_timer(&mut self, _tag: u64, ctx: &mut Context<RetryMsg>) {
+            if !self.done {
+                ctx.send(NodeId(1), RetryMsg::Ping);
+                ctx.set_timer(10, 0);
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.id != NodeId(0) || self.done
+        }
+    }
+
+    fn retry_nodes() -> Vec<Retry> {
+        (0..2)
+            .map(|i| Retry {
+                id: NodeId(i),
+                pings_seen: 0,
+                done: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn timers_drive_retransmission_to_completion() {
+        let mut sim = Simulator::new(retry_nodes(), SimConfig::with_seed(1));
+        let out = sim.run();
+        assert!(out.quiescent);
+        assert!(sim.node(NodeId(0)).done);
+        assert_eq!(sim.node(NodeId(1)).pings_seen, 3);
+        assert_eq!(sim.stats().sent_of("PING"), 3);
+        assert_eq!(sim.stats().sent_of("PONG"), 1);
+        // Two timers fired and re-armed; the third finds done=true and stops
+        // re-arming, so exactly 3 timer firings happen before quiescence.
+        assert_eq!(sim.stats().timers_fired, 3);
+    }
+
+    #[test]
+    fn timers_survive_message_loss() {
+        // Drop 100% of nothing... rather: drop first sends deterministically
+        // is not expressible; use 50% loss and verify the retry loop still
+        // finishes (timers are local and lossless).
+        let cfg = SimConfig::with_seed(33).faults(FaultPlan::with_drop_probability(0.5));
+        let mut sim = Simulator::new(retry_nodes(), cfg);
+        let out = sim.run();
+        assert!(out.quiescent);
+        assert!(sim.node(NodeId(0)).done, "retransmission defeats loss");
+    }
+
+    #[test]
+    fn crashed_node_timers_do_not_fire() {
+        let cfg = SimConfig::with_seed(2).faults(FaultPlan::none().crash(NodeId(0), 5));
+        let mut sim = Simulator::new(retry_nodes(), cfg);
+        sim.run();
+        // Node 0 crashed before its first timer (t=10): no retransmissions.
+        assert_eq!(sim.stats().sent_of("PING"), 1);
+        assert_eq!(sim.stats().timers_fired, 0);
+    }
+
+    #[test]
+    fn terminated_fraction_reports() {
+        let mut sim = Simulator::new(ring(4, 4), SimConfig::with_seed(7));
+        assert_eq!(sim.terminated_fraction(), 0.0);
+        sim.run();
+        assert_eq!(sim.terminated_fraction(), 0.25); // exactly one node saw remaining=0
+    }
+}

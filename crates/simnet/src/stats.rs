@@ -1,0 +1,63 @@
+//! Network-level statistics collected by the engines.
+
+use std::collections::BTreeMap;
+
+/// Message and event counters for one simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct NetStats {
+    /// Messages handed to the network (before loss).
+    pub sent: u64,
+    /// Messages actually delivered to a handler.
+    pub delivered: u64,
+    /// Messages dropped by fault injection.
+    pub dropped: u64,
+    /// Messages discarded because the destination had crashed.
+    pub dead_lettered: u64,
+    /// Local timer firings (see [`crate::Context::set_timer`]).
+    pub timers_fired: u64,
+    /// Per-kind sent counts, keyed by [`crate::Payload::kind`].
+    pub sent_by_kind: BTreeMap<&'static str, u64>,
+    /// Peak size of the in-flight event queue.
+    pub peak_in_flight: usize,
+}
+
+impl NetStats {
+    /// Records a send of a message with the given kind label.
+    pub(crate) fn record_send(&mut self, kind: &'static str) {
+        self.sent += 1;
+        *self.sent_by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Sent count for one kind (0 if never sent).
+    pub fn sent_of(&self, kind: &str) -> u64 {
+        self.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Average messages sent per node.
+    pub fn sent_per_node(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.sent as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::default();
+        s.record_send("PROP");
+        s.record_send("PROP");
+        s.record_send("REJ");
+        assert_eq!(s.sent, 3);
+        assert_eq!(s.sent_of("PROP"), 2);
+        assert_eq!(s.sent_of("REJ"), 1);
+        assert_eq!(s.sent_of("NOPE"), 0);
+        assert!((s.sent_per_node(3) - 1.0).abs() < 1e-12);
+        assert_eq!(s.sent_per_node(0), 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Synchronous-round execution of a [`Protocol`].
+//!
+//! In round `r`, every message sent during round `r − 1` is delivered (in a
+//! deterministic order: by sender id, then send order). This is the classic
+//! LOCAL/CONGEST-style round model; the experiment suite uses it to report
+//! *round complexity*, which is latency-model-free.
+
+use crate::protocol::{Context, Payload, Protocol};
+use crate::stats::NetStats;
+use crate::NodeId;
+
+/// Outcome of a synchronous run.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SyncOutcome {
+    /// Number of rounds executed (round 0 = `on_start`).
+    pub rounds: u64,
+    /// `true` iff no messages were pending when the run stopped.
+    pub quiescent: bool,
+}
+
+/// Synchronous-round engine. Nodes are driven in lock-step rounds.
+pub struct SyncRunner<P: Protocol> {
+    nodes: Vec<P>,
+    /// Messages to deliver next round: `(from, to, msg)`.
+    pending: Vec<(NodeId, NodeId, P::Message)>,
+    /// Armed timers: `(fire round, node, tag)`.
+    timers: Vec<(u64, NodeId, u64)>,
+    stats: NetStats,
+    rounds: u64,
+    max_rounds: u64,
+    started: bool,
+}
+
+impl<P: Protocol> SyncRunner<P> {
+    /// Creates a runner over `nodes` (node `i` gets id `i`).
+    pub fn new(nodes: Vec<P>) -> Self {
+        SyncRunner {
+            nodes,
+            pending: Vec::new(),
+            timers: Vec::new(),
+            stats: NetStats::default(),
+            rounds: 0,
+            max_rounds: 1_000_000,
+            started: false,
+        }
+    }
+
+    /// Sets the round guard (default 1 000 000).
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    fn collect(
+        stats: &mut NetStats,
+        pending: &mut Vec<(NodeId, NodeId, P::Message)>,
+        timers: &mut Vec<(u64, NodeId, u64)>,
+        round: u64,
+        from: NodeId,
+        ctx: Context<P::Message>,
+        n: usize,
+    ) {
+        let (outbox, new_timers) = ctx.into_parts();
+        for (delay, tag) in new_timers {
+            timers.push((round + delay, from, tag));
+        }
+        for (to, msg) in outbox {
+            assert!(to.index() < n, "send to unknown node {to:?}");
+            assert!(to != from, "node {from:?} sent a message to itself");
+            stats.record_send(msg.kind());
+            pending.push((from, to, msg));
+        }
+    }
+
+    /// Runs `on_start` on every node (round 0).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let n = self.nodes.len();
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            let mut ctx = Context::new(id, 0);
+            self.nodes[i].on_start(&mut ctx);
+            Self::collect(&mut self.stats, &mut self.pending, &mut self.timers, 0, id, ctx, n);
+        }
+    }
+
+    /// Delivers one full round of messages (plus due timers). Returns
+    /// `false` when idle. If only future timers remain, rounds skip forward
+    /// to the earliest firing.
+    pub fn round(&mut self) -> bool {
+        self.start();
+        if self.pending.is_empty() && self.timers.is_empty() {
+            return false;
+        }
+        self.rounds += 1;
+        // Fast-forward across empty rounds to the next armed timer.
+        if self.pending.is_empty() {
+            let earliest = self
+                .timers
+                .iter()
+                .map(|&(r, _, _)| r)
+                .min()
+                .expect("timers non-empty");
+            self.rounds = self.rounds.max(earliest);
+        }
+        let n = self.nodes.len();
+        let round = self.rounds;
+
+        let mut batch = std::mem::take(&mut self.pending);
+        // Deterministic delivery order: sender id, then send sequence (stable
+        // sort keeps per-sender order — the FIFO property).
+        batch.sort_by_key(|&(from, _, _)| from);
+        for (from, to, msg) in batch {
+            self.stats.delivered += 1;
+            let mut ctx = Context::new(to, round);
+            self.nodes[to.index()].on_message(from, msg, &mut ctx);
+            Self::collect(&mut self.stats, &mut self.pending, &mut self.timers, round, to, ctx, n);
+        }
+
+        // Fire due timers (armed before this round), in (node, tag) order.
+        let mut due: Vec<(u64, NodeId, u64)> = Vec::new();
+        self.timers.retain(|&t| {
+            if t.0 <= round {
+                due.push(t);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|&(r, node, tag)| (r, node, tag));
+        for (_, node, tag) in due {
+            self.stats.timers_fired += 1;
+            let mut ctx = Context::new(node, round);
+            self.nodes[node.index()].on_timer(tag, &mut ctx);
+            Self::collect(&mut self.stats, &mut self.pending, &mut self.timers, round, node, ctx, n);
+        }
+        true
+    }
+
+    /// Runs rounds until quiescence or the round guard trips.
+    pub fn run(&mut self) -> SyncOutcome {
+        self.start();
+        while self.rounds < self.max_rounds {
+            if !self.round() {
+                return SyncOutcome {
+                    rounds: self.rounds,
+                    quiescent: true,
+                };
+            }
+        }
+        SyncOutcome {
+            rounds: self.rounds,
+            quiescent: self.pending.is_empty() && self.timers.is_empty(),
+        }
+    }
+
+    /// Immutable access to node `i`'s state.
+    pub fn node(&self, i: NodeId) -> &P {
+        &self.nodes[i.index()]
+    }
+
+    /// Iterator over all node states.
+    pub fn nodes(&self) -> impl Iterator<Item = &P> {
+        self.nodes.iter()
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flooding protocol: node 0 floods a wave over a clique; each node
+    /// forwards once.
+    #[derive(Clone, Debug)]
+    struct Wave;
+    impl Payload for Wave {
+        fn kind(&self) -> &'static str {
+            "WAVE"
+        }
+    }
+
+    struct FloodNode {
+        id: NodeId,
+        n: usize,
+        forwarded: bool,
+        heard_in_round: Option<u64>,
+    }
+
+    impl FloodNode {
+        fn flood(&mut self, ctx: &mut Context<Wave>) {
+            for j in 0..self.n {
+                let j = NodeId(j as u32);
+                if j != self.id {
+                    ctx.send(j, Wave);
+                }
+            }
+        }
+    }
+
+    impl Protocol for FloodNode {
+        type Message = Wave;
+        fn on_start(&mut self, ctx: &mut Context<Wave>) {
+            if self.id == NodeId(0) {
+                self.forwarded = true;
+                self.flood(ctx);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: Wave, ctx: &mut Context<Wave>) {
+            if !self.forwarded {
+                self.forwarded = true;
+                self.heard_in_round = Some(ctx.now());
+                self.flood(ctx);
+            }
+        }
+    }
+
+    fn flood_nodes(n: usize) -> Vec<FloodNode> {
+        (0..n)
+            .map(|i| FloodNode {
+                id: NodeId(i as u32),
+                n,
+                forwarded: false,
+                heard_in_round: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flood_completes_in_two_rounds() {
+        let mut r = SyncRunner::new(flood_nodes(6));
+        let out = r.run();
+        assert!(out.quiescent);
+        // Round 1 delivers node 0's wave; round 2 delivers the echoes.
+        assert_eq!(out.rounds, 2);
+        assert!(r.nodes().all(|n| n.forwarded));
+        for node in r.nodes() {
+            if node.id != NodeId(0) {
+                assert_eq!(node.heard_in_round, Some(1));
+            }
+        }
+        // 5 from node 0, then each of the other 5 nodes floods to 5 peers.
+        assert_eq!(r.stats().sent, 30);
+        assert_eq!(r.stats().delivered, 30);
+    }
+
+    #[test]
+    fn round_guard() {
+        // Ping-pong forever between two nodes.
+        struct PingPong {
+            id: NodeId,
+        }
+        #[derive(Clone, Debug)]
+        struct Ball;
+        impl Payload for Ball {}
+        impl Protocol for PingPong {
+            type Message = Ball;
+            fn on_start(&mut self, ctx: &mut Context<Ball>) {
+                if self.id == NodeId(0) {
+                    ctx.send(NodeId(1), Ball);
+                }
+            }
+            fn on_message(&mut self, from: NodeId, _m: Ball, ctx: &mut Context<Ball>) {
+                ctx.send(from, Ball);
+            }
+        }
+        let nodes = vec![PingPong { id: NodeId(0) }, PingPong { id: NodeId(1) }];
+        let mut r = SyncRunner::new(nodes).with_max_rounds(10);
+        let out = r.run();
+        assert!(!out.quiescent);
+        assert_eq!(out.rounds, 10);
+    }
+
+    /// Node 0 waits on a timer chain: arm t+3, fire, arm t+5, fire, done.
+    struct TimerChain {
+        fired_at: Vec<u64>,
+    }
+    #[derive(Clone, Debug)]
+    struct Nothing;
+    impl Payload for Nothing {}
+    impl Protocol for TimerChain {
+        type Message = Nothing;
+        fn on_start(&mut self, ctx: &mut Context<Nothing>) {
+            ctx.set_timer(3, 1);
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Nothing, _c: &mut Context<Nothing>) {}
+        fn on_timer(&mut self, tag: u64, ctx: &mut Context<Nothing>) {
+            self.fired_at.push(ctx.now());
+            if tag == 1 {
+                ctx.set_timer(5, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn sync_timers_fire_across_empty_rounds() {
+        let mut r = SyncRunner::new(vec![TimerChain { fired_at: vec![] }]);
+        let out = r.run();
+        assert!(out.quiescent);
+        // First timer at round 3, second at round 3 + 5 = 8.
+        assert_eq!(r.node(NodeId(0)).fired_at, vec![3, 8]);
+        assert_eq!(r.stats().timers_fired, 2);
+        assert_eq!(out.rounds, 8, "rounds fast-forward to timer firings");
+    }
+
+    #[test]
+    fn idle_network_quiesces_immediately() {
+        struct Quiet;
+        #[derive(Clone, Debug)]
+        struct Never;
+        impl Payload for Never {}
+        impl Protocol for Quiet {
+            type Message = Never;
+            fn on_start(&mut self, _ctx: &mut Context<Never>) {}
+            fn on_message(&mut self, _f: NodeId, _m: Never, _c: &mut Context<Never>) {}
+        }
+        let mut r = SyncRunner::new(vec![Quiet, Quiet]);
+        let out = r.run();
+        assert!(out.quiescent);
+        assert_eq!(out.rounds, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Event traces for debugging and for the termination/ordering tests.
+
+use crate::{NodeId, SimTime};
+
+/// One recorded network event.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TraceEvent {
+    /// A message was handed to the network.
+    Sent {
+        /// Simulated send time.
+        time: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Payload kind label.
+        kind: &'static str,
+    },
+    /// A message was delivered to its destination's handler.
+    Delivered {
+        /// Simulated delivery time.
+        time: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Payload kind label.
+        kind: &'static str,
+    },
+    /// A message was dropped (loss or dead destination).
+    Dropped {
+        /// Time the drop was decided.
+        time: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Payload kind label.
+        kind: &'static str,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated time of the event.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::Sent { time, .. }
+            | TraceEvent::Delivered { time, .. }
+            | TraceEvent::Dropped { time, .. } => time,
+        }
+    }
+}
+
+/// An append-only event log. Disabled by default (zero cost when off).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Creates a disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// The recorded events, in occurrence order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Delivered events only.
+    pub fn deliveries(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(TraceEvent::Sent {
+            time: 1,
+            from: NodeId(0),
+            to: NodeId(1),
+            kind: "X",
+        });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.push(TraceEvent::Sent {
+            time: 1,
+            from: NodeId(0),
+            to: NodeId(1),
+            kind: "X",
+        });
+        t.push(TraceEvent::Delivered {
+            time: 3,
+            from: NodeId(0),
+            to: NodeId(1),
+            kind: "X",
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].time(), 1);
+        assert_eq!(t.deliveries().count(), 1);
+    }
+}

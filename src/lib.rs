@@ -1,0 +1,42 @@
+//! # overlays-preferences
+//!
+//! Full reproduction of Georgiadis & Papatriantafilou, *Overlays with
+//! preferences: Approximation algorithms for matching with preference
+//! lists* (IPDPS 2010; Chalmers TR 09-06).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`owp_graph`] — graph substrate (storage, generators, preference
+//!   lists, quotas, properties, I/O);
+//! * [`owp_simnet`] — discrete-event message-passing simulator (the
+//!   distributed substrate LID runs on);
+//! * [`owp_matching`] — satisfaction metric, eq. 9 weights, LIC, baselines,
+//!   exact solvers, stability machinery, verification, bounds;
+//! * [`owp_core`] — the LID protocol and the overlay-construction API.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! Runnable examples live in `examples/`; start with
+//! `cargo run --example quickstart`.
+
+#![forbid(unsafe_code)]
+
+pub use owp_core;
+pub use owp_graph;
+pub use owp_matching;
+pub use owp_simnet;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use owp_core::metric::{
+        Composite, DistanceMetric, InterestSimilarity, RandomTaste, ResourceCapacity,
+        SuitabilityMetric, TransactionHistory,
+    };
+    pub use owp_core::overlay::{Overlay, OverlayBuilder, OverlayNetwork};
+    pub use owp_core::{run_lid, run_lid_sync, ChurnSim, DisclosureReport, LidResult};
+    pub use owp_graph::{Graph, GraphBuilder, NodeId, PreferenceTable, Quotas};
+    pub use owp_matching::{
+        lic, BMatching, MatchingReport, Problem, SelectionPolicy,
+    };
+    pub use owp_simnet::{FaultPlan, LatencyModel, SimConfig};
+}

@@ -1,0 +1,80 @@
+//! Integration: Lemma 2's load-bearing identity.
+//!
+//! Lemma 2 proves the modified b-matching problem and the many-to-many
+//! weighted matching have the same solutions because the objectives are
+//! *equal*: for any edge set `A` respecting quotas,
+//! `Σ_{(i,j)∈A} w(i,j) = Σ_i S̄_i` (eq. 10 ⇔ eq. 12). We verify the identity
+//! numerically for arbitrary matchings, not just optimal ones — it is a
+//! property of the weight construction itself.
+
+use owp_matching::baselines::{global_greedy, random_maximal, rank_greedy};
+use owp_matching::{BMatching, Problem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Total modified satisfaction minus the `+1` convention constant of
+/// quota-0 nodes (which hold no connections and contribute no weight).
+fn modified_total_adjusted(p: &Problem, m: &BMatching) -> f64 {
+    let zero_quota = p.nodes().filter(|&i| p.quotas.get(i) == 0).count() as f64;
+    m.total_satisfaction_modified(p) - zero_quota
+}
+
+#[test]
+fn weight_equals_modified_satisfaction_for_greedy_outputs() {
+    for seed in 0..20 {
+        let p = Problem::random_gnp(30, 0.3, 3, seed);
+        for m in [global_greedy(&p), random_maximal(&p, seed), rank_greedy(&p)] {
+            let w = m.total_weight(&p);
+            let s = modified_total_adjusted(&p, &m);
+            assert!(
+                (w - s).abs() < 1e-9,
+                "seed {seed}: Σw = {w} but ΣS̄ = {s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn identity_holds_for_arbitrary_partial_matchings() {
+    // Not just maximal outputs: take random feasible subsets.
+    for seed in 0..20 {
+        let p = Problem::random_gnp(25, 0.35, 2, 100 + seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = BMatching::empty(&p.graph);
+        let mut quota: Vec<u32> = p.nodes().map(|i| p.quotas.get(i)).collect();
+        for e in p.graph.edges() {
+            if rng.gen_range(0.0..1.0) < 0.3 {
+                let (u, v) = p.graph.endpoints(e);
+                if quota[u.index()] > 0 && quota[v.index()] > 0 {
+                    quota[u.index()] -= 1;
+                    quota[v.index()] -= 1;
+                    m.insert(&p, e);
+                }
+            }
+        }
+        let w = m.total_weight(&p);
+        let s = modified_total_adjusted(&p, &m);
+        assert!((w - s).abs() < 1e-9, "seed {seed}: {w} vs {s}");
+    }
+}
+
+#[test]
+fn identity_holds_with_zero_quota_nodes() {
+    use owp_graph::{PreferenceTable, Quotas};
+    let g = owp_graph::generators::complete(8);
+    let prefs = PreferenceTable::by_node_id(&g);
+    let quotas = Quotas::from_vec(&g, vec![0, 2, 2, 0, 1, 3, 2, 1]);
+    let p = Problem::new(g, prefs, quotas);
+    let m = global_greedy(&p);
+    let w = m.total_weight(&p);
+    let s = modified_total_adjusted(&p, &m);
+    assert!((w - s).abs() < 1e-9, "{w} vs {s}");
+}
+
+#[test]
+fn empty_matching_identity() {
+    let p = Problem::random_gnp(10, 0.4, 2, 7);
+    let m = BMatching::empty(&p.graph);
+    assert_eq!(m.total_weight(&p), 0.0);
+    assert!((modified_total_adjusted(&p, &m)).abs() < 1e-12);
+}

@@ -1,0 +1,145 @@
+//! Property-based tests (proptest) over randomly generated instances:
+//! the core invariants must hold for *arbitrary* graphs, preference
+//! permutations and quota vectors, not just the seeds the unit tests picked.
+
+use owp_core::run_lid;
+use owp_graph::{GraphBuilder, NodeId, PreferenceTable, Quotas};
+use owp_matching::lic::{lic, SelectionPolicy};
+use owp_matching::numeric::Rational;
+use owp_matching::satisfaction::{node_satisfaction, node_satisfaction_modified};
+use owp_matching::{verify, Problem};
+use owp_simnet::{LatencyModel, SimConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random simple graph with n ∈ [2, 24] nodes and a random
+/// subset of possible edges, plus a quota seed and preference seed.
+fn instance_strategy() -> impl Strategy<Value = Problem> {
+    (2usize..24, any::<u64>(), 0u32..5, any::<u64>()).prop_map(|(n, edge_seed, b, pref_seed)| {
+        let mut rng = StdRng::seed_from_u64(edge_seed);
+        let g = owp_graph::generators::erdos_renyi(n, 0.4, &mut rng);
+        let mut prng = StdRng::seed_from_u64(pref_seed);
+        let prefs = PreferenceTable::random(&g, &mut prng);
+        let quotas = Quotas::random_range(&g, 0, b.max(1), &mut prng);
+        Problem::new(g, prefs, quotas)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lic_output_is_valid_maximal_and_certified(p in instance_strategy()) {
+        let m = lic(&p, SelectionPolicy::InOrder);
+        prop_assert!(verify::check_valid(&p, &m).is_ok());
+        prop_assert!(verify::check_maximal(&p, &m).is_ok());
+        prop_assert!(verify::check_greedy_certificate(&p, &m).is_ok());
+    }
+
+    #[test]
+    fn lic_is_confluent(p in instance_strategy(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = lic(&p, SelectionPolicy::Random(s1));
+        let b = lic(&p, SelectionPolicy::Random(s2));
+        prop_assert!(a.same_edges(&b), "selection order changed the matching");
+    }
+
+    #[test]
+    fn lid_equals_lic_under_random_latency(p in instance_strategy(), seed in any::<u64>()) {
+        let c = lic(&p, SelectionPolicy::InOrder);
+        let cfg = SimConfig::with_seed(seed).latency(LatencyModel::Uniform { lo: 1, hi: 64 });
+        let d = run_lid(&p, cfg);
+        prop_assert!(d.terminated, "Lemma 5 violated");
+        prop_assert_eq!(d.asymmetric_locks, 0);
+        prop_assert!(d.matching.same_edges(&c), "Theorem 3 premise violated");
+    }
+
+    #[test]
+    fn satisfaction_stays_in_unit_interval(p in instance_strategy()) {
+        let m = lic(&p, SelectionPolicy::InOrder);
+        for i in p.nodes() {
+            let s = node_satisfaction(&p.prefs, &p.quotas, i, m.connections(i));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "S_{i:?} = {s}");
+            let sm = node_satisfaction_modified(&p.prefs, &p.quotas, i, m.connections(i));
+            prop_assert!(sm <= s + 1e-12, "modified ≤ true satisfaction");
+        }
+    }
+
+    #[test]
+    fn weights_are_positive_and_keys_strictly_ordered(p in instance_strategy()) {
+        let g = &p.graph;
+        let mut keys: Vec<_> = g.edges().map(|e| p.weights.key(g, e)).collect();
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            if p.quotas.get(u) > 0 && p.quotas.get(v) > 0 {
+                prop_assert!(p.weights.get(e).is_positive());
+            }
+        }
+        keys.sort();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rational_arithmetic_laws(
+        a in -1000i128..1000, b in 1i128..1000,
+        c in -1000i128..1000, d in 1i128..1000,
+    ) {
+        let x = Rational::new(a, b);
+        let y = Rational::new(c, d);
+        // Commutativity and exact f64 agreement on ordering (values are
+        // small enough for f64 to be exact up to rounding ties).
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y) - y, x);
+        let cmp_exact = x.cmp(&y);
+        let diff = x.to_f64() - y.to_f64();
+        if diff.abs() > 1e-9 {
+            prop_assert_eq!(cmp_exact == std::cmp::Ordering::Greater, diff > 0.0);
+        }
+    }
+
+    #[test]
+    fn graph_builder_handles_arbitrary_edge_lists(
+        n in 1usize..30,
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 0..80),
+    ) {
+        let mut b = GraphBuilder::new(n);
+        let mut expected = std::collections::BTreeSet::new();
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v {
+                b.add_edge(NodeId(u), NodeId(v));
+                expected.insert((u.min(v), u.max(v)));
+            }
+        }
+        let g = b.build();
+        prop_assert_eq!(g.edge_count(), expected.len());
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            prop_assert!(expected.contains(&(u.0, v.0)));
+            prop_assert_eq!(g.edge_between(u, v), Some(e));
+        }
+        let handshake: usize = g.nodes().map(|i| g.degree(i)).sum();
+        prop_assert_eq!(handshake, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn churn_repair_never_reduces_active_satisfaction(
+        p in instance_strategy(),
+        leavers in proptest::collection::vec(0usize..24, 1..5),
+    ) {
+        use owp_core::ChurnSim;
+        let m = lic(&p, SelectionPolicy::InOrder);
+        let mut sim = ChurnSim::new(&p, m);
+        for &l in &leavers {
+            let i = NodeId((l % p.node_count()) as u32);
+            if sim.is_active(i) {
+                sim.leave(i);
+            }
+        }
+        let before = sim.active_satisfaction();
+        sim.repair();
+        let after = sim.active_satisfaction();
+        prop_assert!(after >= before - 1e-9, "repair reduced satisfaction");
+        prop_assert!(verify::check_valid(&p, sim.matching()).is_ok());
+    }
+}

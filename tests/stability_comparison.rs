@@ -1,0 +1,134 @@
+//! Integration: the paper's core argument against stability-seeking.
+//!
+//! Gai et al. guarantee stabilization only for *acyclic* preference systems;
+//! arbitrary private metrics create cycles, and then better-response
+//! dynamics can run forever with no stable state existing at all. The
+//! paper's move: optimize satisfaction through eq. 9's *symmetric* weights,
+//! whose induced "weight lists" are always acyclic — so LID always
+//! terminates, cycles or not (§5, Lemma 5).
+
+use owp_core::run_lid;
+use owp_graph::{NodeId, PreferenceTable};
+use owp_matching::bounds::overall_bound;
+use owp_matching::exact::{optimal_satisfaction, DEFAULT_BUDGET};
+use owp_matching::stable::acyclic::{is_acyclic, rps_gadget};
+use owp_matching::stable::blocking::is_stable;
+use owp_matching::stable::dynamics::better_response_from_empty;
+use owp_matching::Problem;
+use owp_simnet::SimConfig;
+
+#[test]
+fn rps_gadget_has_no_stable_matching_but_lid_delivers() {
+    let p = rps_gadget();
+    assert!(!is_acyclic(&p.graph, &p.prefs), "the gadget is cyclic");
+
+    // Stability-seeking: exhaustive check that NO matching is stable, and
+    // dynamics run to the cap.
+    use owp_matching::BMatching;
+    for e in p.graph.edges() {
+        let m = BMatching::from_edges(&p, [e]);
+        assert!(!is_stable(&p, &m), "{e:?} should be blocked");
+    }
+    assert!(!is_stable(&p, &BMatching::empty(&p.graph)));
+    let (_, out) = better_response_from_empty(&p, 5_000);
+    assert!(!out.converged);
+
+    // The paper's approach: LID terminates and meets the Theorem 3 floor.
+    let lid = run_lid(&p, SimConfig::with_seed(1));
+    assert!(lid.terminated);
+    let achieved = lid.matching.total_satisfaction(&p);
+    let opt = optimal_satisfaction(&p, DEFAULT_BUDGET)
+        .matching
+        .total_satisfaction(&p);
+    assert!(achieved >= overall_bound(p.bmax()) * opt - 1e-9);
+}
+
+/// The "weight lists" LID actually ranks by (neighbours ordered by eq. 9
+/// edge weight) form an acyclic preference system for *every* instance —
+/// the §5 observation that makes termination unconditional.
+#[test]
+fn weight_lists_are_always_acyclic() {
+    for seed in 0..25 {
+        let p = Problem::random_gnp(20, 0.35, 3, seed);
+        // Original (random) preferences are often cyclic…
+        let _maybe_cyclic = is_acyclic(&p.graph, &p.prefs);
+        // …but the weight-induced lists never are.
+        let weight_lists = PreferenceTable::by_score(&p.graph, |i, j| {
+            let e = p.graph.edge_between(i, j).expect("neighbour");
+            p.weights.get_f64(e)
+        });
+        assert!(
+            is_acyclic(&p.graph, &weight_lists),
+            "seed {seed}: symmetric weights must induce an acyclic system"
+        );
+    }
+}
+
+#[test]
+fn random_preferences_are_frequently_cyclic() {
+    // Confirm the premise: heterogeneous metrics really do create cycles
+    // (otherwise the paper's complaint about Gai et al.'s restriction would
+    // be moot).
+    let mut cyclic = 0;
+    for seed in 0..25 {
+        let p = Problem::random_gnp(20, 0.35, 3, 500 + seed);
+        if !is_acyclic(&p.graph, &p.prefs) {
+            cyclic += 1;
+        }
+    }
+    assert!(cyclic > 15, "only {cyclic}/25 cyclic — premise too weak?");
+}
+
+#[test]
+fn lid_output_is_stable_under_its_own_weight_lists() {
+    // The paper (§5): "a new b-matching problem arises when they try to
+    // cooperate … this new b-matching problem always converges … due to the
+    // symmetric nature of the edge weights". Formally: the locally-heaviest
+    // matching has no blocking pair w.r.t. the preference system induced by
+    // the very weight lists LID ranks by — we check exactly that.
+    for seed in 0..12 {
+        let p = Problem::random_gnp(18, 0.4, 2, 700 + seed);
+        let lid = run_lid(&p, SimConfig::with_seed(seed));
+        assert!(lid.terminated);
+
+        // Preference system = p's weight lists, ordered by the exact
+        // EdgeKey total order LID itself ranks by (an f64 `by_score` view
+        // can break exact-rational ties differently).
+        let lists: Vec<Vec<owp_graph::NodeId>> = p
+            .graph
+            .nodes()
+            .map(|i| {
+                let mut nbrs: Vec<(owp_matching::EdgeKey, owp_graph::NodeId)> = p
+                    .graph
+                    .neighbors(i)
+                    .iter()
+                    .map(|&(j, e)| (p.weights.key(&p.graph, e), j))
+                    .collect();
+                nbrs.sort_by_key(|&(key, _)| std::cmp::Reverse(key));
+                nbrs.into_iter().map(|(_, j)| j).collect()
+            })
+            .collect();
+        let weight_lists = PreferenceTable::from_lists(&p.graph, lists).expect("valid");
+        let weight_view =
+            Problem::new(p.graph.clone(), weight_lists, p.quotas.clone());
+        assert!(
+            is_stable(&weight_view, &lid.matching),
+            "seed {seed}: LID's matching must be blocking-pair-free under its weight lists"
+        );
+
+        // And that system is acyclic, so dynamics converge on it too.
+        let (dyn_m, out) = better_response_from_empty(&weight_view, 100_000);
+        assert!(out.converged, "acyclic ⇒ dynamics converge");
+        assert!(is_stable(&weight_view, &dyn_m));
+    }
+}
+
+#[test]
+fn node_ids_check() {
+    // Guard the gadget construction against silent renumbering.
+    let p = rps_gadget();
+    assert_eq!(p.node_count(), 3);
+    assert_eq!(p.prefs.list(NodeId(0))[0], NodeId(1));
+    assert_eq!(p.prefs.list(NodeId(1))[0], NodeId(2));
+    assert_eq!(p.prefs.list(NodeId(2))[0], NodeId(0));
+}
