@@ -2,8 +2,10 @@
 //! selection-policy ablation (same output, different traversal cost).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use owp_matching::lic::{lic, SelectionPolicy};
+use owp_matching::lic::{lic, lic_reference, SelectionPolicy};
 use owp_matching::Problem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_lic_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("lic_scaling");
@@ -26,6 +28,26 @@ fn bench_lic_policies(c: &mut Criterion) {
     group.finish();
 }
 
+/// The headline number for the integer-rank kernel: LIC on a 10⁵-node
+/// Barabási–Albert overlay (b = 4), rank-based worklist vs the key-based
+/// reference implementation it replaced. Same output (see
+/// `tests/rank_equivalence.rs`); only the representation differs.
+fn bench_lic_large(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = owp_graph::generators::barabasi_albert(100_000, 4, &mut rng);
+    let p = Problem::random_over(g, 4, 99);
+    let mut group = c.benchmark_group("lic_large_ba_1e5");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(p.edge_count() as u64));
+    group.bench_function("rank_kernel", |b| {
+        b.iter(|| lic(&p, SelectionPolicy::InOrder))
+    });
+    group.bench_function("key_reference", |b| {
+        b.iter(|| lic_reference(&p, SelectionPolicy::InOrder))
+    });
+    group.finish();
+}
+
 fn bench_quota_effect(c: &mut Criterion) {
     let mut group = c.benchmark_group("lic_quota_effect");
     for &b in &[1u32, 4, 16] {
@@ -37,5 +59,11 @@ fn bench_quota_effect(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lic_scaling, bench_lic_policies, bench_quota_effect);
+criterion_group!(
+    benches,
+    bench_lic_scaling,
+    bench_lic_policies,
+    bench_lic_large,
+    bench_quota_effect
+);
 criterion_main!(benches);

@@ -7,7 +7,7 @@ use owp_graph::{PreferenceTable, Quotas};
 use owp_matching::weights::{edges_by_weight_desc, EdgeWeights};
 use owp_matching::{Problem, Rational};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn bench_weight_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("weights_construction");
@@ -38,6 +38,54 @@ fn bench_sort_rational_vs_f64(c: &mut Criterion) {
             let mut idx: Vec<usize> = (0..f64s.len()).collect();
             idx.sort_by(|&a, &c| f64s[c].partial_cmp(&f64s[a]).expect("no NaN"));
             idx
+        })
+    });
+    group.finish();
+}
+
+/// The heart of the rank-kernel argument: answering "is edge `a` heavier
+/// than edge `b`?" by dense `u32` rank compare vs exact `EdgeKey`
+/// (`Rational` cross-multiplication) vs lossy `f64` compare, over the same
+/// random pair stream on the same instance.
+fn bench_compare_ablation(c: &mut Criterion) {
+    let p = Problem::random_gnp(800, 0.05, 4, 3);
+    let g = &p.graph;
+    let w = &p.weights;
+    let m = g.edge_count();
+    let mut rng = StdRng::seed_from_u64(11);
+    let pairs: Vec<(owp_graph::EdgeId, owp_graph::EdgeId)> = (0..4096)
+        .map(|_| {
+            let a = rng.gen_range(0..m);
+            let b = rng.gen_range(0..m);
+            (owp_graph::EdgeId(a as u32), owp_graph::EdgeId(b as u32))
+        })
+        .collect();
+    let keys: Vec<_> = g.edges().map(|e| w.key(g, e)).collect();
+    let f64s: Vec<f64> = g.edges().map(|e| w.get_f64(e)).collect();
+
+    let mut group = c.benchmark_group("weight_compare_ablation");
+    group.bench_function("rank_u32", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(a, bb)| p.order.heavier(a, bb))
+                .count()
+        })
+    });
+    group.bench_function("exact_edgekey", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(a, bb)| keys[a.index()] > keys[bb.index()])
+                .count()
+        })
+    });
+    group.bench_function("f64_lossy", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(a, bb)| f64s[a.index()] > f64s[bb.index()])
+                .count()
         })
     });
     group.finish();
@@ -75,6 +123,7 @@ criterion_group!(
     benches,
     bench_weight_construction,
     bench_sort_rational_vs_f64,
+    bench_compare_ablation,
     bench_rational_ops
 );
 criterion_main!(benches);

@@ -1,8 +1,13 @@
 //! Experiment runner: regenerates every table/figure of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! experiments <e1|e2|...|e11|all> [--quick]
+//! experiments <e1|e2|...|e17|all> [--quick] [--json]
 //! ```
+//!
+//! With `--json`, each experiment additionally writes its tables to
+//! `BENCH_<id>.json` in the current directory (e.g. `experiments e15 --json`
+//! produces `BENCH_e15.json`) so perf numbers can be tracked across commits
+//! without scraping stdout.
 
 use owp_bench::experiments;
 use std::time::Instant;
@@ -10,10 +15,18 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.starts_with("--") && *a != "--quick" && *a != "--json")
+    {
+        eprintln!("unknown flag: {bad}");
+        std::process::exit(2);
+    }
     let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
 
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e11|all> [--quick]");
+        eprintln!("usage: experiments <e1..e17|all> [--quick] [--json]");
         eprintln!("known experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
     }
@@ -28,11 +41,23 @@ fn main() {
         let start = Instant::now();
         match experiments::run(id, quick) {
             Some(tables) => {
-                for t in tables {
+                for t in &tables {
                     println!();
                     t.print();
                 }
-                println!("[{id} done in {:.1?}]", start.elapsed());
+                let elapsed = start.elapsed();
+                if json {
+                    let path = format!("BENCH_{id}.json");
+                    let doc = experiments::tables_to_json(id, quick, elapsed, &tables);
+                    match std::fs::write(&path, doc) {
+                        Ok(()) => println!("[{id}: wrote {path}]"),
+                        Err(e) => {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                println!("[{id} done in {elapsed:.1?}]");
             }
             None => {
                 eprintln!("unknown experiment id: {id}");

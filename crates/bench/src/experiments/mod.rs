@@ -54,6 +54,28 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
     Some(tables)
 }
 
+/// Serializes an experiment's tables as the `BENCH_<id>.json` document:
+/// `{"experiment", "quick", "elapsed_ms", "tables": [...]}`. Hand-rolled —
+/// the schema is four keys and [`Table::to_json`] does the heavy lifting.
+pub fn tables_to_json(id: &str, quick: bool, elapsed: std::time::Duration, tables: &[Table]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"experiment\":\"");
+    out.push_str(id);
+    out.push_str("\",\"quick\":");
+    out.push_str(if quick { "true" } else { "false" });
+    out.push_str(",\"elapsed_ms\":");
+    out.push_str(&format!("{:.1}", elapsed.as_secs_f64() * 1e3));
+    out.push_str(",\"tables\":[");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push_str("]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +109,14 @@ mod tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(run("e99", true).is_none());
+    }
+
+    #[test]
+    fn json_document_has_the_expected_shape() {
+        let tables = run("e1", true).expect("e1 runs");
+        let doc = tables_to_json("e1", true, std::time::Duration::from_millis(12), &tables);
+        assert!(doc.starts_with("{\"experiment\":\"e1\",\"quick\":true,\"elapsed_ms\":12.0,"));
+        assert!(doc.contains("\"tables\":[{\"title\":"));
+        assert!(doc.ends_with("]}\n"));
     }
 }

@@ -81,6 +81,76 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Renders the table as a JSON object
+    /// (`{"title", "headers", "rows", "notes"}`). Cells that are plain
+    /// numbers are emitted as JSON numbers so downstream tooling can plot
+    /// them without re-parsing; everything else becomes a string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"title\":");
+        out.push_str(&json_string(&self.title));
+        out.push_str(",\"headers\":[");
+        push_joined(&mut out, &self.headers, |h| json_string(h));
+        out.push_str("],\"rows\":[");
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            push_joined(&mut out, row, |c| json_cell(c));
+            out.push(']');
+        }
+        out.push_str("],\"notes\":[");
+        push_joined(&mut out, &self.notes, |n| json_string(n));
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_joined<T, F: Fn(&T) -> String>(out: &mut String, items: &[T], f: F) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&f(item));
+    }
+}
+
+/// JSON string literal with the escapes the JSON grammar requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A cell that is a finite decimal number round-trips as a JSON number;
+/// anything else (units, ratios, text) is quoted.
+fn json_cell(cell: &str) -> String {
+    let numeric = !cell.is_empty()
+        && cell
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        && cell.parse::<f64>().map(f64::is_finite).unwrap_or(false);
+    if numeric {
+        cell.to_string()
+    } else {
+        json_string(cell)
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +172,19 @@ mod tests {
         let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
         assert_eq!(lines[0].len(), lines[1].len());
         assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    fn json_export_types_cells() {
+        let mut t = Table::new("ex \"15\"", &["n", "LID ms", "kind"]);
+        t.row(vec!["100000".into(), "43.5".into(), "async".into()]);
+        t.note("line\nbreak");
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"title\":\"ex \\\"15\\\"\",\"headers\":[\"n\",\"LID ms\",\"kind\"],\
+             \"rows\":[[100000,43.5,\"async\"]],\"notes\":[\"line\\nbreak\"]}"
+        );
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub struct LidNode {
     id: NodeId,
     quota: u32,
     /// Neighbours sorted by the weight list (edge weight descending under
-    /// the strict [`owp_matching::EdgeKey`] order) — the auxiliary list the
+    /// the strict [`owp_matching::EdgeKey`] order, realized as ascending
+    /// [`owp_matching::EdgeRank`] integer ranks) — the auxiliary list the
     /// paper builds from the exchanged `ΔS̄` values.
     ranked: Vec<NodeId>,
     /// Cursor into `ranked`: everything before it is proposed-to or resolved.
@@ -76,13 +77,15 @@ impl LidNode {
 
     fn new(problem: &Problem, id: NodeId) -> Self {
         let g = &problem.graph;
-        let w = &problem.weights;
-        let mut ranked: Vec<(owp_matching::EdgeKey, NodeId)> = g
+        // Rank ascending = weight descending: the per-node candidate list
+        // sorts on dense `u32` ranks from the precomputed EdgeOrder kernel,
+        // so no `Rational` comparison happens after Problem construction.
+        let mut ranked: Vec<(owp_matching::EdgeRank, NodeId)> = g
             .neighbors(id)
             .iter()
-            .map(|&(j, e)| (w.key(g, e), j))
+            .map(|&(j, e)| (problem.order.rank(e), j))
             .collect();
-        ranked.sort_by_key(|&(key, _)| std::cmp::Reverse(key));
+        ranked.sort_unstable_by_key(|&(rank, _)| rank);
         LidNode {
             id,
             quota: problem.quotas.get(id),
@@ -278,9 +281,11 @@ pub(crate) fn extract_matching_from<'a, I: Iterator<Item = &'a LidNode>>(
     (BMatching::from_edges(problem, edges), asymmetric)
 }
 
-/// Runs LID on the asynchronous simulator.
+/// Runs LID on the asynchronous simulator. LID only messages along overlay
+/// edges, so the simulator gets the topology up front and FIFO clamping runs
+/// on the dense per-link array.
 pub fn run_lid(problem: &Problem, config: SimConfig) -> LidResult {
-    let mut sim = Simulator::new(build_nodes(problem), config);
+    let mut sim = Simulator::with_topology(build_nodes(problem), config, &problem.graph);
     let out: RunOutcome = sim.run();
     let terminated = out.quiescent && sim.nodes().all(|n| n.is_terminated());
     let (matching, asymmetric_locks) = extract_matching_from(problem, sim.nodes());

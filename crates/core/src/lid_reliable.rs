@@ -114,7 +114,7 @@ pub fn run_lid_reliable(problem: &Problem, config: SimConfig, interval: SimTime)
         .nodes()
         .map(|i| ReliableLidNode::new(problem, i, interval))
         .collect();
-    let mut sim = Simulator::new(nodes, config);
+    let mut sim = Simulator::with_topology(nodes, config, &problem.graph);
     let out = sim.run();
     let terminated = out.quiescent && sim.nodes().all(|n| n.is_terminated());
     let (matching, asymmetric_locks) =

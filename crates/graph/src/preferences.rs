@@ -57,18 +57,27 @@ pub struct PreferenceTable {
 
 impl PreferenceTable {
     fn from_lists_unchecked(lists: Vec<Vec<NodeId>>) -> Self {
-        let ranks = lists
-            .iter()
-            .map(|list| {
-                let mut r: Vec<(NodeId, Rank)> = list
-                    .iter()
-                    .enumerate()
-                    .map(|(rank, &j)| (j, rank as Rank))
-                    .collect();
-                r.sort_unstable_by_key(|&(j, _)| j);
-                r
-            })
-            .collect();
+        let build = |list: &[NodeId]| {
+            let mut r: Vec<(NodeId, Rank)> = list
+                .iter()
+                .enumerate()
+                .map(|(rank, &j)| (j, rank as Rank))
+                .collect();
+            r.sort_unstable_by_key(|&(j, _)| j);
+            r
+        };
+        // The per-node rank arrays are a pure function of each list, so the
+        // `parallel` build produces exactly the sequential result.
+        #[cfg(feature = "parallel")]
+        let ranks = {
+            use rayon::prelude::*;
+            (0..lists.len())
+                .into_par_iter()
+                .map(|i| build(&lists[i]))
+                .collect()
+        };
+        #[cfg(not(feature = "parallel"))]
+        let ranks = lists.iter().map(|list| build(list)).collect();
         PreferenceTable { lists, ranks }
     }
 

@@ -8,6 +8,8 @@
 //!   Figure 1 example exactly;
 //! * [`numeric`] / [`weights`] — exact rational eq. 9 edge weights with the
 //!   identity tie-break giving the strict total order every lemma assumes;
+//! * [`order`] — the dense integer edge-rank kernel: the exact order is paid
+//!   for once, every hot path thereafter compares `u32` ranks;
 //! * [`problem`] / [`bmatching`] — instance bundle and matching result types;
 //! * [`lic`](mod@lic) — Algorithm 2 (LIC), the locally-heaviest-edge greedy, with
 //!   pluggable selection policies (confluence property-tested);
@@ -42,6 +44,7 @@ pub mod flow;
 pub mod lic;
 pub mod metrics;
 pub mod numeric;
+pub mod order;
 pub mod problem;
 pub mod satisfaction;
 pub mod stable;
@@ -52,5 +55,6 @@ pub use bmatching::BMatching;
 pub use lic::{lic, SelectionPolicy};
 pub use metrics::MatchingReport;
 pub use numeric::Rational;
+pub use order::{EdgeOrder, EdgeRank};
 pub use problem::Problem;
 pub use weights::{EdgeKey, EdgeWeights};

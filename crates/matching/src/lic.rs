@@ -12,11 +12,19 @@
 //! LID (Lemmas 4 & 6) and it is property-tested here across selection
 //! policies.
 //!
-//! Implementation: the classic dominant-edge worklist. Each node keeps its
-//! incident edges sorted heaviest-first with a cursor; an edge is locally
-//! heaviest exactly when it is the current top edge of *both* endpoints.
-//! Every pool change re-queues the affected nodes, so the scan is
-//! O(m log m) overall.
+//! Implementation: the classic dominant-edge worklist on the integer rank
+//! kernel. The per-node incident lists live in one flat CSR array
+//! (`offsets` + a contiguous `incident` buffer), each node's slice sorted by
+//! global [`crate::EdgeOrder`] rank — built in O(n + m) by scattering the
+//! edges in global rank order, with **zero** weight comparisons. An edge is
+//! locally heaviest exactly when it is the current top edge of *both*
+//! endpoints; cursor advancement and top-edge checks are integer compares,
+//! so no `Rational` is touched after `Problem` construction.
+//!
+//! [`lic_reference`] keeps the original per-node key-sorted formulation
+//! (exact `EdgeKey` comparisons throughout). It exists to cross-check the
+//! rank kernel — the equivalence test in `tests/` asserts bit-identical
+//! matchings — and as the before/after baseline for `bench_lic`.
 
 use crate::bmatching::BMatching;
 use crate::problem::Problem;
@@ -40,10 +48,14 @@ pub enum SelectionPolicy {
 
 struct State<'p> {
     problem: &'p Problem,
-    /// Per node: incident edges, heaviest first.
-    incident: Vec<Vec<EdgeId>>,
-    /// Per node: cursor into `incident` (everything before it is removed).
-    cursor: Vec<usize>,
+    /// CSR offsets: node `i`'s incident slice is `incident[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    /// Flat incident-edge buffer; each node's slice sorted by global rank
+    /// ascending (heaviest first).
+    incident: Vec<EdgeId>,
+    /// Per node: absolute cursor into `incident` (everything in the node's
+    /// slice before it is removed).
+    cursor: Vec<u32>,
     /// Per edge: removed from the pool (selected or discarded).
     removed: Vec<bool>,
     /// Per node: remaining quota (Algorithm 2's `counter`).
@@ -56,20 +68,32 @@ struct State<'p> {
 impl<'p> State<'p> {
     fn new(problem: &'p Problem) -> Self {
         let g = &problem.graph;
-        let w = &problem.weights;
-        let incident: Vec<Vec<EdgeId>> = g
-            .nodes()
-            .map(|i| {
-                let mut edges: Vec<EdgeId> = g.neighbors(i).iter().map(|&(_, e)| e).collect();
-                edges.sort_by_key(|&e| std::cmp::Reverse(w.key(g, e)));
-                edges
-            })
-            .collect();
+        let n = g.node_count();
+
+        // CSR offsets are exactly the graph's degree prefix sums.
+        let mut offsets = vec![0u32; n + 1];
+        for i in g.nodes() {
+            offsets[i.index() + 1] = offsets[i.index()] + g.degree(i) as u32;
+        }
+        // Scatter edges in global rank order: each node's slice comes out
+        // sorted heaviest-first without a single weight comparison.
+        let mut incident = vec![EdgeId(0); 2 * g.edge_count()];
+        let mut fill: Vec<u32> = offsets[..n].to_vec();
+        for &e in problem.order.heaviest_first() {
+            let (u, v) = g.endpoints(e);
+            incident[fill[u.index()] as usize] = e;
+            fill[u.index()] += 1;
+            incident[fill[v.index()] as usize] = e;
+            fill[v.index()] += 1;
+        }
+
+        let cursor = offsets[..n].to_vec();
         let counter: Vec<u32> = g.nodes().map(|i| problem.quotas.get(i)).collect();
         State {
             problem,
+            offsets,
             incident,
-            cursor: vec![0; g.node_count()],
+            cursor,
             removed: vec![false; g.edge_count()],
             counter,
             matching: BMatching::empty(g),
@@ -80,27 +104,33 @@ impl<'p> State<'p> {
     /// Current heaviest pool edge of `i`, advancing the cursor lazily.
     fn top(&mut self, i: NodeId) -> Option<EdgeId> {
         let idx = i.index();
-        while self.cursor[idx] < self.incident[idx].len() {
-            let e = self.incident[idx][self.cursor[idx]];
-            if self.removed[e.index()] {
-                self.cursor[idx] += 1;
-            } else {
+        let end = self.offsets[idx + 1];
+        let mut c = self.cursor[idx];
+        while c < end {
+            let e = self.incident[c as usize];
+            if !self.removed[e.index()] {
+                self.cursor[idx] = c;
                 return Some(e);
             }
+            c += 1;
         }
+        self.cursor[idx] = c;
         None
     }
 
     /// Discards all pool edges of a saturated node, re-queueing the nodes
     /// whose pool shrank (their top edge may have become locally heaviest).
+    /// Scans from the cursor: everything before it is already removed.
     fn saturate(&mut self, i: NodeId, queue: &mut Vec<NodeId>) {
-        for k in 0..self.incident[i.index()].len() {
-            let e = self.incident[i.index()][k];
+        let idx = i.index();
+        for k in self.cursor[idx]..self.offsets[idx + 1] {
+            let e = self.incident[k as usize];
             if !self.removed[e.index()] {
                 self.removed[e.index()] = true;
                 queue.push(self.problem.graph.other_endpoint(e, i));
             }
         }
+        self.cursor[idx] = self.offsets[idx + 1];
     }
 
     /// Selects a locally heaviest edge (Algorithm 2 lines 5–9).
@@ -175,6 +205,86 @@ pub fn lic(problem: &Problem, policy: SelectionPolicy) -> BMatching {
 /// by the Lemma 3/4 verification tests.
 pub fn lic_with_order(problem: &Problem, policy: SelectionPolicy) -> (BMatching, Vec<EdgeId>) {
     State::new(problem).run(policy)
+}
+
+/// The original key-comparing LIC: per-node `Vec<Vec<EdgeId>>` incident
+/// lists, each sorted by exact [`crate::EdgeKey`] at setup. Kept as the
+/// independent cross-check of the rank kernel ([`lic`] must produce an
+/// identical matching — asserted by the committed equivalence test) and as
+/// the baseline side of the `bench_lic` before/after comparison.
+pub fn lic_reference(problem: &Problem, policy: SelectionPolicy) -> BMatching {
+    let g = &problem.graph;
+    let w = &problem.weights;
+    let n = g.node_count();
+
+    let incident: Vec<Vec<EdgeId>> = g
+        .nodes()
+        .map(|i| {
+            let mut edges: Vec<EdgeId> = g.neighbors(i).iter().map(|&(_, e)| e).collect();
+            edges.sort_by_key(|&e| std::cmp::Reverse(w.key(g, e)));
+            edges
+        })
+        .collect();
+    let mut cursor = vec![0usize; n];
+    let mut removed = vec![false; g.edge_count()];
+    let mut counter: Vec<u32> = g.nodes().map(|i| problem.quotas.get(i)).collect();
+    let mut matching = BMatching::empty(g);
+
+    let top = |i: NodeId, cursor: &mut [usize], removed: &[bool]| -> Option<EdgeId> {
+        let idx = i.index();
+        while cursor[idx] < incident[idx].len() {
+            let e = incident[idx][cursor[idx]];
+            if removed[e.index()] {
+                cursor[idx] += 1;
+            } else {
+                return Some(e);
+            }
+        }
+        None
+    };
+    let saturate = |i: NodeId, removed: &mut [bool], queue: &mut Vec<NodeId>| {
+        for &e in &incident[i.index()] {
+            if !removed[e.index()] {
+                removed[e.index()] = true;
+                queue.push(g.other_endpoint(e, i));
+            }
+        }
+    };
+
+    let mut queue: Vec<NodeId> = match policy {
+        SelectionPolicy::InOrder => (0..n as u32).map(NodeId).collect(),
+        SelectionPolicy::Reverse => (0..n as u32).rev().map(NodeId).collect(),
+        SelectionPolicy::Random(seed) => {
+            let mut q: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+            q.shuffle(&mut StdRng::seed_from_u64(seed));
+            q
+        }
+    };
+    for i in 0..n {
+        if counter[i] == 0 {
+            saturate(NodeId(i as u32), &mut removed, &mut queue);
+        }
+    }
+
+    while let Some(i) = queue.pop() {
+        if let Some(e) = top(i, &mut cursor, &removed) {
+            let j = g.other_endpoint(e, i);
+            if top(j, &mut cursor, &removed) == Some(e) {
+                let (a, b) = g.endpoints(e);
+                matching.insert(problem, e);
+                removed[e.index()] = true;
+                for x in [a, b] {
+                    counter[x.index()] -= 1;
+                    if counter[x.index()] == 0 {
+                        saturate(x, &mut removed, &mut queue);
+                    }
+                }
+                queue.push(a);
+                queue.push(b);
+            }
+        }
+    }
+    matching
 }
 
 #[cfg(test)]

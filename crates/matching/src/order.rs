@@ -1,0 +1,153 @@
+//! [`EdgeOrder`] — the integer edge-rank kernel.
+//!
+//! Every algorithm in this crate only ever needs the *relative order* of
+//! edges under the strict [`EdgeKey`] total order (exact rational weight,
+//! identity tie-break), never the weights themselves. This module pays the
+//! exact arithmetic exactly once: all edges are sorted by `EdgeKey`
+//! (decorate–sort–undecorate, so each key is materialized once) and the
+//! result is flattened into a dense `u32` rank per [`EdgeId`] with
+//!
+//! ```text
+//! rank(a) < rank(b)  ⇔  key(a) > key(b)
+//! ```
+//!
+//! i.e. rank 0 is the globally heaviest edge. After this single setup pass,
+//! LIC's worklist, LID's per-node candidate lists and every "is `a` heavier
+//! than `b`?" question run on plain integer compares — no `Rational`
+//! arithmetic appears on any hot path (see `DESIGN.md` §3).
+//!
+//! With the `parallel` feature the decorate–sort step uses rayon's parallel
+//! sort; ranks are a pure function of the weights either way, so the feature
+//! cannot change results.
+
+use crate::weights::{EdgeKey, EdgeWeights};
+use owp_graph::{EdgeId, Graph};
+
+/// The rank of an edge in the global heaviest-first order; `0` = heaviest.
+pub type EdgeRank = u32;
+
+/// Dense integer ranks realizing the [`EdgeKey`] total order.
+///
+/// Immutable once computed; cloneable (two flat `u32` arrays).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeOrder {
+    /// `rank[e] = r` ⇔ edge `e` is the `r`-th heaviest.
+    rank: Vec<EdgeRank>,
+    /// Inverse permutation: `by_rank[r]` is the `r`-th heaviest edge.
+    by_rank: Vec<EdgeId>,
+}
+
+impl EdgeOrder {
+    /// Sorts all edges of `g` by [`EdgeKey`] descending and assigns dense
+    /// ranks. O(m log m) exact-key comparisons — the only place outside
+    /// weight construction where `Rational`s are compared.
+    pub fn compute(g: &Graph, weights: &EdgeWeights) -> Self {
+        let mut decorated: Vec<(EdgeKey, EdgeId)> =
+            g.edges().map(|e| (weights.key(g, e), e)).collect();
+
+        #[cfg(feature = "parallel")]
+        {
+            use rayon::prelude::*;
+            decorated.par_sort_unstable_by_key(|&(key, _)| std::cmp::Reverse(key));
+        }
+        #[cfg(not(feature = "parallel"))]
+        decorated.sort_unstable_by_key(|&(key, _)| std::cmp::Reverse(key));
+
+        let by_rank: Vec<EdgeId> = decorated.into_iter().map(|(_, e)| e).collect();
+        let mut rank = vec![0 as EdgeRank; by_rank.len()];
+        for (r, &e) in by_rank.iter().enumerate() {
+            rank[e.index()] = r as EdgeRank;
+        }
+        EdgeOrder { rank, by_rank }
+    }
+
+    /// The rank of edge `e`; `0` is the globally heaviest edge.
+    #[inline]
+    pub fn rank(&self, e: EdgeId) -> EdgeRank {
+        self.rank[e.index()]
+    }
+
+    /// The edge holding rank `r`.
+    #[inline]
+    pub fn edge_at(&self, r: EdgeRank) -> EdgeId {
+        self.by_rank[r as usize]
+    }
+
+    /// All edges, heaviest first — the rank-order permutation.
+    #[inline]
+    pub fn heaviest_first(&self) -> &[EdgeId] {
+        &self.by_rank
+    }
+
+    /// `true` iff `a` beats `b` in the strict total order — a single integer
+    /// compare, equivalent to `key(a) > key(b)`.
+    #[inline]
+    pub fn heavier(&self, a: EdgeId, b: EdgeId) -> bool {
+        self.rank[a.index()] < self.rank[b.index()]
+    }
+
+    /// Number of ranked edges.
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// `true` iff the graph had no edges.
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::weights::heavier;
+    use crate::Problem;
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let p = Problem::random_gnp(40, 0.3, 3, 5);
+        let o = &p.order;
+        assert_eq!(o.len(), p.edge_count());
+        let mut seen = vec![false; o.len()];
+        for e in p.graph.edges() {
+            let r = o.rank(e);
+            assert!(!seen[r as usize], "duplicate rank {r}");
+            seen[r as usize] = true;
+            assert_eq!(o.edge_at(r), e, "by_rank is the inverse of rank");
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn rank_order_matches_key_order() {
+        let p = Problem::random_gnp(30, 0.4, 2, 9);
+        let g = &p.graph;
+        for a in g.edges() {
+            for b in g.edges() {
+                if a != b {
+                    assert_eq!(
+                        p.order.heavier(a, b),
+                        heavier(&p.weights, g, a, b),
+                        "rank and key orders disagree on ({a:?}, {b:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heaviest_first_is_descending_under_keys() {
+        let p = Problem::random_gnp(25, 0.5, 2, 11);
+        let g = &p.graph;
+        for w in p.order.heaviest_first().windows(2) {
+            assert!(heavier(&p.weights, g, w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let p = Problem::random_gnp(0, 0.0, 1, 1);
+        assert!(p.order.is_empty());
+        assert_eq!(p.order.len(), 0);
+        assert!(p.order.heaviest_first().is_empty());
+    }
+}

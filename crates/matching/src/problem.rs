@@ -1,5 +1,6 @@
 //! A bundled problem instance: graph + preferences + quotas + derived weights.
 
+use crate::order::EdgeOrder;
 use crate::weights::EdgeWeights;
 use owp_graph::{Graph, NodeId, PreferenceTable, Quotas};
 use rand::rngs::StdRng;
@@ -21,6 +22,9 @@ pub struct Problem {
     pub quotas: Quotas,
     /// Eq. 9 edge weights (derived).
     pub weights: EdgeWeights,
+    /// Dense integer ranks over the [`crate::EdgeKey`] order (derived) —
+    /// what the algorithms actually consult after setup.
+    pub order: EdgeOrder,
 }
 
 impl Problem {
@@ -29,11 +33,13 @@ impl Problem {
         assert_eq!(prefs.node_count(), graph.node_count(), "prefs/graph mismatch");
         assert_eq!(quotas.node_count(), graph.node_count(), "quotas/graph mismatch");
         let weights = EdgeWeights::compute(&graph, &prefs, &quotas);
+        let order = EdgeOrder::compute(&graph, &weights);
         Problem {
             graph,
             prefs,
             quotas,
             weights,
+            order,
         }
     }
 
@@ -52,11 +58,13 @@ impl Problem {
         assert_eq!(prefs.node_count(), graph.node_count(), "prefs/graph mismatch");
         assert_eq!(quotas.node_count(), graph.node_count(), "quotas/graph mismatch");
         assert_eq!(weights.len(), graph.edge_count(), "weights/graph mismatch");
+        let order = EdgeOrder::compute(&graph, &weights);
         Problem {
             graph,
             prefs,
             quotas,
             weights,
+            order,
         }
     }
 

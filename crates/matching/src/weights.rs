@@ -24,13 +24,19 @@ impl EdgeWeights {
     /// contribution as 0 (such nodes cannot participate in any matching; the
     /// algorithms saturate them away immediately).
     pub fn compute(g: &Graph, prefs: &PreferenceTable, quotas: &Quotas) -> Self {
-        let w = g
-            .edges()
-            .map(|e| {
-                let (i, j) = g.endpoints(e);
-                delta_static(prefs, quotas, i, j) + delta_static(prefs, quotas, j, i)
-            })
-            .collect();
+        let per_edge = |e: EdgeId| {
+            let (i, j) = g.endpoints(e);
+            delta_static(prefs, quotas, i, j) + delta_static(prefs, quotas, j, i)
+        };
+        // Pure per-edge map: with the `parallel` feature the edges are
+        // computed on a thread pool; the result is identical either way.
+        #[cfg(feature = "parallel")]
+        let w = {
+            use rayon::prelude::*;
+            (0..g.edge_count()).into_par_iter().map(|k| per_edge(EdgeId(k as u32))).collect()
+        };
+        #[cfg(not(feature = "parallel"))]
+        let w = g.edges().map(per_edge).collect();
         EdgeWeights { w }
     }
 

@@ -1,0 +1,50 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The real `serde` is unreachable in this build environment (no registry
+//! route), and nothing in the workspace actually serializes — the derives on
+//! public types exist so downstream users *could* plug in a serializer once
+//! the real crate is swapped back in. These marker traits keep that API
+//! surface compiling; the `derive` feature provides `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` emitting empty impls (see `serde_derive`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for types that are serializable once a real serde is linked.
+pub trait Serialize {}
+
+/// Marker for types that are deserializable once a real serde is linked.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// The derive macro emits `impl ::serde::Serialize`, which is unresolvable
+// from inside this crate itself; alias self so the in-crate tests compile.
+#[cfg(test)]
+extern crate self as serde;
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(crate::Serialize, crate::Deserialize)]
+    enum Kinds {
+        _A,
+        _B { _y: String },
+    }
+
+    fn assert_serialize<T: crate::Serialize>() {}
+    fn assert_deserialize<T: for<'de> crate::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_emit_impls() {
+        assert_serialize::<Plain>();
+        assert_deserialize::<Plain>();
+        assert_serialize::<Kinds>();
+        assert_deserialize::<Kinds>();
+    }
+}

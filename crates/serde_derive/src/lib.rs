@@ -1,0 +1,60 @@
+//! Offline vendored `serde_derive`: each derive emits an *empty* impl of the
+//! corresponding marker trait from the local `serde` stand-in.
+//!
+//! Parsing is done on the raw token stream (syn/quote are unreachable
+//! offline): skip attributes and visibility, find the `struct`/`enum`/`union`
+//! keyword, take the following identifier as the type name. Generic types are
+//! rejected with a clear error — no type in this workspace derives serde with
+//! generics, and supporting them without syn is not worth the complexity.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Extracts the type name from a `struct`/`enum`/`union` item, panicking on
+/// generic parameters (unsupported by this offline stand-in).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => panic!("expected type name after `{kw}`, found {other:?}"),
+                    };
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            panic!(
+                                "offline serde_derive stand-in does not support generic type \
+                                 `{name}`; write the marker impls by hand"
+                            );
+                        }
+                    }
+                    return name;
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            // Outer attributes arrive as `#` punct + bracket group; skip both.
+            TokenTree::Punct(_) | TokenTree::Group(_) | TokenTree::Literal(_) => {}
+        }
+    }
+    panic!("derive input contains no struct/enum/union")
+}

@@ -32,6 +32,7 @@
 
 pub mod faults;
 pub mod latency;
+pub mod link;
 pub mod protocol;
 pub mod sim;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod trace;
 
 pub use faults::FaultPlan;
 pub use latency::LatencyModel;
+pub use link::LinkIndex;
 pub use owp_graph::NodeId;
 pub use protocol::{Context, Payload, Protocol};
 pub use sim::{RunOutcome, SimConfig, Simulator};

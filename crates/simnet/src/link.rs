@@ -1,0 +1,100 @@
+//! Dense directed-link indexing over a known topology.
+//!
+//! The FIFO clamp needs one "last scheduled delivery" timestamp per directed
+//! link. Without topology information the simulator keeps them in a hash map
+//! keyed by `(from, to)` — one hash per message send. When the communication
+//! graph is known up front (every protocol built from a [`owp_graph::Graph`]
+//! only ever messages its neighbours), [`LinkIndex`] assigns each of the
+//! `2m` directed links a dense slot derived from the CSR adjacency, turning
+//! the per-send clamp into an array access after an O(log d) position
+//! lookup — no hashing on the delivery hot path.
+
+use crate::NodeId;
+
+/// Dense slots for the `2m` directed links of an undirected topology.
+///
+/// Slot of `(from, to)` = `offsets[from] +` position of `to` in `from`'s
+/// sorted neighbour list — exactly the CSR adjacency position, so slots are
+/// contiguous and cache-local per sender.
+#[derive(Clone, Debug)]
+pub struct LinkIndex {
+    /// `offsets[i]..offsets[i+1]` spans node `i`'s slots in `targets`.
+    offsets: Vec<u32>,
+    /// Neighbour ids per node, sorted ascending (CSR order).
+    targets: Vec<u32>,
+}
+
+impl LinkIndex {
+    /// Builds the index from a graph's adjacency.
+    pub fn from_graph(g: &owp_graph::Graph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0);
+        for i in g.nodes() {
+            targets.extend(g.neighbor_ids(i).map(|j| j.0));
+            offsets.push(targets.len() as u32);
+        }
+        LinkIndex { offsets, targets }
+    }
+
+    /// The dense slot of directed link `from → to`, or `None` if `to` is not
+    /// a neighbour of `from`. O(log d_from) binary search.
+    #[inline]
+    pub fn slot(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        let lo = self.offsets[from.index()] as usize;
+        let hi = self.offsets[from.index() + 1] as usize;
+        self.targets[lo..hi]
+            .binary_search(&to.0)
+            .ok()
+            .map(|pos| lo + pos)
+    }
+
+    /// Total number of directed links (`2m`).
+    #[inline]
+    pub fn directed_link_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_graph::generators::{complete, star};
+
+    #[test]
+    fn slots_are_dense_and_unique() {
+        let g = complete(6);
+        let idx = LinkIndex::from_graph(&g);
+        assert_eq!(idx.directed_link_count(), 2 * g.edge_count());
+        let mut seen = vec![false; idx.directed_link_count()];
+        for i in g.nodes() {
+            for j in g.neighbor_ids(i) {
+                let s = idx.slot(i, j).expect("edge has a slot");
+                assert!(!seen[s], "slot {s} assigned twice");
+                seen[s] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn non_edges_have_no_slot() {
+        let g = star(4); // hub 0, leaves 1..3: leaves are not adjacent
+        let idx = LinkIndex::from_graph(&g);
+        assert!(idx.slot(NodeId(1), NodeId(2)).is_none());
+        assert!(idx.slot(NodeId(0), NodeId(0)).is_none());
+        assert!(idx.slot(NodeId(0), NodeId(3)).is_some());
+    }
+
+    #[test]
+    fn directions_get_distinct_slots() {
+        let g = complete(3);
+        let idx = LinkIndex::from_graph(&g);
+        for i in g.nodes() {
+            for j in g.neighbor_ids(i) {
+                assert_ne!(idx.slot(i, j), idx.slot(j, i));
+            }
+        }
+    }
+}

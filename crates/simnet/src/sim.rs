@@ -2,6 +2,7 @@
 
 use crate::faults::FaultPlan;
 use crate::latency::LatencyModel;
+use crate::link::LinkIndex;
 use crate::protocol::{Context, Payload, Protocol};
 use crate::stats::NetStats;
 use crate::trace::{Trace, TraceEvent};
@@ -94,6 +95,42 @@ enum Pending<M> {
     Timer { node: NodeId, tag: u64 },
 }
 
+/// Per-directed-link "last scheduled delivery" store for the FIFO clamp.
+///
+/// With a known topology ([`Simulator::with_topology`]) the timestamps live
+/// in a flat array indexed by dense [`LinkIndex`] slots; without one they
+/// fall back to a hash map keyed by `(from, to)` — functionally identical,
+/// but one hash per send instead of an array write.
+enum LinkClock {
+    Dense {
+        index: LinkIndex,
+        last: Vec<SimTime>,
+    },
+    Sparse(HashMap<(u32, u32), SimTime>),
+}
+
+impl LinkClock {
+    /// Clamps `at` so this send does not overtake the previous send on the
+    /// same directed link, and records the result as the link's new last
+    /// delivery time.
+    fn clamp(&mut self, from: NodeId, to: NodeId, mut at: SimTime) -> SimTime {
+        let last: &mut SimTime = match self {
+            LinkClock::Dense { index, last } => {
+                let slot = index.slot(from, to).unwrap_or_else(|| {
+                    panic!("with_topology: {from:?} sent to non-neighbour {to:?}")
+                });
+                &mut last[slot]
+            }
+            LinkClock::Sparse(map) => map.entry((from.0, to.0)).or_insert(0),
+        };
+        if at <= *last {
+            at = *last + 1;
+        }
+        *last = at;
+        at
+    }
+}
+
 /// Deterministic discrete-event simulator over a set of [`Protocol`] nodes.
 ///
 /// Events are ordered by `(delivery time, sequence number)`; the sequence
@@ -106,18 +143,45 @@ pub struct Simulator<P: Protocol> {
     rng: StdRng,
     now: SimTime,
     seq: u64,
+    /// Events ordered by `(delivery time, sequence number)`; the payload
+    /// lives in the `payloads` slab at the carried slot.
     queue: BinaryHeap<(Reverse<(SimTime, u64)>, usize)>,
-    payloads: HashMap<usize, Pending<P::Message>>,
+    /// Slab of in-flight payloads: slots are recycled through `free_slots`,
+    /// so capacity tracks *peak* in-flight, not total messages sent.
+    payloads: Vec<Option<Pending<P::Message>>>,
+    free_slots: Vec<usize>,
     /// Last scheduled delivery time per directed link, for FIFO clamping.
-    link_last: HashMap<(u32, u32), SimTime>,
+    link_clock: LinkClock,
     stats: NetStats,
     trace: Trace,
     started: bool,
 }
 
 impl<P: Protocol> Simulator<P> {
-    /// Creates a simulator over `nodes` (node `i` gets id `i`).
+    /// Creates a simulator over `nodes` (node `i` gets id `i`), with no
+    /// topology information (FIFO timestamps in a hash map).
     pub fn new(nodes: Vec<P>, config: SimConfig) -> Self {
+        Self::with_clock(nodes, config, LinkClock::Sparse(HashMap::new()))
+    }
+
+    /// Creates a simulator whose nodes communicate only along the edges of
+    /// `topology` (node `i` of the graph runs `nodes[i]`). The FIFO clamp
+    /// then uses a dense per-directed-link array instead of a hash map.
+    ///
+    /// # Panics
+    /// A send to a non-neighbour panics at dispatch time.
+    pub fn with_topology(nodes: Vec<P>, config: SimConfig, topology: &owp_graph::Graph) -> Self {
+        assert_eq!(
+            nodes.len(),
+            topology.node_count(),
+            "one protocol node per topology node"
+        );
+        let index = LinkIndex::from_graph(topology);
+        let last = vec![0; index.directed_link_count()];
+        Self::with_clock(nodes, config, LinkClock::Dense { index, last })
+    }
+
+    fn with_clock(nodes: Vec<P>, config: SimConfig, link_clock: LinkClock) -> Self {
         let n = nodes.len();
         let rng = StdRng::seed_from_u64(config.seed);
         let trace = if config.trace {
@@ -133,8 +197,9 @@ impl<P: Protocol> Simulator<P> {
             now: 0,
             seq: 0,
             queue: BinaryHeap::new(),
-            payloads: HashMap::new(),
-            link_last: HashMap::new(),
+            payloads: Vec::new(),
+            free_slots: Vec::new(),
+            link_clock,
             stats: NetStats::default(),
             trace,
             started: false,
@@ -142,10 +207,19 @@ impl<P: Protocol> Simulator<P> {
     }
 
     fn schedule(&mut self, at: SimTime, pending: Pending<P::Message>) {
-        let id = self.seq;
+        let seq = self.seq;
         self.seq += 1;
-        self.queue.push((Reverse((at, id)), id as usize));
-        self.payloads.insert(id as usize, pending);
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.payloads[slot] = Some(pending);
+                slot
+            }
+            None => {
+                self.payloads.push(Some(pending));
+                self.payloads.len() - 1
+            }
+        };
+        self.queue.push((Reverse((at, seq)), slot));
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.queue.len());
     }
 
@@ -184,14 +258,7 @@ impl<P: Protocol> Simulator<P> {
 
             let mut at = self.now + self.config.latency.sample(&mut self.rng);
             if self.config.fifo {
-                let last = self
-                    .link_last
-                    .entry((from.0, to.0))
-                    .or_insert(0);
-                if at <= *last {
-                    at = *last + 1;
-                }
-                *last = at;
+                at = self.link_clock.clamp(from, to, at);
             }
             self.schedule(at, Pending::Msg(InFlight { from, to, msg }));
         }
@@ -219,13 +286,13 @@ impl<P: Protocol> Simulator<P> {
     /// queue is empty.
     pub fn step(&mut self) -> bool {
         self.start();
-        let Some((Reverse((at, _)), id)) = self.queue.pop() else {
+        let Some((Reverse((at, _)), slot)) = self.queue.pop() else {
             return false;
         };
-        let pending = self
-            .payloads
-            .remove(&id)
+        let pending = self.payloads[slot]
+            .take()
             .expect("queued event has a payload");
+        self.free_slots.push(slot);
         self.now = at;
 
         match pending {

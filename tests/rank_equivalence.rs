@@ -1,0 +1,106 @@
+//! Equivalence certificate for the integer edge-rank kernel.
+//!
+//! The rank-based LIC worklist and the rank-based LID candidate lists must
+//! be *bit-identical* in behaviour to the original exact-key formulation:
+//! the kernel is a pure change of representation, so any divergence is a
+//! bug. Over 200 random instances this asserts:
+//!
+//! 1. `EdgeOrder` ranks induce exactly the `EdgeKey` total order;
+//! 2. rank-based [`lic`] selects the same edges as the key-based
+//!    [`lic_reference`] under all three selection policies;
+//! 3. the LID runners (async and sync) agree with the key-based reference.
+
+use owp_core::{run_lid, run_lid_sync};
+use owp_graph::{PreferenceTable, Quotas};
+use owp_matching::lic::{lic, lic_reference, SelectionPolicy};
+use owp_matching::Problem;
+use owp_simnet::{LatencyModel, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const INSTANCES: u64 = 200;
+
+/// Mixed instance pool: G(n, p) and Barabási–Albert topologies, random
+/// preferences, heterogeneous quotas. Returns the instance and its seeds.
+fn random_instance(meta: &mut StdRng) -> (Problem, String) {
+    let n = meta.gen_range(2usize..40);
+    let topo_seed: u64 = meta.gen_range(0..=u64::MAX);
+    let pref_seed: u64 = meta.gen_range(0..=u64::MAX);
+    let b = meta.gen_range(1u32..5);
+    let ba = meta.gen_range(0u32..2) == 0 && n >= 3;
+    let mut rng = StdRng::seed_from_u64(topo_seed);
+    let g = if ba {
+        owp_graph::generators::barabasi_albert(n, 2, &mut rng)
+    } else {
+        owp_graph::generators::erdos_renyi(n, 0.35, &mut rng)
+    };
+    let mut prng = StdRng::seed_from_u64(pref_seed);
+    let prefs = PreferenceTable::random(&g, &mut prng);
+    let quotas = Quotas::random_range(&g, 0, b, &mut prng);
+    let ctx = format!("n={n} ba={ba} topo_seed={topo_seed} pref_seed={pref_seed} b={b}");
+    (Problem::new(g, prefs, quotas), ctx)
+}
+
+#[test]
+fn ranks_induce_exactly_the_key_order() {
+    let mut meta = StdRng::seed_from_u64(0x0DE2);
+    for case in 0..INSTANCES {
+        let (p, ctx) = random_instance(&mut meta);
+        let g = &p.graph;
+        // Sorting by key descending must reproduce by-rank order exactly.
+        let mut by_key: Vec<_> = g.edges().collect();
+        by_key.sort_by_key(|&e| std::cmp::Reverse(p.weights.key(g, e)));
+        assert_eq!(
+            by_key,
+            p.order.heaviest_first(),
+            "case {case} ({ctx}): rank permutation ≠ key sort"
+        );
+        for (r, &e) in by_key.iter().enumerate() {
+            assert_eq!(p.order.rank(e) as usize, r, "case {case} ({ctx})");
+        }
+    }
+}
+
+#[test]
+fn lic_on_ranks_matches_lic_on_keys_all_policies() {
+    let mut meta = StdRng::seed_from_u64(0xE001);
+    for case in 0..INSTANCES {
+        let (p, ctx) = random_instance(&mut meta);
+        let shuffle_seed: u64 = meta.gen_range(0..=u64::MAX);
+        for policy in [
+            SelectionPolicy::InOrder,
+            SelectionPolicy::Reverse,
+            SelectionPolicy::Random(shuffle_seed),
+        ] {
+            let fast = lic(&p, policy);
+            let reference = lic_reference(&p, policy);
+            assert!(
+                fast.same_edges(&reference),
+                "case {case} ({ctx}, {policy:?}): rank LIC ≠ key LIC"
+            );
+        }
+    }
+}
+
+#[test]
+fn lid_runners_match_the_key_reference() {
+    let mut meta = StdRng::seed_from_u64(0x11DE0);
+    for case in 0..INSTANCES {
+        let (p, ctx) = random_instance(&mut meta);
+        let reference = lic_reference(&p, SelectionPolicy::InOrder);
+        let sim_seed: u64 = meta.gen_range(0..=u64::MAX);
+        let cfg =
+            SimConfig::with_seed(sim_seed).latency(LatencyModel::Uniform { lo: 1, hi: 32 });
+        let d = run_lid(&p, cfg);
+        assert!(d.terminated, "case {case} ({ctx}): LID must terminate");
+        assert!(
+            d.matching.same_edges(&reference),
+            "case {case} ({ctx}, sim_seed={sim_seed}): async LID ≠ key LIC"
+        );
+        let s = run_lid_sync(&p);
+        assert!(
+            s.matching.same_edges(&reference),
+            "case {case} ({ctx}): sync LID ≠ key LIC"
+        );
+    }
+}
