@@ -2,8 +2,9 @@
 //! selection-policy ablation (same output, different traversal cost).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use owp_matching::lic::{lic, lic_reference, SelectionPolicy};
+use owp_matching::lic::{lic, lic_profiled, lic_reference, SelectionPolicy};
 use owp_matching::Problem;
+use owp_telemetry::PhaseProfile;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,11 +37,26 @@ fn bench_lic_large(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(42);
     let g = owp_graph::generators::barabasi_albert(100_000, 4, &mut rng);
     let p = Problem::random_over(g, 4, 99);
+
+    // One profiled pass up front: where the milliseconds live inside LIC
+    // (CSR build vs selection loop) on the headline instance. The profiled
+    // entry point wraps whole phases, so it is also benchmarked below to
+    // show the coarse timers cost nothing measurable.
+    let mut prof = PhaseProfile::new();
+    let _ = lic_profiled(&p, SelectionPolicy::InOrder, &mut prof);
+    eprintln!("{}", prof.render());
+
     let mut group = c.benchmark_group("lic_large_ba_1e5");
     group.sample_size(10);
     group.throughput(Throughput::Elements(p.edge_count() as u64));
     group.bench_function("rank_kernel", |b| {
         b.iter(|| lic(&p, SelectionPolicy::InOrder))
+    });
+    group.bench_function("rank_kernel_profiled", |b| {
+        b.iter(|| {
+            let mut prof = PhaseProfile::new();
+            lic_profiled(&p, SelectionPolicy::InOrder, &mut prof)
+        })
     });
     group.bench_function("key_reference", |b| {
         b.iter(|| lic_reference(&p, SelectionPolicy::InOrder))

@@ -40,5 +40,26 @@ fn bench_latency_models(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lid_scaling, bench_latency_models);
+/// The telemetry claim, measured: a run with the runtime switch off must
+/// cost the same as the untraced run, and a fully traced run shows the
+/// price of capturing every transport event.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let p = Problem::random_gnp(400, 0.03, 4, 9);
+    let mut group = c.benchmark_group("lid_telemetry_overhead");
+    group.sample_size(20);
+    group.bench_function("off", |b| {
+        b.iter(|| run_lid(&p, SimConfig::with_seed(2)))
+    });
+    group.bench_function("on_full_trace", |b| {
+        b.iter(|| run_lid(&p, SimConfig::with_seed(2).telemetry()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lid_scaling,
+    bench_latency_models,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

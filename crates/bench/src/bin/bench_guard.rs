@@ -1,0 +1,188 @@
+//! Performance guard: re-measures the E15 end-to-end scale sweep and fails
+//! (exit 1) if the telemetry-off build or LID wall time regressed more than
+//! the tolerance against the committed `BENCH_e15.json` baseline.
+//!
+//! ```text
+//! bench_guard [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
+//! ```
+//!
+//! * `--baseline` — baseline JSON (default `BENCH_e15.json`), the document
+//!   `experiments e15 --json` writes;
+//! * `--tolerance` — allowed relative regression in percent (default 10);
+//! * `--slack-ms` — absolute grace in milliseconds added on top of the
+//!   relative envelope (default 40), so timer jitter on small values does
+//!   not trip the guard;
+//! * `--update` — instead of checking, rewrite the baseline from the fresh
+//!   measurement.
+//!
+//! The harness compiles the telemetry *feature* in, but every run here
+//! leaves the runtime switch off — this is exactly the configuration whose
+//! overhead must stay at zero, so the guard doubles as the regression check
+//! for the "telemetry off costs nothing" claim.
+
+use owp_bench::experiments::{e15_scale, tables_to_json};
+use std::time::Instant;
+
+fn main() {
+    let mut baseline_path = "BENCH_e15.json".to_string();
+    let mut tolerance_pct = 10.0f64;
+    let mut slack_ms = 40.0f64;
+    let mut update = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = value("--baseline"),
+            "--tolerance" => {
+                tolerance_pct = value("--tolerance").parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance wants a number (percent)");
+                    std::process::exit(2);
+                })
+            }
+            "--slack-ms" => {
+                slack_ms = value("--slack-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("--slack-ms wants a number (milliseconds)");
+                    std::process::exit(2);
+                })
+            }
+            "--update" => update = true,
+            _ => {
+                eprintln!("unknown flag: {a}");
+                eprintln!("usage: bench_guard [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("bench_guard: running the E15 sweep (full sizes, telemetry off)...");
+    let start = Instant::now();
+    let tables = e15_scale::run(false);
+    let elapsed = start.elapsed();
+    let fresh = &tables[0];
+
+    if update {
+        let doc = tables_to_json("e15", false, elapsed, &tables);
+        if let Err(e) = std::fs::write(&baseline_path, doc) {
+            eprintln!("cannot write {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench_guard: baseline {baseline_path} updated");
+        return;
+    }
+
+    let doc = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {baseline_path}: {e} (run `bench_guard --update` to create it)");
+        std::process::exit(2);
+    });
+    let baseline = parse_first_rows(&doc).unwrap_or_else(|| {
+        eprintln!("{baseline_path} does not look like an `experiments e15 --json` document");
+        std::process::exit(2);
+    });
+
+    // Headline table columns: n, edges, build ms, LID ms, msgs/node, ...
+    const N: usize = 0;
+    const BUILD_MS: usize = 2;
+    const LID_MS: usize = 3;
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for base_row in &baseline {
+        let n = base_row[N];
+        let Some(fresh_row) = (0..fresh.row_count())
+            .find(|&r| fresh.cell(r, N).parse::<f64>().ok() == Some(n))
+        else {
+            eprintln!("bench_guard: baseline row n={n} has no fresh counterpart — skipped");
+            continue;
+        };
+        for (label, col) in [("build ms", BUILD_MS), ("LID ms", LID_MS)] {
+            let base = base_row[col];
+            let now: f64 = fresh.cell(fresh_row, col).parse().expect("numeric cell");
+            let limit = base * (1.0 + tolerance_pct / 100.0) + slack_ms;
+            compared += 1;
+            let verdict = if now <= limit { "ok" } else { "REGRESSED" };
+            println!(
+                "  n={n:>8} {label:>8}: baseline {base:>8.1} ms, now {now:>8.1} ms (limit {limit:.1} ms) {verdict}"
+            );
+            if now > limit {
+                failures += 1;
+            }
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("bench_guard: nothing compared — baseline/fresh size sets are disjoint");
+        std::process::exit(2);
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_guard: FAILED — {failures} of {compared} timings regressed beyond {tolerance_pct}% (+{slack_ms} ms)"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: ok — {compared} timings within {tolerance_pct}% (+{slack_ms} ms) of {baseline_path}");
+}
+
+/// Extracts the first table's `"rows":[[...],...]` from a
+/// `BENCH_<id>.json` document as numbers. The headline E15 table is
+/// all-numeric, so every cell parses; non-numeric cells (later tables are
+/// never reached) would return `None`.
+fn parse_first_rows(doc: &str) -> Option<Vec<Vec<f64>>> {
+    let start = doc.find("\"rows\":[")? + "\"rows\":[".len();
+    let rest = &doc[start..];
+    // Rows end at the first `]]` that closes the outer array: scan with a
+    // depth counter (cells contain no nested brackets or strings with `]`
+    // in the headline table, and we stop before any later table).
+    let mut depth = 1usize;
+    let mut end = None;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &rest[..end?];
+    let mut rows = Vec::new();
+    for row in body.split("],") {
+        let row = row.trim().trim_start_matches('[').trim_end_matches(']');
+        if row.is_empty() {
+            continue;
+        }
+        let cells: Option<Vec<f64>> = row.split(',').map(|c| c.trim().parse().ok()).collect();
+        rows.push(cells?);
+    }
+    Some(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_first_rows;
+
+    #[test]
+    fn parses_the_e15_document_shape() {
+        let doc = r#"{"experiment":"e15","quick":false,"elapsed_ms":4778.1,"tables":[{"title":"t","headers":["n","edges","build ms","LID ms","msgs/node","sync rounds","mean sat"],"rows":[[10000,49985,120,136,9.8,9,0.688],[50000,249985,261,470,9.8,9,0.686]],"notes":[]},{"title":"phases","headers":["phase"],"rows":[["generate"]],"notes":[]}]}"#;
+        let rows = parse_first_rows(doc).expect("parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], 10000.0);
+        assert_eq!(rows[1][3], 470.0);
+        // Only the first table is read — the string cell never trips it.
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_first_rows("{}").is_none());
+        assert!(parse_first_rows("{\"rows\":[[\"text\"]]}").is_none());
+    }
+}

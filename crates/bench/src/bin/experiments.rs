@@ -1,32 +1,51 @@
 //! Experiment runner: regenerates every table/figure of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! experiments <e1|e2|...|e17|all> [--quick] [--json]
+//! experiments <e1|e2|...|e18|all> [--quick] [--json] [--trace-out <path>]
 //! ```
 //!
 //! With `--json`, each experiment additionally writes its tables to
 //! `BENCH_<id>.json` in the current directory (e.g. `experiments e15 --json`
 //! produces `BENCH_e15.json`) so perf numbers can be tracked across commits
 //! without scraping stdout.
+//!
+//! With `--trace-out <path>`, the per-round convergence series of a traced
+//! experiment (currently `e18`) is written as JSONL — one
+//! `{"round":…,"matched_edges":…,…}` object per line (schema in
+//! `owp_telemetry::series`). Selecting `--trace-out` without a traced
+//! experiment is an error.
 
 use owp_bench::experiments;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| a.starts_with("--") && *a != "--quick" && *a != "--json")
-    {
-        eprintln!("unknown flag: {bad}");
-        std::process::exit(2);
+    let mut quick = false;
+    let mut json = false;
+    let mut trace_out: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag: {a}");
+                std::process::exit(2);
+            }
+            _ => ids.push(a),
+        }
     }
-    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
 
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e17|all> [--quick] [--json]");
+        eprintln!("usage: experiments <e1..e18|all> [--quick] [--json] [--trace-out <path>]");
         eprintln!("known experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
     }
@@ -37,10 +56,11 @@ fn main() {
         ids.iter().map(|s| s.as_str()).collect()
     };
 
+    let mut trace_written = false;
     for id in selected {
         let start = Instant::now();
-        match experiments::run(id, quick) {
-            Some(tables) => {
+        match experiments::run_with_trace(id, quick) {
+            Some((tables, series)) => {
                 for t in &tables {
                     println!();
                     t.print();
@@ -57,6 +77,18 @@ fn main() {
                         }
                     }
                 }
+                if let (Some(path), Some(series)) = (trace_out.as_deref(), series.as_ref()) {
+                    match series.write_jsonl(path) {
+                        Ok(()) => {
+                            println!("[{id}: wrote {} trace rows to {path}]", series.len());
+                            trace_written = true;
+                        }
+                        Err(e) => {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
                 println!("[{id} done in {elapsed:.1?}]");
             }
             None => {
@@ -64,5 +96,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if trace_out.is_some() && !trace_written {
+        eprintln!("--trace-out given but no selected experiment records a convergence trace (use e18)");
+        std::process::exit(2);
     }
 }

@@ -8,7 +8,7 @@
 use crate::{mean, Table};
 use owp_core::run_lid;
 use owp_matching::Problem;
-use owp_simnet::SimConfig;
+use owp_simnet::{MessageKind, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -48,8 +48,8 @@ pub fn run(quick: bool) -> Table {
                         let r = run_lid(&p, SimConfig::with_seed(seed));
                         assert!(r.terminated);
                         (
-                            r.stats.sent_of("PROP") as f64 / n as f64,
-                            r.stats.sent_of("REJ") as f64 / n as f64,
+                            r.stats.sent_of(MessageKind::Prop) as f64 / n as f64,
+                            r.stats.sent_of(MessageKind::Rej) as f64 / n as f64,
                             r.stats.sent as f64 / m.max(1.0),
                         )
                     })

@@ -1,0 +1,123 @@
+//! E18 — convergence trace: the per-round trajectory of one synchronous LID
+//! run, sampled by [`owp_core::run_lid_sync_series`]. Where E5 reports only
+//! the endpoint (rounds to quiescence), this experiment shows the *shape* of
+//! convergence: how fast edges lock, how the in-flight message population
+//! drains, and when nodes start terminating.
+//!
+//! The final row is, by construction, bit-for-bit the values
+//! [`owp_matching::MatchingReport`] computes for the finished matching —
+//! the quick test asserts that with `f64::to_bits`.
+//!
+//! With `experiments e18 --trace-out <path>` the raw series is additionally
+//! written as JSONL (schema in `owp_telemetry::series`).
+
+use crate::Table;
+use owp_core::run_lid_sync_series;
+use owp_matching::Problem;
+use owp_telemetry::ConvergenceSeries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Instance used by the experiment: one mid-size G(n,p) overlay, fixed seed
+/// so the trajectory is reproducible run to run.
+fn instance(quick: bool) -> Problem {
+    let n: usize = if quick { 128 } else { 2048 };
+    let mut rng = StdRng::seed_from_u64(18);
+    let g = owp_graph::generators::erdos_renyi(n, 12.0 / (n as f64 - 1.0), &mut rng);
+    Problem::random_over(g, 4, 18)
+}
+
+/// Runs the traced convergence run and returns the table plus the raw
+/// series (for `--trace-out`).
+pub fn run_with_series(quick: bool) -> (Table, ConvergenceSeries) {
+    let p = instance(quick);
+    let (r, series) = run_lid_sync_series(&p);
+    assert!(r.terminated, "sync LID must terminate");
+
+    let mut t = Table::new(
+        format!(
+            "E18 — per-round convergence trace (G(n,p), n = {}, b = 4)",
+            p.node_count()
+        ),
+        &[
+            "round",
+            "matched edges",
+            "total weight",
+            "Σ satisfaction",
+            "msgs sent",
+            "in flight",
+            "terminated %",
+        ],
+    );
+    for s in series.samples() {
+        t.row(vec![
+            s.round.to_string(),
+            s.matched_edges.to_string(),
+            format!("{:.4}", s.total_weight),
+            format!("{:.4}", s.satisfaction_total),
+            s.messages_sent.to_string(),
+            s.in_flight.to_string(),
+            format!("{:.1}", 100.0 * s.terminated_fraction),
+        ]);
+    }
+    if let Some(stable) = series.stabilization_round() {
+        t.note(format!(
+            "matching stable from round {stable} of {}; the tail is termination detection, not matching work",
+            r.rounds
+        ));
+    }
+    t.note("final row equals MatchingReport of the finished run bit-for-bit");
+    (t, series)
+}
+
+/// Runs the experiment (table only).
+pub fn run(quick: bool) -> Table {
+    run_with_series(quick).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_matching::{matching_totals, MatchingReport};
+
+    #[test]
+    fn quick_run_trajectory_is_consistent() {
+        let p = instance(true);
+        let (r, series) = owp_core::run_lid_sync_series(&p);
+        assert!(r.terminated);
+        // One sample per round plus the round-0 (post-`on_start`) sample.
+        assert_eq!(series.len() as u64, r.rounds + 1);
+
+        // The endpoint is exactly what the report computes — same summation
+        // sequence, hence bit-for-bit equal floats.
+        let last = *series.last().expect("non-empty series");
+        let report = MatchingReport::compute(&p, &r.matching);
+        let (edges, weight, sat) = matching_totals(&p, &r.matching);
+        assert_eq!(last.matched_edges, edges);
+        assert_eq!(last.matched_edges, r.matching.size());
+        assert_eq!(last.total_weight.to_bits(), weight.to_bits());
+        assert_eq!(last.satisfaction_total.to_bits(), sat.to_bits());
+        assert_eq!(last.total_weight.to_bits(), report.total_weight.to_bits());
+        assert_eq!(
+            last.satisfaction_total.to_bits(),
+            report.satisfaction_total.to_bits()
+        );
+        assert_eq!(last.in_flight, 0, "quiescent run has nothing in flight");
+        assert_eq!(last.terminated_fraction, 1.0);
+
+        // The rendered table mirrors the series row for row.
+        let t = run(true);
+        assert_eq!(t.row_count(), series.len());
+        let final_row = t.row_count() - 1;
+        assert_eq!(t.cell(final_row, 1), edges.to_string());
+    }
+
+    #[test]
+    fn stabilization_precedes_quiescence() {
+        let (t, series) = run_with_series(true);
+        let stable = series.stabilization_round().expect("non-empty");
+        let last = series.last().unwrap();
+        assert!(stable <= last.round);
+        assert!(t.render().contains("stable from round"));
+    }
+}

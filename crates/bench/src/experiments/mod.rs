@@ -21,16 +21,29 @@ pub mod e14_fairness;
 pub mod e15_scale;
 pub mod e16_stability;
 pub mod e17_ratio_at_scale;
+pub mod e18_convergence_trace;
 
 use crate::Table;
+use owp_telemetry::ConvergenceSeries;
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18",
 ];
 
 /// Dispatches an experiment by id. Returns the tables it produced.
 pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
+    run_with_trace(id, quick).map(|(tables, _)| tables)
+}
+
+/// Like [`run`], but also returns the per-round [`ConvergenceSeries`] for
+/// experiments that record one (currently E18) so the binary can honor
+/// `--trace-out` without running the experiment twice.
+pub fn run_with_trace(id: &str, quick: bool) -> Option<(Vec<Table>, Option<ConvergenceSeries>)> {
+    if id == "e18" {
+        let (table, series) = e18_convergence_trace::run_with_series(quick);
+        return Some((vec![table], Some(series)));
+    }
     let tables = match id {
         "e1" => vec![e01_figure1::run()],
         "e2" => vec![e02_weight_ratio::run(quick)],
@@ -46,12 +59,12 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e12" => vec![e12_reliable::run(quick)],
         "e13" => vec![e13_normalization::run(quick)],
         "e14" => vec![e14_fairness::run(quick)],
-        "e15" => vec![e15_scale::run(quick)],
+        "e15" => e15_scale::run(quick),
         "e16" => e16_stability::run(quick),
         "e17" => vec![e17_ratio_at_scale::run(quick)],
         _ => return None,
     };
-    Some(tables)
+    Some((tables, None))
 }
 
 /// Serializes an experiment's tables as the `BENCH_<id>.json` document:
@@ -103,7 +116,18 @@ mod tests {
         for id in ALL {
             assert!(seen.insert(*id), "duplicate id {id}");
         }
-        assert_eq!(ALL.len(), 17);
+        assert_eq!(ALL.len(), 18);
+    }
+
+    /// Only E18 carries a convergence trace; the others return `None` for it.
+    #[test]
+    fn trace_is_attached_exactly_where_expected() {
+        let (tables, series) = run_with_trace("e18", true).expect("e18 runs");
+        let series = series.expect("e18 records a trace");
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].row_count(), series.len());
+        let (_, none) = run_with_trace("e1", true).expect("e1 runs");
+        assert!(none.is_none(), "e1 has no convergence trace");
     }
 
     #[test]

@@ -21,10 +21,21 @@
 //! ([`run_lid`] — asynchronous, [`run_lid_sync`] — synchronous rounds) and
 //! extracts the resulting [`BMatching`], asserting the `K`-sets of the two
 //! endpoints of every locked edge agree.
+//!
+//! Observability: the state machine emits typed [`NodeEvent`]s (proposal,
+//! rejection, lock, termination) through `Context::emit` — compiled only
+//! under the `telemetry` feature, free otherwise. [`run_lid_traced`]
+//! captures the full interleaved event log, [`run_lid_sync_series`] samples
+//! a per-round convergence trajectory, and [`replay_lid_trace`] certifies a
+//! recorded trace is complete by reconstructing the matching from it.
 
 use owp_graph::NodeId;
-use owp_matching::{BMatching, Problem};
-use owp_simnet::{Context, NetStats, Payload, Protocol, RunOutcome, SimConfig, Simulator, SyncRunner};
+use owp_matching::{matching_totals, BMatching, Problem};
+use owp_simnet::{
+    Context, EventLog, MessageKind, NetStats, NodeEvent, Payload, Protocol, RunOutcome, SimConfig,
+    Simulator, SyncRunner, TelemetryEvent,
+};
+use owp_telemetry::{ConvergenceSample, ConvergenceSeries};
 use std::collections::BTreeSet;
 
 /// The message kinds of Algorithm 1 (plus the retransmission layer's ACK).
@@ -42,11 +53,11 @@ pub enum LidMessage {
 }
 
 impl Payload for LidMessage {
-    fn kind(&self) -> &'static str {
+    fn kind(&self) -> MessageKind {
         match self {
-            LidMessage::Prop => "PROP",
-            LidMessage::Rej => "REJ",
-            LidMessage::Ack => "ACK",
+            LidMessage::Prop => MessageKind::Prop,
+            LidMessage::Rej => MessageKind::Rej,
+            LidMessage::Ack => MessageKind::Ack,
         }
     }
 }
@@ -115,7 +126,7 @@ impl LidNode {
     /// Lock every mutual proposal (Algorithm 1 lines 12–14, applied to a
     /// fixpoint — the pseudocode's `if ∃v` is run once per delivery, which
     /// can strand a second simultaneous match).
-    fn lock_mutuals(&mut self) {
+    fn lock_mutuals(&mut self, ctx: &mut Context<LidMessage>) {
         loop {
             let v = self
                 .p
@@ -126,20 +137,21 @@ impl LidNode {
             self.u.remove(&v);
             self.a.remove(&v);
             self.k.insert(v);
+            ctx.emit(NodeEvent::EdgeLocked { peer: v });
         }
     }
 
     /// Algorithm 1 lines 15–16: all proposals resolved → reject everyone
-    /// still unresolved and terminate.
+    /// still unresolved and terminate. (`U = ∅` with nothing to reject —
+    /// e.g. zero quota, no neighbours — also counts as termination.)
     fn finish_if_done(&mut self, ctx: &mut Context<LidMessage>) {
-        if self.p.iter().all(|v| self.k.contains(v)) && !self.u.is_empty() {
+        if self.p.iter().all(|v| self.k.contains(v)) {
             for &v in &self.u {
                 ctx.send(v, LidMessage::Rej);
+                ctx.emit(NodeEvent::RejSent { to: v });
             }
             self.u.clear();
-        } else if self.p.iter().all(|v| self.k.contains(v)) {
-            // Already quiescent (e.g. zero quota, no neighbours).
-            self.u.clear();
+            ctx.emit(NodeEvent::NodeTerminated);
         }
     }
 
@@ -178,6 +190,7 @@ impl Protocol for LidNode {
             let Some(v) = self.top_ranked() else { break };
             self.p.insert(v);
             ctx.send(v, LidMessage::Prop);
+            ctx.emit(NodeEvent::PropSent { to: v });
         }
         // A node with b_i = 0 (or no neighbours) terminates immediately,
         // rejecting everyone — otherwise its neighbours would wait forever.
@@ -191,6 +204,7 @@ impl Protocol for LidNode {
             // deadlock, so we answer here (documented deviation).
             if msg == LidMessage::Prop && !self.k.contains(&from) {
                 ctx.send(from, LidMessage::Rej);
+                ctx.emit(NodeEvent::RejSent { to: from });
             }
             return;
         }
@@ -210,11 +224,12 @@ impl Protocol for LidNode {
                     if let Some(v) = self.top_ranked() {
                         self.p.insert(v);
                         ctx.send(v, LidMessage::Prop);
+                        ctx.emit(NodeEvent::PropSent { to: v });
                     }
                 }
             }
         }
-        self.lock_mutuals();
+        self.lock_mutuals(ctx);
         self.finish_if_done(ctx);
     }
 
@@ -318,6 +333,127 @@ pub fn run_lid_sync(problem: &Problem) -> LidResult {
     }
 }
 
+/// Runs LID asynchronously with telemetry recording forced on, returning the
+/// result together with the structured event log (transport events always;
+/// per-node [`NodeEvent`]s too when the `telemetry` feature is compiled).
+pub fn run_lid_traced(problem: &Problem, config: SimConfig) -> (LidResult, EventLog) {
+    let config = config.telemetry();
+    let mut sim = Simulator::with_topology(build_nodes(problem), config, &problem.graph);
+    let out: RunOutcome = sim.run();
+    let terminated = out.quiescent && sim.nodes().all(|n| n.is_terminated());
+    let (matching, asymmetric_locks) = extract_matching_from(problem, sim.nodes());
+    let result = LidResult {
+        matching,
+        stats: sim.stats().clone(),
+        end_time: out.end_time,
+        rounds: 0,
+        terminated,
+        init_messages: 2 * problem.edge_count() as u64,
+        asymmetric_locks,
+    };
+    (result, sim.take_telemetry())
+}
+
+fn sample_sync_round(
+    problem: &Problem,
+    runner: &SyncRunner<LidNode>,
+    series: &mut ConvergenceSeries,
+) {
+    let (m, _) = extract_matching_from(problem, runner.nodes());
+    let (matched_edges, total_weight, satisfaction_total) = matching_totals(problem, &m);
+    series.push(ConvergenceSample {
+        round: runner.rounds(),
+        matched_edges,
+        total_weight,
+        satisfaction_total,
+        messages_sent: runner.stats().sent,
+        in_flight: runner.pending_count(),
+        terminated_fraction: runner.terminated_fraction(),
+    });
+}
+
+/// Runs LID on the synchronous-round engine, sampling the convergence
+/// trajectory after `on_start` (round 0) and after every round: matched
+/// edges, total weight, Σ `S_i`, cumulative sends, in-flight messages and
+/// the terminated-node fraction.
+///
+/// The final sample describes the returned [`LidResult::matching`] through
+/// the same summation path as [`owp_matching::MatchingReport`], so its
+/// totals agree with a full report **bit-for-bit** (asserted by the e18
+/// consistency test).
+pub fn run_lid_sync_series(problem: &Problem) -> (LidResult, ConvergenceSeries) {
+    const MAX_ROUNDS: u64 = 1_000_000;
+    let mut runner = SyncRunner::new(build_nodes(problem));
+    let mut series = ConvergenceSeries::new();
+    runner.start();
+    sample_sync_round(problem, &runner, &mut series);
+    let mut quiescent = true;
+    loop {
+        if runner.rounds() >= MAX_ROUNDS {
+            quiescent = runner.pending_count() == 0;
+            break;
+        }
+        if !runner.round() {
+            break;
+        }
+        sample_sync_round(problem, &runner, &mut series);
+    }
+    let terminated = quiescent && runner.nodes().all(|n| n.is_terminated());
+    let (matching, asymmetric_locks) = extract_matching_from(problem, runner.nodes());
+    let result = LidResult {
+        matching,
+        stats: runner.stats().clone(),
+        end_time: 0,
+        rounds: runner.rounds(),
+        terminated,
+        init_messages: 2 * problem.edge_count() as u64,
+        asymmetric_locks,
+    };
+    (result, series)
+}
+
+/// Replays a recorded LID event log through fresh Algorithm 1 state
+/// machines and returns the matching they reconstruct.
+///
+/// Every node's `on_start` runs first (its sends are discarded — the trace
+/// already contains their delivered counterparts); then each
+/// [`TelemetryEvent::Delivered`] is fed to its destination node in trace
+/// order. Drops, dead letters and timer events are skipped: deliveries are
+/// exactly what drives the state machines. A trace from a terminated run
+/// therefore reconstructs the *identical* edge set — the trace-completeness
+/// certificate of the telemetry layer.
+///
+/// # Panics
+/// Panics if the log contains a delivery of a non-LID message kind.
+pub fn replay_lid_trace(problem: &Problem, log: &EventLog) -> BMatching {
+    let mut nodes = build_nodes(problem);
+    for node in nodes.iter_mut() {
+        let mut ctx = Context::detached(node.id(), 0);
+        node.on_start(&mut ctx);
+    }
+    for ev in log.events() {
+        if let TelemetryEvent::Delivered {
+            time,
+            from,
+            to,
+            kind,
+        } = *ev
+        {
+            let msg = match kind {
+                MessageKind::Prop => LidMessage::Prop,
+                MessageKind::Rej => LidMessage::Rej,
+                MessageKind::Ack => LidMessage::Ack,
+                MessageKind::Other(label) => {
+                    panic!("not a LID trace: unexpected message kind {label:?}")
+                }
+            };
+            let mut ctx = Context::detached(to, time);
+            nodes[to.index()].on_message(from, msg, &mut ctx);
+        }
+    }
+    extract_matching_from(problem, nodes.iter()).0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,8 +536,8 @@ mod tests {
         // Every leaf proposed once; the hub rejected each leaf twice — once
         // in its termination broadcast at t=0 and once replying to the
         // leaf's PROP that was already in flight (crossing messages).
-        assert_eq!(r.stats.sent_of("PROP"), 4);
-        assert_eq!(r.stats.sent_of("REJ"), 8);
+        assert_eq!(r.stats.sent_of(MessageKind::Prop), 4);
+        assert_eq!(r.stats.sent_of(MessageKind::Rej), 8);
     }
 
     #[test]
@@ -414,8 +550,8 @@ mod tests {
         let r = run_lid(&p, SimConfig::with_seed(3));
         assert!(r.terminated);
         assert_eq!(r.matching.size(), 1);
-        assert_eq!(r.stats.sent_of("PROP"), 2);
-        assert_eq!(r.stats.sent_of("REJ"), 0);
+        assert_eq!(r.stats.sent_of(MessageKind::Prop), 2);
+        assert_eq!(r.stats.sent_of(MessageKind::Rej), 0);
     }
 
     #[test]
@@ -453,5 +589,81 @@ mod tests {
         let r = run_lid(&p, SimConfig::with_seed(4));
         assert!(r.terminated);
         assert_eq!(r.matching.size(), 4);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_replays_exactly() {
+        for seed in 0..6 {
+            let p = Problem::random_gnp(24, 0.3, 2, 500 + seed);
+            let cfg = SimConfig::with_seed(seed).latency(LatencyModel::Uniform { lo: 1, hi: 9 });
+            let (r, log) = run_lid_traced(&p, cfg.clone());
+            assert!(r.terminated);
+            // Telemetry must not perturb the run itself.
+            let plain = run_lid(&p, cfg);
+            assert!(r.matching.same_edges(&plain.matching));
+            assert_eq!(r.stats.sent, plain.stats.sent);
+            // Transport-level counts agree between log and counters.
+            assert_eq!(log.deliveries().count() as u64, r.stats.delivered);
+            assert_eq!(log.with_tag("sent").count() as u64, r.stats.sent);
+            // Trace completeness: the delivered events alone reconstruct
+            // the exact final edge set.
+            let replayed = replay_lid_trace(&p, &log);
+            assert!(
+                replayed.same_edges(&r.matching),
+                "seed {seed}: replay diverged from the live run"
+            );
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn traced_run_captures_node_transitions() {
+        let p = Problem::random_gnp(20, 0.35, 2, 11);
+        let (r, log) = run_lid_traced(&p, SimConfig::with_seed(11));
+        assert!(r.terminated);
+        // Every locked edge produces one EdgeLocked event at each endpoint.
+        assert_eq!(log.with_tag("edge_locked").count(), 2 * r.matching.size());
+        // Every node eventually terminates, exactly once.
+        assert_eq!(log.with_tag("node_terminated").count(), p.node_count());
+        // PropSent events mirror the PROP counter.
+        assert_eq!(
+            log.with_tag("prop_sent").count() as u64,
+            r.stats.sent_of(MessageKind::Prop)
+        );
+        // RejSent events mirror the REJ counter.
+        assert_eq!(
+            log.with_tag("rej_sent").count() as u64,
+            r.stats.sent_of(MessageKind::Rej)
+        );
+    }
+
+    #[test]
+    fn sync_series_trajectory_is_monotone_and_lands_on_the_result() {
+        for seed in 0..5 {
+            let p = Problem::random_gnp(22, 0.3, 2, 700 + seed);
+            let (r, series) = run_lid_sync_series(&p);
+            assert!(r.terminated);
+            // Same outcome as the plain sync runner.
+            let plain = run_lid_sync(&p);
+            assert!(r.matching.same_edges(&plain.matching));
+            assert_eq!(r.rounds, plain.rounds);
+            // One sample per round plus the round-0 sample.
+            assert_eq!(series.samples().len() as u64, r.rounds + 1);
+            // Matched-edge count and sends are monotone non-decreasing;
+            // locked edges are never unlocked.
+            for w in series.samples().windows(2) {
+                assert!(w[1].matched_edges >= w[0].matched_edges);
+                assert!(w[1].messages_sent >= w[0].messages_sent);
+                assert!(w[1].round > w[0].round);
+            }
+            // The final row describes the returned matching bit-for-bit.
+            let last = series.last().expect("non-empty series");
+            let (edges, weight, sat) = matching_totals(&p, &r.matching);
+            assert_eq!(last.matched_edges, edges);
+            assert_eq!(last.total_weight.to_bits(), weight.to_bits());
+            assert_eq!(last.satisfaction_total.to_bits(), sat.to_bits());
+            assert_eq!(last.in_flight, 0);
+            assert_eq!(last.terminated_fraction, 1.0);
+        }
     }
 }

@@ -27,7 +27,7 @@
 use crate::lid::{extract_matching_from, LidMessage, LidNode, LidResult};
 use owp_graph::NodeId;
 use owp_matching::Problem;
-use owp_simnet::{Context, Protocol, SimConfig, SimTime, Simulator};
+use owp_simnet::{Context, NodeEvent, Protocol, SimConfig, SimTime, Simulator};
 
 /// Default retransmission interval in ticks.
 pub const DEFAULT_RETRY_INTERVAL: SimTime = 50;
@@ -85,6 +85,7 @@ impl Protocol for ReliableLidNode {
                 // confirmations at each other forever.
                 self.retransmissions += 1;
                 ctx.send(from, LidMessage::Ack);
+                ctx.emit(NodeEvent::Retransmit { to: from });
             }
             LidMessage::Ack if self.inner.is_locked(from) => {
                 // Stale confirmation for an already-completed handshake.
@@ -97,6 +98,7 @@ impl Protocol for ReliableLidNode {
         for v in self.inner.outstanding_proposals() {
             self.retransmissions += 1;
             ctx.send(v, LidMessage::Prop);
+            ctx.emit(NodeEvent::Retransmit { to: v });
         }
         self.arm(ctx);
     }
@@ -214,6 +216,10 @@ mod tests {
         // No retransmission message kinds beyond plain LID's counts: equal
         // PROP counts to a plain run.
         let plain = crate::lid::run_lid(&p, SimConfig::with_seed(3));
-        assert_eq!(r.stats.sent_of("PROP"), plain.stats.sent_of("PROP"));
+        use owp_simnet::MessageKind;
+        assert_eq!(
+            r.stats.sent_of(MessageKind::Prop),
+            plain.stats.sent_of(MessageKind::Prop)
+        );
     }
 }

@@ -52,8 +52,8 @@ pub mod verify;
 pub mod weights;
 
 pub use bmatching::BMatching;
-pub use lic::{lic, SelectionPolicy};
-pub use metrics::MatchingReport;
+pub use lic::{lic, lic_profiled, lic_traced, SelectionPolicy};
+pub use metrics::{matching_totals, MatchingReport};
 pub use numeric::Rational;
 pub use order::{EdgeOrder, EdgeRank};
 pub use problem::Problem;

@@ -29,6 +29,22 @@ pub struct MatchingReport {
     pub per_node: Vec<f64>,
 }
 
+/// The three totals the per-round convergence time-series samples: selected
+/// edge count, total eq. 9 weight and Σ `S_i`.
+///
+/// The satisfaction sum adds per-node satisfactions in ascending node order
+/// — the same addition sequence as [`MatchingReport::compute`] — so a
+/// trajectory's final row matches the full report **bit-for-bit**.
+pub fn matching_totals(problem: &Problem, m: &BMatching) -> (usize, f64, f64) {
+    let sat: f64 = (0..problem.node_count())
+        .map(|i| {
+            let i = NodeId(i as u32);
+            node_satisfaction(&problem.prefs, &problem.quotas, i, m.connections(i))
+        })
+        .sum();
+    (m.size(), m.total_weight(problem), sat)
+}
+
 impl MatchingReport {
     /// Computes the full report.
     pub fn compute(problem: &Problem, m: &BMatching) -> Self {
@@ -79,6 +95,19 @@ mod tests {
     use super::*;
     use crate::lic::{lic, SelectionPolicy};
     use owp_graph::generators::complete;
+
+    #[test]
+    fn totals_match_the_full_report_bit_for_bit() {
+        for seed in 0..5 {
+            let p = Problem::random_gnp(30, 0.3, 2, seed);
+            let m = lic(&p, SelectionPolicy::InOrder);
+            let r = MatchingReport::compute(&p, &m);
+            let (edges, weight, sat) = matching_totals(&p, &m);
+            assert_eq!(edges, r.edges);
+            assert_eq!(weight.to_bits(), r.total_weight.to_bits());
+            assert_eq!(sat.to_bits(), r.satisfaction_total.to_bits());
+        }
+    }
 
     #[test]
     fn report_fields_consistent() {

@@ -3,6 +3,7 @@
 use crate::order::EdgeOrder;
 use crate::weights::EdgeWeights;
 use owp_graph::{Graph, NodeId, PreferenceTable, Quotas};
+use owp_telemetry::PhaseProfile;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -68,6 +69,28 @@ impl Problem {
         }
     }
 
+    /// [`Problem::new`] under a [`PhaseProfile`]: splits construction wall
+    /// time into the eq. 9 weight computation and the global edge-rank
+    /// ordering. Produces the identical bundle.
+    pub fn new_profiled(
+        graph: Graph,
+        prefs: PreferenceTable,
+        quotas: Quotas,
+        prof: &mut PhaseProfile,
+    ) -> Self {
+        assert_eq!(prefs.node_count(), graph.node_count(), "prefs/graph mismatch");
+        assert_eq!(quotas.node_count(), graph.node_count(), "quotas/graph mismatch");
+        let weights = prof.time("weights", |_| EdgeWeights::compute(&graph, &prefs, &quotas));
+        let order = prof.time("order", |_| EdgeOrder::compute(&graph, &weights));
+        Problem {
+            graph,
+            prefs,
+            quotas,
+            weights,
+            order,
+        }
+    }
+
     /// Random preferences and uniform quota `b` over a given graph — the
     /// workhorse constructor of the experiment suite.
     pub fn random_over(graph: Graph, b: u32, seed: u64) -> Self {
@@ -75,6 +98,17 @@ impl Problem {
         let prefs = PreferenceTable::random(&graph, &mut rng);
         let quotas = Quotas::uniform(&graph, b);
         Problem::new(graph, prefs, quotas)
+    }
+
+    /// [`Problem::random_over`] under a [`PhaseProfile`]: identical RNG call
+    /// sequence (so the instance is bit-identical to `random_over(graph, b,
+    /// seed)`), with preference generation, weight computation and edge
+    /// ordering timed as separate phases.
+    pub fn random_over_profiled(graph: Graph, b: u32, seed: u64, prof: &mut PhaseProfile) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prefs = prof.time("prefs", |_| PreferenceTable::random(&graph, &mut rng));
+        let quotas = Quotas::uniform(&graph, b);
+        Problem::new_profiled(graph, prefs, quotas, prof)
     }
 
     /// Random G(n, p) topology, random preferences, uniform quota `b`.
@@ -118,6 +152,23 @@ mod tests {
         assert_eq!(p.weights.len(), p.edge_count());
         assert!(p.bmax() <= 3);
         assert_eq!(p.node_count(), 20);
+    }
+
+    #[test]
+    fn profiled_construction_is_bit_identical() {
+        let mut prof = PhaseProfile::new();
+        let p1 = Problem::random_over_profiled(complete(12), 2, 23, &mut prof);
+        let p2 = Problem::random_over(complete(12), 2, 23);
+        for i in p1.nodes() {
+            assert_eq!(p1.prefs.list(i), p2.prefs.list(i));
+        }
+        for e in p1.graph.edges() {
+            assert_eq!(p1.weights.get(e), p2.weights.get(e));
+            assert_eq!(p1.order.rank(e), p2.order.rank(e));
+        }
+        for phase in ["prefs", "weights", "order"] {
+            assert!(prof.total_of(phase).is_some(), "missing phase {phase}");
+        }
     }
 
     #[test]

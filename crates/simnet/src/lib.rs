@@ -21,7 +21,10 @@
 //!   used for deterministic round-complexity measurements;
 //! * [`faults`] — message-loss and node-crash injection for the robustness
 //!   experiments that go beyond the paper's reliable-network assumption;
-//! * [`stats`] / [`trace`] — per-kind message counters and full event traces.
+//! * [`stats`] — typed per-kind message counters ([`owp_telemetry::MessageKind`]);
+//!   structured event traces live in the re-exported [`owp_telemetry`] layer
+//!   (`EventLog` of typed `TelemetryEvent`s, enabled per run via
+//!   [`sim::SimConfig::telemetry`]).
 //!
 //! Determinism: given the same seed, node set and configuration, a run
 //! delivers exactly the same events in the same order. Every experiment in
@@ -37,12 +40,12 @@ pub mod protocol;
 pub mod sim;
 pub mod stats;
 pub mod sync;
-pub mod trace;
 
 pub use faults::FaultPlan;
 pub use latency::LatencyModel;
 pub use link::LinkIndex;
 pub use owp_graph::NodeId;
+pub use owp_telemetry::{EventLog, MessageKind, NodeEvent, Recorder, TelemetryEvent};
 pub use protocol::{Context, Payload, Protocol};
 pub use sim::{RunOutcome, SimConfig, Simulator};
 pub use stats::NetStats;

@@ -8,18 +8,21 @@
 //! Algorithm 1.
 
 use crate::{NodeId, SimTime};
+use owp_telemetry::{MessageKind, NodeEvent};
 
-/// Buffered output of one callback: `(messages, armed timers)`.
-pub(crate) type CtxParts<M> = (Vec<(NodeId, M)>, Vec<(SimTime, u64)>);
+/// Buffered output of one callback: `(messages, armed timers, emitted
+/// protocol events)`.
+pub(crate) type CtxParts<M> = (Vec<(NodeId, M)>, Vec<(SimTime, u64)>, Vec<NodeEvent>);
 
 /// A message payload exchanged between protocol nodes.
 ///
-/// `kind` labels the message class (e.g. `"PROP"`, `"REJ"`) so the engines
-/// can aggregate per-kind statistics without knowing protocol internals.
+/// `kind` classifies the message (e.g. [`MessageKind::Prop`]) so the
+/// engines can aggregate per-kind statistics without knowing protocol
+/// internals — a typed enum, so the statistics path never hashes strings.
 pub trait Payload: Clone + std::fmt::Debug {
-    /// A short static label for statistics (default `"msg"`).
-    fn kind(&self) -> &'static str {
-        "msg"
+    /// The message class (default: the unlabelled [`MessageKind::Other`]).
+    fn kind(&self) -> MessageKind {
+        MessageKind::Other("msg")
     }
 }
 
@@ -59,16 +62,34 @@ pub struct Context<M> {
     now: SimTime,
     outbox: Vec<(NodeId, M)>,
     timers: Vec<(SimTime, u64)>,
+    /// Protocol state transitions emitted this callback (drained by the
+    /// engine, which stamps node and time). Never allocated unless the
+    /// engine enabled telemetry *and* the `telemetry` feature is on.
+    events: Vec<NodeEvent>,
+    telemetry: bool,
 }
 
 impl<M> Context<M> {
     pub(crate) fn new(node: NodeId, now: SimTime) -> Self {
+        Self::with_telemetry(node, now, false)
+    }
+
+    pub(crate) fn with_telemetry(node: NodeId, now: SimTime, telemetry: bool) -> Self {
         Context {
             node,
             now,
             outbox: Vec::new(),
             timers: Vec::new(),
+            events: Vec::new(),
+            telemetry,
         }
+    }
+
+    /// A context detached from any engine, for replaying recorded traces
+    /// through protocol state machines (and for tests). Everything sent or
+    /// emitted through it is the caller's to inspect or discard.
+    pub fn detached(node: NodeId, now: SimTime) -> Self {
+        Context::new(node, now)
     }
 
     /// The id of the node this callback runs on.
@@ -102,8 +123,34 @@ impl<M> Context<M> {
         self.timers.push((delay.max(1), tag));
     }
 
+    /// Whether the engine is recording protocol events this run. Guard
+    /// event *construction* with this when building one is not free.
+    #[inline]
+    pub fn telemetry_enabled(&self) -> bool {
+        cfg!(feature = "telemetry") && self.telemetry
+    }
+
+    /// Emits a protocol state transition into the run's event log. The
+    /// engine stamps it with this node's id and the current time.
+    ///
+    /// Without the `telemetry` feature this compiles to nothing; with it
+    /// but recording disabled it is one predictable branch.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    pub fn emit(&mut self, ev: NodeEvent) {
+        if self.telemetry {
+            self.events.push(ev);
+        }
+    }
+
+    /// Emits a protocol state transition (no-op: the `telemetry` feature
+    /// is disabled, so the emission path is not compiled).
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    pub fn emit(&mut self, _ev: NodeEvent) {}
+
     pub(crate) fn into_parts(self) -> CtxParts<M> {
-        (self.outbox, self.timers)
+        (self.outbox, self.timers, self.events)
     }
 }
 
@@ -114,8 +161,8 @@ mod tests {
     #[derive(Clone, Debug)]
     struct Ping;
     impl Payload for Ping {
-        fn kind(&self) -> &'static str {
-            "PING"
+        fn kind(&self) -> MessageKind {
+            MessageKind::Other("PING")
         }
     }
 
@@ -128,10 +175,11 @@ mod tests {
         ctx.send(NodeId(1), Ping);
         ctx.send(NodeId(2), Ping);
         assert_eq!(ctx.pending(), 2);
-        let (out, timers) = ctx.into_parts();
+        let (out, timers, events) = ctx.into_parts();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].0, NodeId(1));
         assert!(timers.is_empty());
+        assert!(events.is_empty());
     }
 
     #[test]
@@ -139,7 +187,25 @@ mod tests {
         #[derive(Clone, Debug)]
         struct Plain;
         impl Payload for Plain {}
-        assert_eq!(Plain.kind(), "msg");
-        assert_eq!(Ping.kind(), "PING");
+        assert_eq!(Plain.kind(), MessageKind::Other("msg"));
+        assert_eq!(Ping.kind(), MessageKind::Other("PING"));
+    }
+
+    #[test]
+    fn emit_respects_the_telemetry_switch() {
+        // Telemetry off (default construction): events are discarded and
+        // the buffer never allocates, regardless of the feature flag.
+        let mut off: Context<Ping> = Context::new(NodeId(0), 0);
+        off.emit(NodeEvent::NodeTerminated);
+        assert!(!off.telemetry_enabled() || cfg!(feature = "telemetry"));
+        let (_, _, events) = off.into_parts();
+        assert!(events.is_empty());
+        assert_eq!(events.capacity(), 0);
+
+        // Telemetry on: events are captured iff the feature is compiled.
+        let mut on: Context<Ping> = Context::with_telemetry(NodeId(0), 0, true);
+        on.emit(NodeEvent::EdgeLocked { peer: NodeId(1) });
+        let (_, _, events) = on.into_parts();
+        assert_eq!(events.len(), usize::from(cfg!(feature = "telemetry")));
     }
 }

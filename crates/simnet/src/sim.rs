@@ -5,8 +5,8 @@ use crate::latency::LatencyModel;
 use crate::link::LinkIndex;
 use crate::protocol::{Context, Payload, Protocol};
 use crate::stats::NetStats;
-use crate::trace::{Trace, TraceEvent};
 use crate::{NodeId, SimTime};
+use owp_telemetry::{EventLog, Recorder as _, TelemetryEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -27,8 +27,11 @@ pub struct SimConfig {
     /// Hard stop: abort after this many deliveries (guards against protocol
     /// bugs that never quiesce). `u64::MAX` by default.
     pub max_deliveries: u64,
-    /// Record a full event trace.
-    pub trace: bool,
+    /// Record the structured telemetry event log (transport events always;
+    /// per-node protocol events too when the `telemetry` feature is
+    /// compiled). Off by default: a disabled log costs one branch per
+    /// event and performs no allocation.
+    pub telemetry: bool,
 }
 
 impl Default for SimConfig {
@@ -39,7 +42,7 @@ impl Default for SimConfig {
             seed: 0,
             faults: FaultPlan::none(),
             max_deliveries: u64::MAX,
-            trace: false,
+            telemetry: false,
         }
     }
 }
@@ -65,9 +68,9 @@ impl SimConfig {
         self
     }
 
-    /// Enables trace recording.
-    pub fn traced(mut self) -> Self {
-        self.trace = true;
+    /// Enables telemetry event recording.
+    pub fn telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 }
@@ -153,7 +156,7 @@ pub struct Simulator<P: Protocol> {
     /// Last scheduled delivery time per directed link, for FIFO clamping.
     link_clock: LinkClock,
     stats: NetStats,
-    trace: Trace,
+    log: EventLog,
     started: bool,
 }
 
@@ -184,10 +187,10 @@ impl<P: Protocol> Simulator<P> {
     fn with_clock(nodes: Vec<P>, config: SimConfig, link_clock: LinkClock) -> Self {
         let n = nodes.len();
         let rng = StdRng::seed_from_u64(config.seed);
-        let trace = if config.trace {
-            Trace::enabled()
+        let log = if config.telemetry {
+            EventLog::enabled()
         } else {
-            Trace::disabled()
+            EventLog::disabled()
         };
         Simulator {
             nodes,
@@ -201,9 +204,13 @@ impl<P: Protocol> Simulator<P> {
             free_slots: Vec::new(),
             link_clock,
             stats: NetStats::default(),
-            trace,
+            log,
             started: false,
         }
+    }
+
+    fn make_ctx(&self, node: NodeId, now: SimTime) -> Context<P::Message> {
+        Context::with_telemetry(node, now, self.config.telemetry)
     }
 
     fn schedule(&mut self, at: SimTime, pending: Pending<P::Message>) {
@@ -224,7 +231,17 @@ impl<P: Protocol> Simulator<P> {
     }
 
     fn dispatch_ctx(&mut self, from: NodeId, ctx: Context<P::Message>) {
-        let (outbox, timers) = ctx.into_parts();
+        let (outbox, timers, events) = ctx.into_parts();
+        // Protocol state transitions emitted during the callback, stamped
+        // with the emitting node and its callback time. `events` is always
+        // empty unless the `telemetry` feature compiled `Context::emit`.
+        for event in events {
+            self.log.record(TelemetryEvent::Node {
+                time: self.now,
+                node: from,
+                event,
+            });
+        }
         for (delay, tag) in timers {
             self.schedule(self.now + delay, Pending::Timer { node: from, tag });
         }
@@ -236,7 +253,7 @@ impl<P: Protocol> Simulator<P> {
             assert!(to != from, "node {from:?} sent a message to itself");
             let kind = msg.kind();
             self.stats.record_send(kind);
-            self.trace.push(TraceEvent::Sent {
+            self.log.record(TelemetryEvent::Sent {
                 time: self.now,
                 from,
                 to,
@@ -247,7 +264,7 @@ impl<P: Protocol> Simulator<P> {
                 && self.rng.gen_range(0.0..1.0) < self.config.faults.drop_probability
             {
                 self.stats.dropped += 1;
-                self.trace.push(TraceEvent::Dropped {
+                self.log.record(TelemetryEvent::Dropped {
                     time: self.now,
                     from,
                     to,
@@ -276,7 +293,7 @@ impl<P: Protocol> Simulator<P> {
                 self.crashed[i] = true;
                 continue;
             }
-            let mut ctx = Context::new(id, 0);
+            let mut ctx = self.make_ctx(id, 0);
             self.nodes[i].on_start(&mut ctx);
             self.dispatch_ctx(id, ctx);
         }
@@ -306,7 +323,12 @@ impl<P: Protocol> Simulator<P> {
                     return true;
                 }
                 self.stats.timers_fired += 1;
-                let mut ctx = Context::new(node, at);
+                self.log.record(TelemetryEvent::TimerFired {
+                    time: at,
+                    node,
+                    tag,
+                });
+                let mut ctx = self.make_ctx(node, at);
                 self.nodes[node.index()].on_timer(tag, &mut ctx);
                 self.dispatch_ctx(node, ctx);
             }
@@ -319,7 +341,7 @@ impl<P: Protocol> Simulator<P> {
                 }
                 if self.crashed[to.index()] {
                     self.stats.dead_lettered += 1;
-                    self.trace.push(TraceEvent::Dropped {
+                    self.log.record(TelemetryEvent::DeadLettered {
                         time: at,
                         from,
                         to,
@@ -329,13 +351,13 @@ impl<P: Protocol> Simulator<P> {
                 }
 
                 self.stats.delivered += 1;
-                self.trace.push(TraceEvent::Delivered {
+                self.log.record(TelemetryEvent::Delivered {
                     time: at,
                     from,
                     to,
                     kind: msg.kind(),
                 });
-                let mut ctx = Context::new(to, at);
+                let mut ctx = self.make_ctx(to, at);
                 self.nodes[to.index()].on_message(from, msg, &mut ctx);
                 self.dispatch_ctx(to, ctx);
             }
@@ -385,14 +407,24 @@ impl<P: Protocol> Simulator<P> {
         &self.stats
     }
 
-    /// The recorded trace (empty unless `config.trace`).
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// The recorded telemetry log (empty unless `config.telemetry`).
+    pub fn telemetry(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Takes ownership of the telemetry log (leaves an empty disabled one).
+    pub fn take_telemetry(&mut self) -> EventLog {
+        std::mem::take(&mut self.log)
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Number of in-flight events (undelivered messages plus armed timers).
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
     }
 
     /// Fraction of nodes whose `is_terminated` is `true`.
@@ -408,6 +440,7 @@ impl<P: Protocol> Simulator<P> {
 mod tests {
     use super::*;
     use crate::protocol::Payload;
+    use owp_telemetry::MessageKind;
 
     /// Token-ring protocol: node 0 starts a token that makes `hops` hops.
     #[derive(Clone, Debug)]
@@ -415,8 +448,8 @@ mod tests {
         remaining: u32,
     }
     impl Payload for Token {
-        fn kind(&self) -> &'static str {
-            "TOKEN"
+        fn kind(&self) -> MessageKind {
+            MessageKind::Other("TOKEN")
         }
     }
 
@@ -482,7 +515,7 @@ mod tests {
         assert!(out.quiescent);
         assert_eq!(out.deliveries, 12);
         assert_eq!(sim.stats().sent, 12);
-        assert_eq!(sim.stats().sent_of("TOKEN"), 12);
+        assert_eq!(sim.stats().sent_of(MessageKind::Other("TOKEN")), 12);
         let total_seen: u32 = sim.nodes().map(|n| n.seen).sum();
         assert_eq!(total_seen, 12);
     }
@@ -500,10 +533,10 @@ mod tests {
         let run = |seed: u64| {
             let cfg = SimConfig::with_seed(seed)
                 .latency(LatencyModel::Exponential { mean: 7.0 })
-                .traced();
+                .telemetry();
             let mut sim = Simulator::new(ring(6, 30), cfg);
             let out = sim.run();
-            (out, sim.trace().events().to_vec())
+            (out, sim.telemetry().events().to_vec())
         };
         let (o1, t1) = run(42);
         let (o2, t2) = run(42);
@@ -539,12 +572,17 @@ mod tests {
     #[test]
     fn crashed_node_dead_letters() {
         // Node 1 crashes at t=0; the token dies there.
-        let cfg = SimConfig::with_seed(5).faults(FaultPlan::none().crash(NodeId(1), 0));
+        let cfg = SimConfig::with_seed(5)
+            .faults(FaultPlan::none().crash(NodeId(1), 0))
+            .telemetry();
         let mut sim = Simulator::new(ring(4, 10), cfg);
         let out = sim.run();
         assert!(out.quiescent);
         assert_eq!(sim.stats().dead_lettered, 1);
         assert_eq!(out.deliveries, 0);
+        // Dead letters are recorded as their own event class, not drops.
+        assert_eq!(sim.telemetry().with_tag("dead_lettered").count(), 1);
+        assert_eq!(sim.telemetry().with_tag("dropped").count(), 0);
     }
 
     #[test]
@@ -601,10 +639,10 @@ mod tests {
         Pong,
     }
     impl Payload for RetryMsg {
-        fn kind(&self) -> &'static str {
+        fn kind(&self) -> MessageKind {
             match self {
-                RetryMsg::Ping => "PING",
-                RetryMsg::Pong => "PONG",
+                RetryMsg::Ping => MessageKind::Other("PING"),
+                RetryMsg::Pong => MessageKind::Other("PONG"),
             }
         }
     }
@@ -650,16 +688,19 @@ mod tests {
 
     #[test]
     fn timers_drive_retransmission_to_completion() {
-        let mut sim = Simulator::new(retry_nodes(), SimConfig::with_seed(1));
+        let cfg = SimConfig::with_seed(1).telemetry();
+        let mut sim = Simulator::new(retry_nodes(), cfg);
         let out = sim.run();
         assert!(out.quiescent);
         assert!(sim.node(NodeId(0)).done);
         assert_eq!(sim.node(NodeId(1)).pings_seen, 3);
-        assert_eq!(sim.stats().sent_of("PING"), 3);
-        assert_eq!(sim.stats().sent_of("PONG"), 1);
+        assert_eq!(sim.stats().sent_of(MessageKind::Other("PING")), 3);
+        assert_eq!(sim.stats().sent_of(MessageKind::Other("PONG")), 1);
         // Two timers fired and re-armed; the third finds done=true and stops
         // re-arming, so exactly 3 timer firings happen before quiescence.
         assert_eq!(sim.stats().timers_fired, 3);
+        assert_eq!(sim.telemetry().with_tag("timer_fired").count(), 3);
+        assert_eq!(sim.telemetry().deliveries().count(), 4);
     }
 
     #[test]
@@ -680,7 +721,7 @@ mod tests {
         let mut sim = Simulator::new(retry_nodes(), cfg);
         sim.run();
         // Node 0 crashed before its first timer (t=10): no retransmissions.
-        assert_eq!(sim.stats().sent_of("PING"), 1);
+        assert_eq!(sim.stats().sent_of(MessageKind::Other("PING")), 1);
         assert_eq!(sim.stats().timers_fired, 0);
     }
 
@@ -690,5 +731,13 @@ mod tests {
         assert_eq!(sim.terminated_fraction(), 0.0);
         sim.run();
         assert_eq!(sim.terminated_fraction(), 0.25); // exactly one node saw remaining=0
+    }
+
+    #[test]
+    fn disabled_telemetry_stays_unallocated() {
+        let mut sim = Simulator::new(ring(5, 40), SimConfig::with_seed(9));
+        sim.run();
+        assert!(sim.telemetry().is_empty());
+        assert_eq!(sim.telemetry().events_capacity(), 0);
     }
 }

@@ -8,6 +8,7 @@
 use crate::protocol::{Context, Payload, Protocol};
 use crate::stats::NetStats;
 use crate::NodeId;
+use owp_telemetry::{EventLog, Recorder as _, TelemetryEvent};
 
 /// Outcome of a synchronous run.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -26,6 +27,8 @@ pub struct SyncRunner<P: Protocol> {
     /// Armed timers: `(fire round, node, tag)`.
     timers: Vec<(u64, NodeId, u64)>,
     stats: NetStats,
+    log: EventLog,
+    telemetry: bool,
     rounds: u64,
     max_rounds: u64,
     started: bool,
@@ -39,6 +42,8 @@ impl<P: Protocol> SyncRunner<P> {
             pending: Vec::new(),
             timers: Vec::new(),
             stats: NetStats::default(),
+            log: EventLog::disabled(),
+            telemetry: false,
             rounds: 0,
             max_rounds: 1_000_000,
             started: false,
@@ -51,8 +56,17 @@ impl<P: Protocol> SyncRunner<P> {
         self
     }
 
+    /// Enables telemetry event recording. Event times are round numbers.
+    pub fn with_telemetry(mut self) -> Self {
+        self.log = EventLog::enabled();
+        self.telemetry = true;
+        self
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn collect(
         stats: &mut NetStats,
+        log: &mut EventLog,
         pending: &mut Vec<(NodeId, NodeId, P::Message)>,
         timers: &mut Vec<(u64, NodeId, u64)>,
         round: u64,
@@ -60,14 +74,29 @@ impl<P: Protocol> SyncRunner<P> {
         ctx: Context<P::Message>,
         n: usize,
     ) {
-        let (outbox, new_timers) = ctx.into_parts();
+        let (outbox, new_timers, events) = ctx.into_parts();
+        // Always empty unless the `telemetry` feature compiled `emit`.
+        for event in events {
+            log.record(TelemetryEvent::Node {
+                time: round,
+                node: from,
+                event,
+            });
+        }
         for (delay, tag) in new_timers {
             timers.push((round + delay, from, tag));
         }
         for (to, msg) in outbox {
             assert!(to.index() < n, "send to unknown node {to:?}");
             assert!(to != from, "node {from:?} sent a message to itself");
-            stats.record_send(msg.kind());
+            let kind = msg.kind();
+            stats.record_send(kind);
+            log.record(TelemetryEvent::Sent {
+                time: round,
+                from,
+                to,
+                kind,
+            });
             pending.push((from, to, msg));
         }
     }
@@ -81,9 +110,18 @@ impl<P: Protocol> SyncRunner<P> {
         let n = self.nodes.len();
         for i in 0..n {
             let id = NodeId(i as u32);
-            let mut ctx = Context::new(id, 0);
+            let mut ctx = Context::with_telemetry(id, 0, self.telemetry);
             self.nodes[i].on_start(&mut ctx);
-            Self::collect(&mut self.stats, &mut self.pending, &mut self.timers, 0, id, ctx, n);
+            Self::collect(
+                &mut self.stats,
+                &mut self.log,
+                &mut self.pending,
+                &mut self.timers,
+                0,
+                id,
+                ctx,
+                n,
+            );
         }
     }
 
@@ -115,9 +153,24 @@ impl<P: Protocol> SyncRunner<P> {
         batch.sort_by_key(|&(from, _, _)| from);
         for (from, to, msg) in batch {
             self.stats.delivered += 1;
-            let mut ctx = Context::new(to, round);
+            self.log.record(TelemetryEvent::Delivered {
+                time: round,
+                from,
+                to,
+                kind: msg.kind(),
+            });
+            let mut ctx = Context::with_telemetry(to, round, self.telemetry);
             self.nodes[to.index()].on_message(from, msg, &mut ctx);
-            Self::collect(&mut self.stats, &mut self.pending, &mut self.timers, round, to, ctx, n);
+            Self::collect(
+                &mut self.stats,
+                &mut self.log,
+                &mut self.pending,
+                &mut self.timers,
+                round,
+                to,
+                ctx,
+                n,
+            );
         }
 
         // Fire due timers (armed before this round), in (node, tag) order.
@@ -133,9 +186,23 @@ impl<P: Protocol> SyncRunner<P> {
         due.sort_by_key(|&(r, node, tag)| (r, node, tag));
         for (_, node, tag) in due {
             self.stats.timers_fired += 1;
-            let mut ctx = Context::new(node, round);
+            self.log.record(TelemetryEvent::TimerFired {
+                time: round,
+                node,
+                tag,
+            });
+            let mut ctx = Context::with_telemetry(node, round, self.telemetry);
             self.nodes[node.index()].on_timer(tag, &mut ctx);
-            Self::collect(&mut self.stats, &mut self.pending, &mut self.timers, round, node, ctx, n);
+            Self::collect(
+                &mut self.stats,
+                &mut self.log,
+                &mut self.pending,
+                &mut self.timers,
+                round,
+                node,
+                ctx,
+                n,
+            );
         }
         true
     }
@@ -172,23 +239,47 @@ impl<P: Protocol> SyncRunner<P> {
         &self.stats
     }
 
+    /// The recorded telemetry log (empty unless enabled).
+    pub fn telemetry(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Takes ownership of the telemetry log (leaves an empty disabled one).
+    pub fn take_telemetry(&mut self) -> EventLog {
+        std::mem::take(&mut self.log)
+    }
+
     /// Rounds executed so far.
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// Messages waiting to be delivered next round.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Fraction of nodes whose `is_terminated` is `true`.
+    pub fn terminated_fraction(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 1.0;
+        }
+        self.nodes.iter().filter(|n| n.is_terminated()).count() as f64 / self.nodes.len() as f64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use owp_telemetry::MessageKind;
 
     /// Flooding protocol: node 0 floods a wave over a clique; each node
     /// forwards once.
     #[derive(Clone, Debug)]
     struct Wave;
     impl Payload for Wave {
-        fn kind(&self) -> &'static str {
-            "WAVE"
+        fn kind(&self) -> MessageKind {
+            MessageKind::Other("WAVE")
         }
     }
 
@@ -225,6 +316,9 @@ mod tests {
                 self.flood(ctx);
             }
         }
+        fn is_terminated(&self) -> bool {
+            self.forwarded
+        }
     }
 
     fn flood_nodes(n: usize) -> Vec<FloodNode> {
@@ -254,6 +348,36 @@ mod tests {
         // 5 from node 0, then each of the other 5 nodes floods to 5 peers.
         assert_eq!(r.stats().sent, 30);
         assert_eq!(r.stats().delivered, 30);
+        assert_eq!(r.stats().sent_of(MessageKind::Other("WAVE")), 30);
+        assert_eq!(r.pending_count(), 0);
+        assert_eq!(r.terminated_fraction(), 1.0);
+    }
+
+    #[test]
+    fn round_by_round_observation() {
+        let mut r = SyncRunner::new(flood_nodes(6));
+        r.start();
+        assert_eq!(r.pending_count(), 5, "node 0's wave is in flight");
+        assert!((r.terminated_fraction() - 1.0 / 6.0).abs() < 1e-12);
+        assert!(r.round());
+        assert_eq!(r.terminated_fraction(), 1.0);
+        assert_eq!(r.pending_count(), 25, "echo wave in flight");
+        assert!(r.round());
+        assert!(!r.round(), "quiescent after the echoes land");
+    }
+
+    #[test]
+    fn telemetry_records_round_stamped_transport_events() {
+        let mut r = SyncRunner::new(flood_nodes(4)).with_telemetry();
+        let out = r.run();
+        assert!(out.quiescent);
+        let log = r.telemetry();
+        assert_eq!(log.with_tag("sent").count(), 12);
+        assert_eq!(log.deliveries().count(), 12);
+        // Sends from on_start carry round 0; echo sends carry round 1.
+        assert!(log
+            .with_tag("sent")
+            .all(|e| e.time() == 0 || e.time() == 1));
     }
 
     #[test]

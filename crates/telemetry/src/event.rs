@@ -1,0 +1,374 @@
+//! The typed event vocabulary of the telemetry layer.
+//!
+//! One flat enum covers all three execution layers so a single recorder
+//! can hold an interleaved trace of a whole run:
+//!
+//! * **transport** — what the simnet engines do with messages
+//!   (send/deliver/drop/dead-letter, timer firings);
+//! * **protocol** — per-node LID state transitions ([`NodeEvent`]),
+//!   stamped with node and time by the engine when it drains a callback's
+//!   context;
+//! * **LIC** — centralized selection-loop decisions, where "time" is the
+//!   selection step counter instead of simulated ticks.
+
+use owp_graph::{EdgeId, NodeId};
+use std::fmt::Write as _;
+
+/// Typed message classes, replacing the string labels the engines used to
+/// aggregate on. The protocol kinds of Algorithm 1 get dedicated variants
+/// so statistics index a flat array — no string hashing or tree lookup on
+/// the send path; anything else carries its label in [`MessageKind::Other`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum MessageKind {
+    /// "I propose we establish a connection" (Algorithm 1 `PROP`).
+    Prop,
+    /// "I will not connect to you" (Algorithm 1 `REJ`).
+    Rej,
+    /// Reliable-LID handshake confirmation (`ACK`).
+    Ack,
+    /// Any other protocol's message class, labelled for display.
+    Other(&'static str),
+}
+
+impl MessageKind {
+    /// Number of dedicated (array-indexable) kinds.
+    pub const FIXED: usize = 3;
+
+    /// The flat-array slot of a dedicated kind; `None` for [`MessageKind::Other`].
+    #[inline]
+    pub const fn fixed_slot(self) -> Option<usize> {
+        match self {
+            MessageKind::Prop => Some(0),
+            MessageKind::Rej => Some(1),
+            MessageKind::Ack => Some(2),
+            MessageKind::Other(_) => None,
+        }
+    }
+
+    /// The kind occupying a flat-array slot (inverse of [`MessageKind::fixed_slot`]).
+    #[inline]
+    pub const fn from_fixed_slot(slot: usize) -> Option<MessageKind> {
+        match slot {
+            0 => Some(MessageKind::Prop),
+            1 => Some(MessageKind::Rej),
+            2 => Some(MessageKind::Ack),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label (what the old string keys were).
+    #[inline]
+    pub const fn label(self) -> &'static str {
+        match self {
+            MessageKind::Prop => "PROP",
+            MessageKind::Rej => "REJ",
+            MessageKind::Ack => "ACK",
+            MessageKind::Other(s) => s,
+        }
+    }
+}
+
+impl std::fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A per-node protocol state transition, emitted from inside a protocol
+/// callback via `Context::emit`. The engine stamps node id and time when it
+/// drains the callback, turning each into a [`TelemetryEvent::Node`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum NodeEvent {
+    /// The node proposed a connection to `to` (Algorithm 1 lines 3 / 10).
+    PropSent {
+        /// Proposal receiver.
+        to: NodeId,
+    },
+    /// The node rejected `to` (quota filled, better options won, or the
+    /// termination broadcast of lines 15–16).
+    RejSent {
+        /// Rejection receiver.
+        to: NodeId,
+    },
+    /// A mutual proposal locked the edge to `peer` on this side
+    /// (Algorithm 1 lines 12–14).
+    EdgeLocked {
+        /// The partner at the other end of the locked edge.
+        peer: NodeId,
+    },
+    /// The node's `U` set emptied: it has locally terminated (line 16).
+    NodeTerminated,
+    /// Reliable-LID only: a retransmission or handshake repair fired.
+    Retransmit {
+        /// Receiver of the retransmitted message.
+        to: NodeId,
+    },
+}
+
+/// One structured event. `time` is simulated ticks for asynchronous runs,
+/// the round number for synchronous runs, and the selection-step counter
+/// for the centralized LIC events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TelemetryEvent {
+    /// A message was handed to the network (before loss).
+    Sent {
+        /// Send time.
+        time: u64,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message class.
+        kind: MessageKind,
+    },
+    /// A message was delivered to its destination's handler.
+    Delivered {
+        /// Delivery time.
+        time: u64,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message class.
+        kind: MessageKind,
+    },
+    /// A message was dropped by fault injection.
+    Dropped {
+        /// Time the drop was decided.
+        time: u64,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message class.
+        kind: MessageKind,
+    },
+    /// A message was discarded because its destination had crashed.
+    DeadLettered {
+        /// Time of the discard.
+        time: u64,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message class.
+        kind: MessageKind,
+    },
+    /// A local timer fired.
+    TimerFired {
+        /// Firing time.
+        time: u64,
+        /// Owner of the timer.
+        node: NodeId,
+        /// The tag the timer was armed with.
+        tag: u64,
+    },
+    /// A per-node protocol state transition (see [`NodeEvent`]).
+    Node {
+        /// Time of the callback that emitted the transition.
+        time: u64,
+        /// The node the transition happened on.
+        node: NodeId,
+        /// The transition itself.
+        event: NodeEvent,
+    },
+    /// LIC selected a locally heaviest edge (Algorithm 2 lines 5–7).
+    LicEdgeSelected {
+        /// Selection step (0-based position in the selection order).
+        step: u32,
+        /// The selected edge.
+        edge: EdgeId,
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// A node's counter hit zero and its remaining pool edges were
+    /// discarded (Algorithm 2 lines 8–9).
+    LicNodeSaturated {
+        /// Selection step at which saturation happened.
+        step: u32,
+        /// The saturated node.
+        node: NodeId,
+        /// Pool edges discarded by the saturation sweep.
+        discarded: u32,
+    },
+    /// A node's rank cursor skipped past removed edges to find its current
+    /// top pool edge.
+    LicCursorAdvanced {
+        /// The node whose cursor moved.
+        node: NodeId,
+        /// Removed entries skipped by this advance.
+        skipped: u32,
+    },
+}
+
+impl TelemetryEvent {
+    /// The event's time coordinate (ticks / rounds for the simulated
+    /// events, the selection step for LIC events).
+    pub fn time(&self) -> u64 {
+        match *self {
+            TelemetryEvent::Sent { time, .. }
+            | TelemetryEvent::Delivered { time, .. }
+            | TelemetryEvent::Dropped { time, .. }
+            | TelemetryEvent::DeadLettered { time, .. }
+            | TelemetryEvent::TimerFired { time, .. }
+            | TelemetryEvent::Node { time, .. } => time,
+            TelemetryEvent::LicEdgeSelected { step, .. }
+            | TelemetryEvent::LicNodeSaturated { step, .. } => step as u64,
+            TelemetryEvent::LicCursorAdvanced { .. } => 0,
+        }
+    }
+
+    /// Short stable tag naming the variant — the `"ev"` field of the JSONL
+    /// schema and the grouping key of summaries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TelemetryEvent::Sent { .. } => "sent",
+            TelemetryEvent::Delivered { .. } => "delivered",
+            TelemetryEvent::Dropped { .. } => "dropped",
+            TelemetryEvent::DeadLettered { .. } => "dead_lettered",
+            TelemetryEvent::TimerFired { .. } => "timer_fired",
+            TelemetryEvent::Node { event, .. } => match event {
+                NodeEvent::PropSent { .. } => "prop_sent",
+                NodeEvent::RejSent { .. } => "rej_sent",
+                NodeEvent::EdgeLocked { .. } => "edge_locked",
+                NodeEvent::NodeTerminated => "node_terminated",
+                NodeEvent::Retransmit { .. } => "retransmit",
+            },
+            TelemetryEvent::LicEdgeSelected { .. } => "lic_edge_selected",
+            TelemetryEvent::LicNodeSaturated { .. } => "lic_node_saturated",
+            TelemetryEvent::LicCursorAdvanced { .. } => "lic_cursor_advanced",
+        }
+    }
+
+    /// One JSONL line (no trailing newline): `{"ev":...,"time":...,...}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        let _ = write!(s, "{{\"ev\":\"{}\"", self.tag());
+        match *self {
+            TelemetryEvent::Sent { time, from, to, kind }
+            | TelemetryEvent::Delivered { time, from, to, kind }
+            | TelemetryEvent::Dropped { time, from, to, kind }
+            | TelemetryEvent::DeadLettered { time, from, to, kind } => {
+                let _ = write!(
+                    s,
+                    ",\"time\":{time},\"from\":{},\"to\":{},\"kind\":\"{}\"",
+                    from.0,
+                    to.0,
+                    kind.label()
+                );
+            }
+            TelemetryEvent::TimerFired { time, node, tag } => {
+                let _ = write!(s, ",\"time\":{time},\"node\":{},\"tag\":{tag}", node.0);
+            }
+            TelemetryEvent::Node { time, node, event } => {
+                let _ = write!(s, ",\"time\":{time},\"node\":{}", node.0);
+                match event {
+                    NodeEvent::PropSent { to }
+                    | NodeEvent::RejSent { to }
+                    | NodeEvent::Retransmit { to } => {
+                        let _ = write!(s, ",\"to\":{}", to.0);
+                    }
+                    NodeEvent::EdgeLocked { peer } => {
+                        let _ = write!(s, ",\"peer\":{}", peer.0);
+                    }
+                    NodeEvent::NodeTerminated => {}
+                }
+            }
+            TelemetryEvent::LicEdgeSelected { step, edge, a, b } => {
+                let _ = write!(
+                    s,
+                    ",\"step\":{step},\"edge\":{},\"a\":{},\"b\":{}",
+                    edge.0, a.0, b.0
+                );
+            }
+            TelemetryEvent::LicNodeSaturated { step, node, discarded } => {
+                let _ = write!(
+                    s,
+                    ",\"step\":{step},\"node\":{},\"discarded\":{discarded}",
+                    node.0
+                );
+            }
+            TelemetryEvent::LicCursorAdvanced { node, skipped } => {
+                let _ = write!(s, ",\"node\":{},\"skipped\":{skipped}", node.0);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_slots_round_trip() {
+        for slot in 0..MessageKind::FIXED {
+            let k = MessageKind::from_fixed_slot(slot).expect("slot populated");
+            assert_eq!(k.fixed_slot(), Some(slot));
+        }
+        assert_eq!(MessageKind::from_fixed_slot(MessageKind::FIXED), None);
+        assert_eq!(MessageKind::Other("X").fixed_slot(), None);
+        assert_eq!(MessageKind::Prop.label(), "PROP");
+        assert_eq!(MessageKind::Other("TOKEN").label(), "TOKEN");
+        assert_eq!(format!("{}", MessageKind::Rej), "REJ");
+    }
+
+    #[test]
+    fn time_coordinate_per_layer() {
+        let sent = TelemetryEvent::Sent {
+            time: 7,
+            from: NodeId(0),
+            to: NodeId(1),
+            kind: MessageKind::Prop,
+        };
+        assert_eq!(sent.time(), 7);
+        let lic = TelemetryEvent::LicEdgeSelected {
+            step: 3,
+            edge: EdgeId(9),
+            a: NodeId(1),
+            b: NodeId(2),
+        };
+        assert_eq!(lic.time(), 3);
+        assert_eq!(lic.tag(), "lic_edge_selected");
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let events = [
+            TelemetryEvent::Delivered {
+                time: 2,
+                from: NodeId(4),
+                to: NodeId(5),
+                kind: MessageKind::Rej,
+            },
+            TelemetryEvent::Node {
+                time: 2,
+                node: NodeId(5),
+                event: NodeEvent::EdgeLocked { peer: NodeId(4) },
+            },
+            TelemetryEvent::Node {
+                time: 3,
+                node: NodeId(5),
+                event: NodeEvent::NodeTerminated,
+            },
+            TelemetryEvent::LicNodeSaturated {
+                step: 1,
+                node: NodeId(0),
+                discarded: 4,
+            },
+        ];
+        for ev in events {
+            let j = ev.to_json();
+            assert!(j.starts_with("{\"ev\":\""), "{j}");
+            assert!(j.ends_with('}'), "{j}");
+            assert_eq!(j.matches('{').count(), j.matches('}').count());
+        }
+        assert_eq!(
+            events[1].to_json(),
+            "{\"ev\":\"edge_locked\",\"time\":2,\"node\":5,\"peer\":4}"
+        );
+    }
+}

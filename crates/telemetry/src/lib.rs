@@ -1,0 +1,47 @@
+//! # owp-telemetry — structured observability for the reproduction
+//!
+//! The paper's headline claims are *dynamic*: LID terminates without
+//! communication cycles (Lemma 5), selects the same edge set as LIC
+//! (Lemmas 3, 4, 6) and converges in a bounded number of PROP/REJ
+//! exchanges. Final-outcome reports (`MatchingReport`, `NetStats`) cannot
+//! observe any of that; this crate supplies the three instruments the
+//! execution layers thread through:
+//!
+//! * [`event`] / [`recorder`] — **structured event tracing**: one typed
+//!   [`event::TelemetryEvent`] vocabulary covering LIC edge decisions,
+//!   LID protocol actions and simnet transport, recorded through the
+//!   zero-cost-when-disabled [`recorder::Recorder`] trait. The hot paths
+//!   are instrumented generically ([`recorder::NullRecorder`]
+//!   monomorphizes every call site away) or through the enum-dispatched
+//!   [`recorder::EventLog`] (one branch per event, no `dyn`, no
+//!   allocation while disabled).
+//! * [`series`] — **per-round convergence time-series**: the
+//!   [`series::ConvergenceSeries`] collector samples matched-edge count,
+//!   total weight, total satisfaction, in-flight messages and the
+//!   terminated-node fraction at every simulator round, with JSONL and
+//!   CSV export for plotting and regression tracking.
+//! * [`profile`] — **phase profiling**: lightweight monotonic scoped
+//!   timers aggregated into a hierarchical [`profile::PhaseProfile`]
+//!   table (weight computation / edge ordering / CSR build / selection
+//!   loop / simulation), reported by the experiment runner and the large
+//!   benches.
+//!
+//! Overhead policy: recording must never perturb what it measures. Every
+//! instrument is off by default; a disabled recorder performs no
+//! allocation and at most one predictable branch per event, and the LIC
+//! selection loop is instrumented through monomorphized generics so the
+//! disabled build is bit-identical machine code to the uninstrumented
+//! one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod profile;
+pub mod recorder;
+pub mod series;
+
+pub use event::{MessageKind, NodeEvent, TelemetryEvent};
+pub use profile::{PhaseProfile, PhaseToken};
+pub use recorder::{EventLog, NullRecorder, Recorder};
+pub use series::{ConvergenceSample, ConvergenceSeries};

@@ -1,0 +1,241 @@
+//! Phase profiling: lightweight scoped timers aggregated per phase.
+//!
+//! A [`PhaseProfile`] answers "where do the milliseconds live" for the
+//! construction pipeline (weight computation → edge ordering → CSR build →
+//! selection loop → simulation) without a sampling profiler. Timers are
+//! monotonic ([`std::time::Instant`]), hierarchical (nested scopes get
+//! `/`-joined paths) and aggregated: re-entering a phase accumulates into
+//! its existing row.
+//!
+//! This is *coarse* instrumentation for experiment runners and benches —
+//! a begin/end pair costs two `Instant::now()` calls, so it wraps phases,
+//! never per-edge work.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Aggregated statistics of one phase (identified by its full path).
+#[derive(Clone, Debug)]
+pub struct PhaseEntry {
+    /// `/`-joined hierarchical phase name, e.g. `"build/weights"`.
+    pub path: String,
+    /// Times the phase was entered.
+    pub calls: u64,
+    /// Total time spent inside (including nested phases).
+    pub total: Duration,
+}
+
+/// Proof token returned by [`PhaseProfile::begin`]; hand it back to
+/// [`PhaseProfile::end`] to close the scope. Scopes must nest properly
+/// (LIFO) — ending out of order panics.
+#[derive(Debug)]
+#[must_use = "a begun phase must be ended"]
+pub struct PhaseToken {
+    entry: usize,
+    start: Instant,
+}
+
+/// Hierarchical aggregating phase profiler.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProfile {
+    entries: Vec<PhaseEntry>,
+    /// Indices into `entries` of the currently open scopes, innermost last.
+    open: Vec<usize>,
+}
+
+impl PhaseProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        PhaseProfile::default()
+    }
+
+    fn current_path(&self) -> Option<&str> {
+        self.open.last().map(|&i| self.entries[i].path.as_str())
+    }
+
+    fn entry_index(&mut self, path: String) -> usize {
+        if let Some(i) = self.entries.iter().position(|e| e.path == path) {
+            i
+        } else {
+            self.entries.push(PhaseEntry {
+                path,
+                calls: 0,
+                total: Duration::ZERO,
+            });
+            self.entries.len() - 1
+        }
+    }
+
+    /// Opens a phase scope named `name` under the currently open phase
+    /// (if any). Returns the token that closes it.
+    pub fn begin(&mut self, name: &str) -> PhaseToken {
+        let path = match self.current_path() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        let entry = self.entry_index(path);
+        self.open.push(entry);
+        PhaseToken {
+            entry,
+            start: Instant::now(),
+        }
+    }
+
+    /// Closes the scope opened by `token`, accumulating its wall time.
+    ///
+    /// # Panics
+    /// Panics if `token` is not the innermost open scope (improper nesting).
+    pub fn end(&mut self, token: PhaseToken) {
+        let elapsed = token.start.elapsed();
+        let popped = self.open.pop().expect("end() without an open phase");
+        assert_eq!(
+            popped, token.entry,
+            "phase scopes must close innermost-first"
+        );
+        let e = &mut self.entries[token.entry];
+        e.calls += 1;
+        e.total += elapsed;
+    }
+
+    /// Times `f` as the phase `name` (nested phases may be opened inside
+    /// through the `&mut Self` it receives).
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> T) -> T {
+        let token = self.begin(name);
+        let out = f(self);
+        self.end(token);
+        out
+    }
+
+    /// Aggregated entries in first-entered order.
+    pub fn entries(&self) -> &[PhaseEntry] {
+        &self.entries
+    }
+
+    /// Total time of a phase by exact path (`None` if never entered).
+    pub fn total_of(&self, path: &str) -> Option<Duration> {
+        self.entries
+            .iter()
+            .find(|e| e.path == path)
+            .map(|e| e.total)
+    }
+
+    /// Sum of all *top-level* phase times (nested phases are included in
+    /// their parents, so only depth-0 rows are added).
+    pub fn total(&self) -> Duration {
+        self.entries
+            .iter()
+            .filter(|e| !e.path.contains('/'))
+            .map(|e| e.total)
+            .fold(Duration::ZERO, |a, b| a + b)
+    }
+
+    /// Merges another profile into this one (path-wise accumulation) —
+    /// used to aggregate per-run profiles across repetitions.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for e in &other.entries {
+            let i = self.entry_index(e.path.clone());
+            self.entries[i].calls += e.calls;
+            self.entries[i].total += e.total;
+        }
+    }
+
+    /// Renders the aggregated table: indented paths, calls, total ms and
+    /// the share of the top-level total.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "phase profile (total {:.1} ms)", ms(self.total()));
+        let denom = self.total().as_secs_f64().max(f64::MIN_POSITIVE);
+        let width = self
+            .entries
+            .iter()
+            .map(|e| e.path.len() + 2 * e.path.matches('/').count())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        for e in &self.entries {
+            let depth = e.path.matches('/').count();
+            let name = e.path.rsplit('/').next().unwrap_or(&e.path);
+            let label = format!("{}{}", "  ".repeat(depth), name);
+            let _ = writeln!(
+                out,
+                "  {label:<width$}  {calls:>6} call{s}  {total:>9.2} ms  {pct:>5.1}%",
+                calls = e.calls,
+                s = if e.calls == 1 { " " } else { "s" },
+                total = ms(e.total),
+                pct = 100.0 * e.total.as_secs_f64() / denom,
+            );
+        }
+        out
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_repeated_phases() {
+        let mut p = PhaseProfile::new();
+        for _ in 0..3 {
+            let t = p.begin("work");
+            p.end(t);
+        }
+        assert_eq!(p.entries().len(), 1);
+        assert_eq!(p.entries()[0].calls, 3);
+        assert_eq!(p.entries()[0].path, "work");
+    }
+
+    #[test]
+    fn nesting_builds_paths() {
+        let mut p = PhaseProfile::new();
+        p.time("build", |p| {
+            p.time("weights", |_| std::thread::sleep(Duration::from_millis(2)));
+            p.time("order", |_| {});
+        });
+        p.time("simulate", |_| {});
+        let paths: Vec<&str> = p.entries().iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, vec!["build", "build/weights", "build/order", "simulate"]);
+        // The parent includes its children.
+        assert!(p.total_of("build").unwrap() >= p.total_of("build/weights").unwrap());
+        // Top-level total excludes nested rows (no double counting).
+        assert!(p.total() >= p.total_of("build").unwrap());
+        assert!(p.total() <= p.total_of("build").unwrap() + p.total_of("simulate").unwrap());
+        let rendered = p.render();
+        assert!(rendered.contains("weights"), "{rendered}");
+        assert!(rendered.contains('%'), "{rendered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "innermost-first")]
+    fn improper_nesting_panics() {
+        let mut p = PhaseProfile::new();
+        let outer = p.begin("a");
+        let _inner = p.begin("b");
+        p.end(outer); // closes "b"'s slot index mismatch → panic
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PhaseProfile::new();
+        a.time("x", |_| {});
+        let mut b = PhaseProfile::new();
+        b.time("x", |_| {});
+        b.time("y", |_| {});
+        a.merge(&b);
+        assert_eq!(a.entries().len(), 2);
+        assert_eq!(a.entries()[0].calls, 2);
+        assert_eq!(a.total_of("y").map(|d| d.as_nanos() < u128::MAX), Some(true));
+    }
+
+    #[test]
+    fn timed_closure_returns_value() {
+        let mut p = PhaseProfile::new();
+        let v = p.time("compute", |_| 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(p.entries()[0].calls, 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-round convergence time-series.
+//!
+//! Related P2P matching work (Lebedev et al.; Gai et al.) analyzes
+//! convergence *trajectories* — rounds-to-stability and message complexity
+//! over time — not just endpoints. [`ConvergenceSeries`] is the collector
+//! the LID runners fill: one [`ConvergenceSample`] per simulator round,
+//! exported as JSONL (one object per line, schema below) or CSV.
+//!
+//! JSONL schema (stable, consumed by `experiments --trace-out`):
+//!
+//! ```text
+//! {"round":3,"matched_edges":41,"total_weight":12.75,"satisfaction_total":18.2,
+//!  "messages_sent":240,"in_flight":17,"terminated_fraction":0.55}
+//! ```
+//!
+//! Floats are printed with Rust's shortest round-trip formatting, so the
+//! final row is bit-for-bit comparable with `MatchingReport` values.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One sampled round of a convergence run.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct ConvergenceSample {
+    /// Round number (0 = after `on_start`, before any delivery).
+    pub round: u64,
+    /// Edges locked by both endpoints so far.
+    pub matched_edges: usize,
+    /// Total eq. 9 weight of the current matching.
+    pub total_weight: f64,
+    /// Total true satisfaction `Σ S_i` of the current matching.
+    pub satisfaction_total: f64,
+    /// Cumulative messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages pending delivery when the sample was taken.
+    pub in_flight: usize,
+    /// Fraction of nodes that have locally terminated.
+    pub terminated_fraction: f64,
+}
+
+impl ConvergenceSample {
+    /// One JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"round\":{},\"matched_edges\":{},\"total_weight\":{},\"satisfaction_total\":{},\"messages_sent\":{},\"in_flight\":{},\"terminated_fraction\":{}}}",
+            self.round,
+            self.matched_edges,
+            json_f64(self.total_weight),
+            json_f64(self.satisfaction_total),
+            self.messages_sent,
+            self.in_flight,
+            json_f64(self.terminated_fraction),
+        );
+        s
+    }
+
+    /// One CSV row matching [`ConvergenceSeries::CSV_HEADER`].
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{}",
+            self.round,
+            self.matched_edges,
+            json_f64(self.total_weight),
+            json_f64(self.satisfaction_total),
+            self.messages_sent,
+            self.in_flight,
+            json_f64(self.terminated_fraction),
+        )
+    }
+}
+
+/// `f64` in shortest round-trip form, forced valid for JSON (JSON has no
+/// `NaN`/`inf`; those become `null` — they never occur in practice).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // Bare integers round-trip fine but keep the schema typed as float.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The per-round trajectory of one convergence run.
+#[derive(Clone, Debug, Default)]
+pub struct ConvergenceSeries {
+    samples: Vec<ConvergenceSample>,
+}
+
+impl ConvergenceSeries {
+    /// CSV header matching [`ConvergenceSample::to_csv`].
+    pub const CSV_HEADER: &'static str =
+        "round,matched_edges,total_weight,satisfaction_total,messages_sent,in_flight,terminated_fraction";
+
+    /// Empty series.
+    pub fn new() -> Self {
+        ConvergenceSeries::default()
+    }
+
+    /// Appends one round's sample. Rounds must be non-decreasing.
+    pub fn push(&mut self, sample: ConvergenceSample) {
+        if let Some(last) = self.samples.last() {
+            debug_assert!(sample.round >= last.round, "rounds must be monotone");
+        }
+        self.samples.push(sample);
+    }
+
+    /// All samples, in round order.
+    pub fn samples(&self) -> &[ConvergenceSample] {
+        &self.samples
+    }
+
+    /// The final sample (the run's endpoint), if any round was recorded.
+    pub fn last(&self) -> Option<&ConvergenceSample> {
+        self.samples.last()
+    }
+
+    /// Number of sampled rounds.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` iff no round was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// JSONL document: one sample object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.samples.len() * 128);
+        for s in &self.samples {
+            out.push_str(&s.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV document with header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity((self.samples.len() + 1) * 64);
+        out.push_str(Self::CSV_HEADER);
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&s.to_csv());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL document to `path`.
+    pub fn write_jsonl<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Writes the CSV document to `path`.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// First round at which the matched-edge count reached its final value
+    /// — the "edges stable from" convergence point (`None` for an empty
+    /// series).
+    pub fn stabilization_round(&self) -> Option<u64> {
+        let last = self.samples.last()?;
+        let final_edges = last.matched_edges;
+        let mut stable_from = last.round;
+        for s in self.samples.iter().rev() {
+            if s.matched_edges == final_edges {
+                stable_from = s.round;
+            } else {
+                break;
+            }
+        }
+        Some(stable_from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(round: u64, edges: usize, w: f64) -> ConvergenceSample {
+        ConvergenceSample {
+            round,
+            matched_edges: edges,
+            total_weight: w,
+            satisfaction_total: w / 2.0,
+            messages_sent: round * 10,
+            in_flight: (20 - round) as usize,
+            terminated_fraction: round as f64 / 20.0,
+        }
+    }
+
+    #[test]
+    fn jsonl_and_csv_shape() {
+        let mut series = ConvergenceSeries::new();
+        series.push(s(0, 0, 0.0));
+        series.push(s(1, 3, 1.5));
+        assert_eq!(series.len(), 2);
+        let jsonl = series.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.starts_with("{\"round\":0,\"matched_edges\":0,\"total_weight\":0.0"));
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        let csv = series.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(ConvergenceSeries::CSV_HEADER));
+        assert_eq!(lines.next(), Some("0,0,0.0,0.0,0,20,0.0"));
+        // Column count matches the header everywhere.
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), 7);
+        }
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        let x = 0.1 + 0.2; // classic non-representable sum
+        let printed = json_f64(x);
+        let back: f64 = printed.parse().unwrap();
+        assert_eq!(back.to_bits(), x.to_bits(), "shortest form must round-trip");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn stabilization_round_finds_the_plateau() {
+        let mut series = ConvergenceSeries::new();
+        for (r, e) in [(0, 0), (1, 2), (2, 5), (3, 5), (4, 5)] {
+            series.push(s(r, e, e as f64));
+        }
+        assert_eq!(series.stabilization_round(), Some(2));
+        assert_eq!(series.last().unwrap().matched_edges, 5);
+        assert_eq!(ConvergenceSeries::new().stabilization_round(), None);
+    }
+
+    #[test]
+    fn file_export_round_trips() {
+        let mut series = ConvergenceSeries::new();
+        series.push(s(0, 1, 0.5));
+        let dir = std::env::temp_dir().join("owp_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.jsonl");
+        series.write_jsonl(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), series.to_jsonl());
+        let _ = std::fs::remove_file(&path);
+    }
+}

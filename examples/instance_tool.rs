@@ -20,7 +20,7 @@ use owp_graph::{PreferenceTable, Quotas};
 use owp_matching::lic::{lic_with_order, SelectionPolicy};
 use owp_matching::{verify, MatchingReport, Problem};
 use owp_core::run_lid;
-use owp_simnet::SimConfig;
+use owp_simnet::{MessageKind, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Read;
@@ -102,8 +102,8 @@ fn main() {
             println!("Jain fairness       {:.4}", report.jain_index);
             println!(
                 "LID messages        {} PROP + {} REJ",
-                lid.stats.sent_of("PROP"),
-                lid.stats.sent_of("REJ")
+                lid.stats.sent_of(MessageKind::Prop),
+                lid.stats.sent_of(MessageKind::Rej)
             );
             for i in p.nodes() {
                 let conns: Vec<String> = m_lic

@@ -38,8 +38,8 @@ fn main() {
     println!("\nprotocol finished at simulated time {}", overlay.lid.end_time);
     println!(
         "messages: {} PROP, {} REJ ({:.2} per peer)",
-        overlay.stats().sent_of("PROP"),
-        overlay.stats().sent_of("REJ"),
+        overlay.stats().sent_of(MessageKind::Prop),
+        overlay.stats().sent_of(MessageKind::Rej),
         overlay.stats().sent_per_node(network.problem.node_count())
     );
     println!(

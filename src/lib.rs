@@ -33,10 +33,13 @@ pub mod prelude {
         SuitabilityMetric, TransactionHistory,
     };
     pub use owp_core::overlay::{Overlay, OverlayBuilder, OverlayNetwork};
-    pub use owp_core::{run_lid, run_lid_sync, ChurnSim, DisclosureReport, LidResult};
+    pub use owp_core::{
+        replay_lid_trace, run_lid, run_lid_sync, run_lid_sync_series, run_lid_traced, ChurnSim,
+        DisclosureReport, LidResult,
+    };
     pub use owp_graph::{Graph, GraphBuilder, NodeId, PreferenceTable, Quotas};
     pub use owp_matching::{
         lic, BMatching, MatchingReport, Problem, SelectionPolicy,
     };
-    pub use owp_simnet::{FaultPlan, LatencyModel, SimConfig};
+    pub use owp_simnet::{EventLog, FaultPlan, LatencyModel, MessageKind, SimConfig};
 }

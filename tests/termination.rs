@@ -7,7 +7,7 @@ use owp_graph::generators::{complete, path, random_regular, ring, star};
 use owp_graph::{GraphBuilder, PreferenceTable, Quotas};
 use owp_matching::stable::acyclic::rps_gadget;
 use owp_matching::Problem;
-use owp_simnet::{LatencyModel, SimConfig};
+use owp_simnet::{LatencyModel, MessageKind, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -93,7 +93,7 @@ fn message_complexity_at_most_two_per_edge_direction() {
         let m = p.edge_count() as u64;
         let r = run_lid(&p, SimConfig::with_seed(seed));
         assert!(r.terminated);
-        assert!(r.stats.sent_of("PROP") <= 2 * m, "PROP count exceeds 2m");
+        assert!(r.stats.sent_of(MessageKind::Prop) <= 2 * m, "PROP count exceeds 2m");
         assert!(r.stats.sent <= 6 * m, "total {} > 6m = {}", r.stats.sent, 6 * m);
     }
 }
