@@ -1,33 +1,75 @@
-//! Performance guard: re-measures the E15 end-to-end scale sweep and fails
-//! (exit 1) if the telemetry-off build or LID wall time regressed more than
-//! the tolerance against the committed `BENCH_e15.json` baseline.
+//! Performance guard: re-measures the guarded experiments and fails
+//! (exit 1) if any tracked wall time regressed more than the tolerance
+//! against the committed `BENCH_<id>.json` baselines.
 //!
 //! ```text
-//! bench_guard [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
+//! bench_guard [e15|e19|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
 //! ```
 //!
-//! * `--baseline` — baseline JSON (default `BENCH_e15.json`), the document
-//!   `experiments e15 --json` writes;
+//! Guarded experiments:
+//!
+//! * `e15` — end-to-end scale sweep: telemetry-off build and LID wall
+//!   times per size (`BENCH_e15.json`);
+//! * `e19` — dynamic engine: bounded-repair and from-scratch-rebuild wall
+//!   times per batch size (`BENCH_e19.json`).
+//!
+//! Flags:
+//!
+//! * `--baseline` — baseline JSON path override; only valid when a single
+//!   experiment is selected (default `BENCH_<id>.json`, the document
+//!   `experiments <id> --json` writes);
 //! * `--tolerance` — allowed relative regression in percent (default 10);
 //! * `--slack-ms` — absolute grace in milliseconds added on top of the
 //!   relative envelope (default 40), so timer jitter on small values does
 //!   not trip the guard;
-//! * `--update` — instead of checking, rewrite the baseline from the fresh
-//!   measurement.
+//! * `--update` — instead of checking, rewrite the baselines from the
+//!   fresh measurements.
 //!
 //! The harness compiles the telemetry *feature* in, but every run here
 //! leaves the runtime switch off — this is exactly the configuration whose
 //! overhead must stay at zero, so the guard doubles as the regression check
 //! for the "telemetry off costs nothing" claim.
 
-use owp_bench::experiments::{e15_scale, tables_to_json};
+use owp_bench::experiments::{e15_scale, e19_dynamic, tables_to_json};
+use owp_bench::Table;
 use std::time::Instant;
 
+/// One guarded experiment: which headline-table columns are wall times and
+/// which column keys the rows when matching fresh runs against a baseline.
+struct Guard {
+    id: &'static str,
+    what: &'static str,
+    key_col: usize,
+    key_label: &'static str,
+    cols: &'static [(&'static str, usize)],
+    run: fn(bool) -> Vec<Table>,
+}
+
+const GUARDS: &[Guard] = &[
+    Guard {
+        id: "e15",
+        what: "E15 scale sweep (full sizes, telemetry off)",
+        key_col: 0,
+        key_label: "n",
+        cols: &[("build ms", 2), ("LID ms", 3)],
+        run: e15_scale::run,
+    },
+    Guard {
+        id: "e19",
+        what: "E19 dynamic repair sweep (full sizes, telemetry off)",
+        key_col: 0,
+        key_label: "batch %",
+        cols: &[("repair ms", 2), ("rebuild ms", 3)],
+        run: e19_dynamic::run,
+    },
+];
+
 fn main() {
-    let mut baseline_path = "BENCH_e15.json".to_string();
+    let mut baseline_override: Option<String> = None;
     let mut tolerance_pct = 10.0f64;
     let mut slack_ms = 40.0f64;
     let mut update = false;
+    let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -38,7 +80,7 @@ fn main() {
             })
         };
         match a.as_str() {
-            "--baseline" => baseline_path = value("--baseline"),
+            "--baseline" => baseline_override = Some(value("--baseline")),
             "--tolerance" => {
                 tolerance_pct = value("--tolerance").parse().unwrap_or_else(|_| {
                     eprintln!("--tolerance wants a number (percent)");
@@ -52,71 +94,108 @@ fn main() {
                 })
             }
             "--update" => update = true,
-            _ => {
+            _ if a.starts_with("--") => {
                 eprintln!("unknown flag: {a}");
-                eprintln!("usage: bench_guard [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]");
+                eprintln!(
+                    "usage: bench_guard [e15|e19|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]"
+                );
                 std::process::exit(2);
             }
+            _ => ids.push(a),
         }
     }
 
-    eprintln!("bench_guard: running the E15 sweep (full sizes, telemetry off)...");
-    let start = Instant::now();
-    let tables = e15_scale::run(false);
-    let elapsed = start.elapsed();
-    let fresh = &tables[0];
-
-    if update {
-        let doc = tables_to_json("e15", false, elapsed, &tables);
-        if let Err(e) = std::fs::write(&baseline_path, doc) {
-            eprintln!("cannot write {baseline_path}: {e}");
-            std::process::exit(1);
-        }
-        println!("bench_guard: baseline {baseline_path} updated");
-        return;
+    let selected: Vec<&Guard> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        GUARDS.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                GUARDS.iter().find(|g| g.id == id).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown experiment {id}; guarded: {}",
+                        GUARDS.iter().map(|g| g.id).collect::<Vec<_>>().join(", ")
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    if baseline_override.is_some() && selected.len() != 1 {
+        eprintln!("--baseline needs exactly one selected experiment");
+        std::process::exit(2);
     }
-
-    let doc = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
-        eprintln!("cannot read baseline {baseline_path}: {e} (run `bench_guard --update` to create it)");
-        std::process::exit(2);
-    });
-    let baseline = parse_first_rows(&doc).unwrap_or_else(|| {
-        eprintln!("{baseline_path} does not look like an `experiments e15 --json` document");
-        std::process::exit(2);
-    });
-
-    // Headline table columns: n, edges, build ms, LID ms, msgs/node, ...
-    const N: usize = 0;
-    const BUILD_MS: usize = 2;
-    const LID_MS: usize = 3;
 
     let mut failures = 0usize;
     let mut compared = 0usize;
-    for base_row in &baseline {
-        let n = base_row[N];
-        let Some(fresh_row) = (0..fresh.row_count())
-            .find(|&r| fresh.cell(r, N).parse::<f64>().ok() == Some(n))
-        else {
-            eprintln!("bench_guard: baseline row n={n} has no fresh counterpart — skipped");
+    for g in &selected {
+        let baseline_path = baseline_override
+            .clone()
+            .unwrap_or_else(|| format!("BENCH_{}.json", g.id));
+
+        eprintln!("bench_guard: running the {}...", g.what);
+        let start = Instant::now();
+        let tables = (g.run)(false);
+        let elapsed = start.elapsed();
+        let fresh = &tables[0];
+
+        if update {
+            let doc = tables_to_json(g.id, false, elapsed, &tables);
+            if let Err(e) = std::fs::write(&baseline_path, doc) {
+                eprintln!("cannot write {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+            println!("bench_guard: baseline {baseline_path} updated");
             continue;
-        };
-        for (label, col) in [("build ms", BUILD_MS), ("LID ms", LID_MS)] {
-            let base = base_row[col];
-            let now: f64 = fresh.cell(fresh_row, col).parse().expect("numeric cell");
-            let limit = base * (1.0 + tolerance_pct / 100.0) + slack_ms;
-            compared += 1;
-            let verdict = if now <= limit { "ok" } else { "REGRESSED" };
-            println!(
-                "  n={n:>8} {label:>8}: baseline {base:>8.1} ms, now {now:>8.1} ms (limit {limit:.1} ms) {verdict}"
+        }
+
+        let doc = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!(
+                "cannot read baseline {baseline_path}: {e} (run `bench_guard {} --update` to create it)",
+                g.id
             );
-            if now > limit {
-                failures += 1;
+            std::process::exit(2);
+        });
+        let baseline = parse_first_rows(&doc).unwrap_or_else(|| {
+            eprintln!(
+                "{baseline_path} does not look like an `experiments {} --json` document",
+                g.id
+            );
+            std::process::exit(2);
+        });
+
+        for base_row in &baseline {
+            let key = base_row[g.key_col];
+            let Some(fresh_row) = (0..fresh.row_count())
+                .find(|&r| fresh.cell(r, g.key_col).parse::<f64>().ok() == Some(key))
+            else {
+                eprintln!(
+                    "bench_guard: baseline row {}={key} has no fresh counterpart — skipped",
+                    g.key_label
+                );
+                continue;
+            };
+            for &(label, col) in g.cols {
+                let base = base_row[col];
+                let now: f64 = fresh.cell(fresh_row, col).parse().expect("numeric cell");
+                let limit = base * (1.0 + tolerance_pct / 100.0) + slack_ms;
+                compared += 1;
+                let verdict = if now <= limit { "ok" } else { "REGRESSED" };
+                println!(
+                    "  [{}] {}={key:>8} {label:>10}: baseline {base:>8.1} ms, now {now:>8.1} ms (limit {limit:.1} ms) {verdict}",
+                    g.id, g.key_label
+                );
+                if now > limit {
+                    failures += 1;
+                }
             }
         }
     }
 
+    if update {
+        return;
+    }
     if compared == 0 {
-        eprintln!("bench_guard: nothing compared — baseline/fresh size sets are disjoint");
+        eprintln!("bench_guard: nothing compared — baseline/fresh key sets are disjoint");
         std::process::exit(2);
     }
     if failures > 0 {
@@ -125,13 +204,15 @@ fn main() {
         );
         std::process::exit(1);
     }
-    println!("bench_guard: ok — {compared} timings within {tolerance_pct}% (+{slack_ms} ms) of {baseline_path}");
+    println!(
+        "bench_guard: ok — {compared} timings within {tolerance_pct}% (+{slack_ms} ms) of the baselines"
+    );
 }
 
 /// Extracts the first table's `"rows":[[...],...]` from a
-/// `BENCH_<id>.json` document as numbers. The headline E15 table is
-/// all-numeric, so every cell parses; non-numeric cells (later tables are
-/// never reached) would return `None`.
+/// `BENCH_<id>.json` document as numbers. The headline tables of the
+/// guarded experiments are all-numeric, so every cell parses; non-numeric
+/// cells (later tables are never reached) would return `None`.
 fn parse_first_rows(doc: &str) -> Option<Vec<Vec<f64>>> {
     let start = doc.find("\"rows\":[")? + "\"rows\":[".len();
     let rest = &doc[start..];
@@ -178,6 +259,15 @@ mod tests {
         assert_eq!(rows[0][0], 10000.0);
         assert_eq!(rows[1][3], 470.0);
         // Only the first table is read — the string cell never trips it.
+    }
+
+    #[test]
+    fn parses_the_e19_document_shape() {
+        let doc = r#"{"experiment":"e19","quick":false,"elapsed_ms":9000.0,"tables":[{"title":"ba","headers":["batch %","events","repair ms","rebuild ms","speedup","dirty edges","dSigmaS"],"rows":[[0.1,20,0.4,11.2,28.0,260,-0.013],[1,200,2.1,11.5,5.5,2600,0.021]],"notes":[]},{"title":"er","headers":["batch %"],"rows":[[0.1]],"notes":[]}]}"#;
+        let rows = parse_first_rows(doc).expect("parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], 0.1);
+        assert_eq!(rows[1][3], 11.5);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table/figure of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! experiments <e1|e2|...|e18|all> [--quick] [--json] [--trace-out <path>]
+//! experiments <e1|e2|...|e19|all> [--quick] [--json] [--trace-out <path>]
 //! ```
 //!
 //! With `--json`, each experiment additionally writes its tables to
@@ -45,7 +45,7 @@ fn main() {
     }
 
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e18|all> [--quick] [--json] [--trace-out <path>]");
+        eprintln!("usage: experiments <e1..e19|all> [--quick] [--json] [--trace-out <path>]");
         eprintln!("known experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
     }

@@ -22,13 +22,14 @@ pub mod e15_scale;
 pub mod e16_stability;
 pub mod e17_ratio_at_scale;
 pub mod e18_convergence_trace;
+pub mod e19_dynamic;
 
 use crate::Table;
 use owp_telemetry::ConvergenceSeries;
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19",
 ];
 
 /// Dispatches an experiment by id. Returns the tables it produced.
@@ -62,6 +63,7 @@ pub fn run_with_trace(id: &str, quick: bool) -> Option<(Vec<Table>, Option<Conve
         "e15" => e15_scale::run(quick),
         "e16" => e16_stability::run(quick),
         "e17" => vec![e17_ratio_at_scale::run(quick)],
+        "e19" => e19_dynamic::run(quick),
         _ => return None,
     };
     Some((tables, None))
@@ -116,7 +118,7 @@ mod tests {
         for id in ALL {
             assert!(seen.insert(*id), "duplicate id {id}");
         }
-        assert_eq!(ALL.len(), 18);
+        assert_eq!(ALL.len(), 19);
     }
 
     /// Only E18 carries a convergence trace; the others return `None` for it.

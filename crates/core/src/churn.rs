@@ -1,165 +1,132 @@
-//! Dynamic overlays: joins, leaves and local repair.
+//! Dynamic overlays: joins, leaves and certified incremental repair.
 //!
 //! The paper's conclusion leaves dynamicity ("joins/leaves of peers") as
-//! future work and conjectures the same greedy strategy extends to it. This
-//! module implements that extension: peers can leave (dropping their
-//! connections) and join, and [`ChurnSim::repair`] re-runs the
-//! locally-heaviest greedy on the *residual* instance — only free quota and
-//! unmatched edges participate, existing connections are never torn down.
-//! Experiment E9 measures how much satisfaction this local repair recovers
-//! relative to a full rebuild.
+//! future work and conjectures the same greedy strategy extends to it.
+//! This module used to approximate that with a *residual-only* repair
+//! pass (re-running the greedy over unmatched edges while never tearing a
+//! connection down), which drifts away from the true locally-heaviest
+//! matching as churn accumulates: an evicted peer's partners keep the
+//! lighter substitutes they grabbed even after better options reappear.
+//!
+//! It is now a thin facade over [`owp_engine::Engine`], which maintains
+//! the **exact** matching continuously: every [`ChurnSim::leave`] /
+//! [`ChurnSim::join`] applies one event batch and the bounded repair
+//! finishes before the call returns, certified bit-identical to a
+//! from-scratch run ([`ChurnSim::certify`]). There is no separate repair
+//! step any more — [`ChurnSim::repair`] survives only as a deprecated
+//! no-op shim.
 
+use owp_engine::{DeltaReport, Engine, EngineError, EngineEvent};
 use owp_graph::NodeId;
-use owp_matching::satisfaction::node_satisfaction;
 use owp_matching::{BMatching, Problem};
-use owp_graph::EdgeId;
 
-/// Outcome of one repair pass.
+/// Outcome of one (deprecated) repair pass. The engine repairs inside
+/// every event application, so the standalone pass has nothing to do.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RepairStats {
-    /// Edges added by the repair.
+    /// Edges added by the repair (always 0 under the engine).
     pub edges_added: usize,
 }
 
-/// A dynamic overlay: a fixed potential-connection universe over which peers
-/// are activated/deactivated, with incremental repair of the matching.
-pub struct ChurnSim<'p> {
-    problem: &'p Problem,
-    active: Vec<bool>,
-    matching: BMatching,
+/// A dynamic overlay: a fixed potential-connection universe over which
+/// peers are activated/deactivated, with the exact locally-heaviest
+/// matching maintained through every membership change.
+pub struct ChurnSim {
+    engine: Engine,
 }
 
-impl<'p> ChurnSim<'p> {
-    /// Starts with every peer active and the given initial matching (e.g.
-    /// a fresh LID run).
-    pub fn new(problem: &'p Problem, initial: BMatching) -> Self {
+impl ChurnSim {
+    /// Starts with every peer active and the canonical (LIC) matching of
+    /// the full instance — the state a fresh LID/LIC run converges to.
+    pub fn new(problem: &Problem) -> Self {
         ChurnSim {
-            problem,
-            active: vec![true; problem.node_count()],
-            matching: initial,
+            engine: Engine::new(problem.clone()),
         }
     }
 
     /// `true` iff peer `i` is currently active.
     pub fn is_active(&self, i: NodeId) -> bool {
-        self.active[i.index()]
+        self.engine.dynamic().is_active(i)
     }
 
-    /// The current matching.
+    /// The current matching (always the exact locally-heaviest matching
+    /// of the active sub-instance).
     pub fn matching(&self) -> &BMatching {
-        &self.matching
+        self.engine.matching()
     }
 
-    /// Peer `i` leaves: all its connections are dropped (its partners regain
-    /// quota) and it stops participating.
-    pub fn leave(&mut self, i: NodeId) {
-        assert!(self.active[i.index()], "{i:?} is not active");
-        self.active[i.index()] = false;
-        let partners: Vec<NodeId> = self.matching.connections(i).to_vec();
-        for j in partners {
-            let e = self
-                .problem
-                .graph
-                .edge_between(i, j)
-                .expect("connection is an edge");
-            self.matching.remove(&self.problem.graph, e);
-        }
+    /// The underlying engine, for epoch/report access.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
-    /// Peer `i` (re)joins with empty connections.
-    pub fn join(&mut self, i: NodeId) {
-        assert!(!self.active[i.index()], "{i:?} is already active");
-        self.active[i.index()] = true;
+    /// Peer `i` leaves: its connections dissolve, its partners regain
+    /// quota, and the matching is repaired before the call returns.
+    /// Errors (instead of panicking) if `i` is not active or unknown.
+    pub fn leave(&mut self, i: NodeId) -> Result<DeltaReport, EngineError> {
+        self.engine.apply(EngineEvent::NodeLeave { node: i })
     }
 
-    /// Local repair: run the locally-heaviest greedy over the residual
-    /// instance — edges between *active* nodes that both have free quota —
-    /// keeping all existing connections. This is exactly the paper's greedy
-    /// restricted to the sub-instance the churn exposed, so the Lemma 4
-    /// structure holds relative to the residual pool.
+    /// Peer `i` (re)joins; the repaired matching reconnects it as far as
+    /// the locally-heaviest order allows. Errors (instead of panicking)
+    /// if `i` is already active or unknown.
+    pub fn join(&mut self, i: NodeId) -> Result<DeltaReport, EngineError> {
+        self.engine.apply(EngineEvent::NodeJoin { node: i })
+    }
+
+    /// Deprecated: the engine repairs within [`ChurnSim::leave`] /
+    /// [`ChurnSim::join`], so there is never residual work left. Kept so
+    /// old call sequences still type-check; always reports 0 additions.
+    #[deprecated(note = "repair happens inside leave/join; this is a no-op")]
     pub fn repair(&mut self) -> RepairStats {
-        let g = &self.problem.graph;
-        let w = &self.problem.weights;
-        // Candidate edges, heaviest first.
-        let mut candidates: Vec<EdgeId> = g
-            .edges()
-            .filter(|&e| {
-                if self.matching.contains(e) {
-                    return false;
-                }
-                let (u, v) = g.endpoints(e);
-                self.active[u.index()] && self.active[v.index()]
-            })
-            .collect();
-        candidates.sort_by_key(|&e| std::cmp::Reverse(w.key(g, e)));
-
-        let mut added = 0;
-        for e in candidates {
-            let (u, v) = g.endpoints(e);
-            let u_free = self.matching.degree(u) < self.problem.quotas.get(u) as usize;
-            let v_free = self.matching.degree(v) < self.problem.quotas.get(v) as usize;
-            if u_free && v_free {
-                self.matching.insert(self.problem, e);
-                added += 1;
-            }
-        }
-        RepairStats { edges_added: added }
+        RepairStats { edges_added: 0 }
     }
 
-    /// Total true satisfaction over *active* peers.
+    /// Checks the certified-repair invariant: the maintained matching
+    /// equals a from-scratch LIC run on the current active sub-instance.
+    pub fn certify(&self) -> Result<(), String> {
+        self.engine.certify()
+    }
+
+    /// Total true satisfaction over *active* peers (maintained
+    /// incrementally by the engine).
     pub fn active_satisfaction(&self) -> f64 {
-        self.problem
-            .nodes()
-            .filter(|&i| self.active[i.index()])
-            .map(|i| {
-                node_satisfaction(
-                    &self.problem.prefs,
-                    &self.problem.quotas,
-                    i,
-                    self.matching.connections(i),
-                )
-            })
-            .sum()
+        self.engine.total_satisfaction()
     }
 
     /// Number of active peers.
     pub fn active_count(&self) -> usize {
-        self.active.iter().filter(|&&a| a).count()
+        self.engine.dynamic().active_count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use owp_matching::baselines::global_greedy;
     use owp_matching::verify;
 
-    fn setup(seed: u64) -> (Problem, BMatching) {
-        let p = Problem::random_gnp(30, 0.3, 3, seed);
-        let m = global_greedy(&p);
-        (p, m)
+    fn setup(seed: u64) -> Problem {
+        Problem::random_gnp(30, 0.3, 3, seed)
     }
 
     #[test]
-    fn leave_frees_partner_quota_and_repair_refills() {
-        let (p, m) = setup(1);
-        let mut sim = ChurnSim::new(&p, m);
-        let before = sim.active_satisfaction();
+    fn leave_frees_partner_quota_and_stays_exact() {
+        let p = setup(1);
+        let mut sim = ChurnSim::new(&p);
+        sim.certify().expect("initial state is canonical");
 
         // Evict the 3 busiest nodes.
         let mut busiest: Vec<NodeId> = p.nodes().collect();
         busiest.sort_by_key(|&i| std::cmp::Reverse(sim.matching().degree(i)));
         for &i in &busiest[..3] {
-            sim.leave(i);
+            let report = sim.leave(i).expect("active node leaves");
+            assert!(report.edges_removed.len() >= sim.matching().degree(i));
+            assert_eq!(sim.matching().degree(i), 0, "leaver keeps no connections");
         }
-        let after_leave = sim.active_satisfaction();
-        let stats = sim.repair();
-        let after_repair = sim.active_satisfaction();
-
-        assert!(after_repair >= after_leave - 1e-12);
-        assert!(stats.edges_added > 0 || after_leave >= before - 1e-12);
-        verify::check_valid(&p, sim.matching()).expect("valid after repair");
-        // No active pair with double free quota may remain.
+        sim.certify().expect("exact after churn");
+        verify::check_valid(&p, sim.matching()).expect("valid after churn");
+        // Exactness subsumes maximality: no active pair with double free
+        // quota may remain.
         for e in p.graph.edges() {
             if sim.matching().contains(e) {
                 continue;
@@ -168,45 +135,73 @@ mod tests {
             if sim.is_active(u) && sim.is_active(v) {
                 let uf = sim.matching().degree(u) < p.quotas.get(u) as usize;
                 let vf = sim.matching().degree(v) < p.quotas.get(v) as usize;
-                assert!(!(uf && vf), "repair left an addable edge");
+                assert!(!(uf && vf), "an addable edge was left behind");
             }
         }
     }
 
     #[test]
-    fn rejoin_and_repair_restores_participation() {
-        let (p, m) = setup(2);
-        let mut sim = ChurnSim::new(&p, m);
+    fn rejoin_restores_the_original_matching() {
+        let p = setup(2);
+        let mut sim = ChurnSim::new(&p);
+        let original = sim.matching().clone();
         let victim = NodeId(0);
-        let before_degree = sim.matching().degree(victim);
-        sim.leave(victim);
+        sim.leave(victim).expect("leave");
         assert_eq!(sim.matching().degree(victim), 0);
-        sim.repair();
-        sim.join(victim);
-        sim.repair();
-        // Victim reconnects as far as its (still-free) neighbours allow.
-        assert!(sim.matching().degree(victim) <= p.quotas.get(victim) as usize);
-        let _ = before_degree;
+        sim.join(victim).expect("rejoin");
+        // Continuous exact repair means a full round-trip is lossless —
+        // the residual-only pass could not guarantee this.
+        assert!(sim.matching().same_edges(&original));
+        sim.certify().expect("exact after round-trip");
         verify::check_valid(&p, sim.matching()).expect("valid");
     }
 
     #[test]
-    #[should_panic(expected = "not active")]
-    fn double_leave_panics() {
-        let (p, m) = setup(3);
-        let mut sim = ChurnSim::new(&p, m);
-        sim.leave(NodeId(1));
-        sim.leave(NodeId(1));
+    fn leave_and_join_report_errors_instead_of_panicking() {
+        let p = setup(3);
+        let mut sim = ChurnSim::new(&p);
+        sim.leave(NodeId(1)).expect("first leave");
+        assert_eq!(
+            sim.leave(NodeId(1)).unwrap_err(),
+            EngineError::NotActive(NodeId(1))
+        );
+        assert_eq!(
+            sim.join(NodeId(2)).unwrap_err(),
+            EngineError::AlreadyActive(NodeId(2))
+        );
+        assert_eq!(
+            sim.leave(NodeId(999)).unwrap_err(),
+            EngineError::UnknownNode(NodeId(999))
+        );
+        // Failed calls leave the state untouched.
+        assert_eq!(sim.active_count(), 29);
+        sim.certify().expect("still exact after rejected events");
     }
 
     #[test]
-    fn active_count_tracks() {
-        let (p, m) = setup(4);
-        let mut sim = ChurnSim::new(&p, m);
+    #[allow(deprecated)]
+    fn repair_shim_is_a_noop() {
+        let p = setup(4);
+        let mut sim = ChurnSim::new(&p);
+        sim.leave(NodeId(5)).expect("leave");
+        let before = sim.matching().clone();
+        let stats = sim.repair();
+        assert_eq!(stats, RepairStats { edges_added: 0 });
+        assert!(sim.matching().same_edges(&before));
+    }
+
+    #[test]
+    fn active_count_and_satisfaction_track() {
+        let p = setup(5);
+        let mut sim = ChurnSim::new(&p);
         assert_eq!(sim.active_count(), 30);
-        sim.leave(NodeId(5));
+        let s0 = sim.active_satisfaction();
+        assert!(s0 > 0.0);
+        sim.leave(NodeId(5)).expect("leave");
         assert_eq!(sim.active_count(), 29);
-        sim.join(NodeId(5));
+        assert!(sim.active_satisfaction() <= s0 + 1e-12);
+        sim.join(NodeId(5)).expect("join");
         assert_eq!(sim.active_count(), 30);
+        assert!((sim.active_satisfaction() - s0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,665 @@
+//! [`Engine`] — certified bounded repair of the locally-heaviest matching.
+//!
+//! ## Why a heap over final ranks is enough
+//!
+//! The maintained matching is the *canonical* greedy outcome: edge `e` is
+//! selected iff it is alive and, at each endpoint `x`, fewer than `b_x`
+//! **selected edges heavier than `e`** are incident to `x`. That
+//! definition is self-referential only downward — `e`'s status depends on
+//! strictly heavier edges alone (the confluence behind the paper's
+//! Lemmas 3–6). So repair runs a min-heap keyed by rank (heaviest first):
+//!
+//! * it is seeded with every edge an event directly perturbs (see the
+//!   per-variant notes on [`EngineEvent`] handling below);
+//! * popping is monotone non-decreasing in rank, and when an edge's
+//!   status *flips*, only the strictly lighter edges at its two endpoints
+//!   whose status the flip can actually move are pushed: a flip **on**
+//!   tightens the endpoints, so only lighter *selected* edges (at most
+//!   `b` per node) can turn off; a flip **off** relaxes them, so only
+//!   lighter *unselected* alive edges can turn on;
+//! * each edge enters the heap at most once per batch (a `queued` bitmap;
+//!   re-evaluation is never needed because everything heavier is already
+//!   final when an edge is popped).
+//!
+//! Dirty-set seeding per event:
+//!
+//! * `EdgeAdd` / `EdgeRemove` — the edge itself. A removed edge evaluates
+//!   to "must not be selected", and its un-selection cascades.
+//! * `NodeJoin` / `NodeLeave` — all universe edges incident to the node:
+//!   each may change aliveness. (Weights do not change — they live on the
+//!   universe.)
+//! * `QuotaChange` / `PreferenceUpdate` at `i` — these move *ranks*, so
+//!   the "heavier than" context changes at `i` **and at every
+//!   neighbour `j`**: the 2-hop seed is all edges incident to `i` plus
+//!   all edges incident to each neighbour of `i`. Anything further is
+//!   reachable only through a flip, which the cascade covers.
+//!
+//! During repair a node can transiently exceed its quota (a heavier edge
+//! is selected before the displaced lighter one is popped), which is why
+//! the engine writes through `BMatching::insert_unchecked`; the canonical
+//! definition guarantees quotas hold again when the heap drains.
+
+use crate::dynamic::DynamicProblem;
+use crate::event::{EngineError, EngineEvent};
+use crate::report::{DeltaReport, Epoch};
+use owp_graph::{EdgeId, NodeId};
+use owp_matching::satisfaction::node_satisfaction;
+use owp_matching::{lic, BMatching, EdgeRank, Problem, SelectionPolicy};
+use owp_telemetry::{NullRecorder, Recorder, TelemetryEvent};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The event-driven engine: owns a [`DynamicProblem`] and keeps the exact
+/// locally-heaviest matching of its alive sub-instance through every
+/// applied batch ([`Engine::certify`] checks the invariant on demand).
+#[derive(Clone, Debug)]
+pub struct Engine {
+    dp: DynamicProblem,
+    matching: BMatching,
+    /// Selected edge ids per node, mirroring `matching.connections` — the
+    /// repair loop needs edge ids (for O(1) rank lookups) where
+    /// [`BMatching`] stores matched neighbours, and resolving them through
+    /// an adjacency scan is ruinous at scale-free hubs.
+    sel: Vec<Vec<EdgeId>>,
+    /// Per-node satisfaction under the universe convention; 0 while
+    /// inactive. Only nodes a batch touches are recomputed.
+    sat: Vec<f64>,
+    total_sat: f64,
+    epoch: Epoch,
+}
+
+/// Selected edges at `x` strictly heavier than rank `r` — the canonical
+/// definition's per-endpoint counter (at most `b_x` candidates).
+#[inline]
+fn heavier_selected(order: &owp_matching::EdgeOrder, sel: &[Vec<EdgeId>], x: NodeId, r: EdgeRank) -> u32 {
+    sel[x.index()].iter().filter(|&&f| order.rank(f) < r).count() as u32
+}
+
+impl Engine {
+    /// Starts the engine over `problem` with every node active and every
+    /// edge present, computing the canonical matching from scratch (epoch
+    /// 0).
+    pub fn new(problem: Problem) -> Self {
+        let dp = DynamicProblem::new(problem);
+        let g = dp.graph();
+        let mut matching = BMatching::empty(g);
+        let mut sel: Vec<Vec<EdgeId>> = vec![Vec::new(); g.node_count()];
+        let mut slots: Vec<u32> = g.nodes().map(|i| dp.quotas().get(i)).collect();
+        for &e in dp.order().heaviest_first() {
+            let (u, v) = g.endpoints(e);
+            if slots[u.index()] > 0 && slots[v.index()] > 0 {
+                matching.insert_unchecked(g, e);
+                sel[u.index()].push(e);
+                sel[v.index()].push(e);
+                slots[u.index()] -= 1;
+                slots[v.index()] -= 1;
+            }
+        }
+        let sat: Vec<f64> = g
+            .nodes()
+            .map(|i| node_satisfaction(dp.prefs(), dp.quotas(), i, matching.connections(i)))
+            .collect();
+        let total_sat = sat.iter().sum();
+        Engine {
+            dp,
+            matching,
+            sel,
+            sat,
+            total_sat,
+            epoch: Epoch(0),
+        }
+    }
+
+    /// The dynamic instance the engine maintains.
+    pub fn dynamic(&self) -> &DynamicProblem {
+        &self.dp
+    }
+
+    /// The maintained matching (edge ids are universe ids).
+    pub fn matching(&self) -> &BMatching {
+        &self.matching
+    }
+
+    /// The current epoch (one tick per applied batch, including empty
+    /// ones).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Total satisfaction over active peers, maintained incrementally.
+    pub fn total_satisfaction(&self) -> f64 {
+        self.total_sat
+    }
+
+    /// Satisfaction of peer `i` (0 while inactive).
+    pub fn satisfaction(&self, i: NodeId) -> f64 {
+        self.sat[i.index()]
+    }
+
+    /// Applies one event. Equivalent to a one-element
+    /// [`Engine::apply_batch`].
+    pub fn apply(&mut self, event: EngineEvent) -> Result<DeltaReport, EngineError> {
+        self.apply_batch(std::slice::from_ref(&event))
+    }
+
+    /// Applies a batch atomically: the whole batch is validated against a
+    /// scratch copy of the membership flags first, so an `Err` leaves the
+    /// engine untouched (same epoch, same matching). On success all
+    /// events take effect together and **one** bounded repair restores
+    /// the canonical matching.
+    pub fn apply_batch(&mut self, events: &[EngineEvent]) -> Result<DeltaReport, EngineError> {
+        self.apply_batch_traced(events, &mut NullRecorder)
+    }
+
+    /// [`Engine::apply_batch`] that also emits the `Engine*` telemetry
+    /// branch: one `EngineReranked` per weight-changing event, one
+    /// `EngineEdgeAdded`/`EngineEdgeRemoved` per matching flip, and a
+    /// closing `EngineBatchApplied`, all stamped with the new epoch.
+    pub fn apply_batch_traced<R: Recorder>(
+        &mut self,
+        events: &[EngineEvent],
+        rec: &mut R,
+    ) -> Result<DeltaReport, EngineError> {
+        self.validate(events)?;
+        let epoch = Epoch(self.epoch.0 + 1);
+        let n = self.dp.graph().node_count();
+        let m = self.dp.graph().edge_count();
+
+        // ---- apply all events, collecting seeds (heap built afterwards,
+        // once ranks are final) and the nodes whose satisfaction inputs
+        // changed.
+        let mut seeds: Vec<EdgeId> = Vec::new();
+        let mut touched = vec![false; n];
+        let mut touched_nodes: Vec<NodeId> = Vec::new();
+        let touch = |i: NodeId, touched: &mut Vec<bool>, list: &mut Vec<NodeId>| {
+            if !touched[i.index()] {
+                touched[i.index()] = true;
+                list.push(i);
+            }
+        };
+        let mut reranked = 0usize;
+        let mut rerank_list: Vec<EdgeId> = Vec::new();
+        for ev in events {
+            match ev {
+                EngineEvent::NodeJoin { node } => {
+                    self.dp.set_active(*node, true);
+                    seeds.extend(self.dp.graph().neighbors(*node).iter().map(|&(_, e)| e));
+                    touch(*node, &mut touched, &mut touched_nodes);
+                }
+                EngineEvent::NodeLeave { node } => {
+                    self.dp.set_active(*node, false);
+                    seeds.extend(self.dp.graph().neighbors(*node).iter().map(|&(_, e)| e));
+                    touch(*node, &mut touched, &mut touched_nodes);
+                }
+                EngineEvent::EdgeAdd { u, v } => {
+                    let e = self.dp.graph().edge_between(*u, *v).expect("validated");
+                    self.dp.set_present(e, true);
+                    seeds.push(e);
+                }
+                EngineEvent::EdgeRemove { u, v } => {
+                    let e = self.dp.graph().edge_between(*u, *v).expect("validated");
+                    self.dp.set_present(e, false);
+                    seeds.push(e);
+                }
+                EngineEvent::QuotaChange { node, quota } => {
+                    let changed = self.dp.apply_quota(*node, *quota);
+                    reranked += changed.len();
+                    if rec.is_enabled() {
+                        rec.record(TelemetryEvent::EngineReranked {
+                            epoch: epoch.0,
+                            edges: changed.len() as u32,
+                        });
+                    }
+                    rerank_list.extend(changed);
+                    self.seed_two_hop(*node, &mut seeds);
+                    touch(*node, &mut touched, &mut touched_nodes);
+                }
+                EngineEvent::PreferenceUpdate { node, list } => {
+                    let changed = self.dp.apply_prefs(*node, list.clone());
+                    reranked += changed.len();
+                    if rec.is_enabled() {
+                        rec.record(TelemetryEvent::EngineReranked {
+                            epoch: epoch.0,
+                            edges: changed.len() as u32,
+                        });
+                    }
+                    rerank_list.extend(changed);
+                    self.seed_two_hop(*node, &mut seeds);
+                    touch(*node, &mut touched, &mut touched_nodes);
+                }
+            }
+        }
+        // One splice for the whole batch: `update_keys` recomputes the
+        // moved keys from the *final* weights, so folding every event's
+        // changed set into a single call is exact (and turns k weight
+        // events from k O(m) splices into one).
+        self.dp.rerank(&rerank_list);
+
+        // ---- bounded repair over the dirty region, heaviest first.
+        let mut queued = vec![false; m];
+        let mut heap: BinaryHeap<Reverse<(EdgeRank, u32)>> = BinaryHeap::new();
+        {
+            let order = self.dp.order();
+            for e in seeds {
+                if !queued[e.index()] {
+                    queued[e.index()] = true;
+                    heap.push(Reverse((order.rank(e), e.0)));
+                }
+            }
+        }
+
+        let mut evaluated = 0usize;
+        let mut edges_added: Vec<EdgeId> = Vec::new();
+        let mut edges_removed: Vec<EdgeId> = Vec::new();
+        let dp = &self.dp;
+        let matching = &mut self.matching;
+        let sel = &mut self.sel;
+        let g = dp.graph();
+        let order = dp.order();
+        while let Some(Reverse((r, eid))) = heap.pop() {
+            let e = EdgeId(eid);
+            evaluated += 1;
+            let (u, v) = g.endpoints(e);
+            let desired = dp.is_alive(e)
+                && heavier_selected(order, sel, u, r) < dp.quotas().get(u)
+                && heavier_selected(order, sel, v, r) < dp.quotas().get(v);
+            if desired == matching.contains(e) {
+                continue;
+            }
+            touch(u, &mut touched, &mut touched_nodes);
+            touch(v, &mut touched, &mut touched_nodes);
+            if desired {
+                // Turning `e` on tightens both endpoints: only strictly
+                // lighter *selected* edges there (≤ b each) can flip off.
+                for x in [u, v] {
+                    for &f in &sel[x.index()] {
+                        let rf = order.rank(f);
+                        if rf > r && !queued[f.index()] {
+                            queued[f.index()] = true;
+                            heap.push(Reverse((rf, f.0)));
+                        }
+                    }
+                }
+                matching.insert_unchecked(g, e);
+                sel[u.index()].push(e);
+                sel[v.index()].push(e);
+                edges_added.push(e);
+                if rec.is_enabled() {
+                    rec.record(TelemetryEvent::EngineEdgeAdded { epoch: epoch.0, edge: e });
+                }
+            } else {
+                matching.remove(g, e);
+                sel[u.index()].retain(|&f| f != e);
+                sel[v.index()].retain(|&f| f != e);
+                edges_removed.push(e);
+                if rec.is_enabled() {
+                    rec.record(TelemetryEvent::EngineEdgeRemoved { epoch: epoch.0, edge: e });
+                }
+                // Turning `e` off relaxes both endpoints: only strictly
+                // lighter *unselected* alive edges there can flip on.
+                for x in [u, v] {
+                    for &(_, f) in g.neighbors(x) {
+                        if !queued[f.index()] && !matching.contains(f) {
+                            let rf = order.rank(f);
+                            if rf > r && dp.is_alive(f) {
+                                queued[f.index()] = true;
+                                heap.push(Reverse((rf, f.0)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- refresh satisfaction of exactly the touched nodes.
+        let old_total = self.total_sat;
+        for &i in &touched_nodes {
+            let new = if self.dp.is_active(i) {
+                node_satisfaction(
+                    self.dp.prefs(),
+                    self.dp.quotas(),
+                    i,
+                    self.matching.connections(i),
+                )
+            } else {
+                0.0
+            };
+            self.total_sat += new - self.sat[i.index()];
+            self.sat[i.index()] = new;
+        }
+
+        self.epoch = epoch;
+        if rec.is_enabled() {
+            rec.record(TelemetryEvent::EngineBatchApplied {
+                epoch: epoch.0,
+                events: events.len() as u32,
+                evaluated: evaluated as u32,
+                added: edges_added.len() as u32,
+                removed: edges_removed.len() as u32,
+            });
+        }
+        Ok(DeltaReport {
+            epoch,
+            events: events.len(),
+            edges_added,
+            edges_removed,
+            evaluated,
+            reranked,
+            delta_satisfaction: self.total_sat - old_total,
+            total_satisfaction: self.total_sat,
+            matching_size: self.matching.size(),
+        })
+    }
+
+    /// The 2-hop dirty seed of a weight-changing event at `i`: edges
+    /// incident to `i` and to each of `i`'s neighbours.
+    fn seed_two_hop(&self, i: NodeId, seeds: &mut Vec<EdgeId>) {
+        let g = self.dp.graph();
+        for &(j, e) in g.neighbors(i) {
+            seeds.push(e);
+            seeds.extend(g.neighbors(j).iter().map(|&(_, f)| f));
+        }
+    }
+
+    /// Whole-batch validation against scratch membership flags; `Err`
+    /// means nothing was (or will be) applied.
+    fn validate(&self, events: &[EngineEvent]) -> Result<(), EngineError> {
+        let g = self.dp.graph();
+        let n = g.node_count();
+        let mut active = self.dp.active_flags().to_vec();
+        let mut present = self.dp.present_flags().to_vec();
+        let check_node = |i: NodeId| {
+            if i.index() < n {
+                Ok(())
+            } else {
+                Err(EngineError::UnknownNode(i))
+            }
+        };
+        for ev in events {
+            match ev {
+                EngineEvent::NodeJoin { node } => {
+                    check_node(*node)?;
+                    if active[node.index()] {
+                        return Err(EngineError::AlreadyActive(*node));
+                    }
+                    active[node.index()] = true;
+                }
+                EngineEvent::NodeLeave { node } => {
+                    check_node(*node)?;
+                    if !active[node.index()] {
+                        return Err(EngineError::NotActive(*node));
+                    }
+                    active[node.index()] = false;
+                }
+                EngineEvent::EdgeAdd { u, v } => {
+                    check_node(*u)?;
+                    check_node(*v)?;
+                    let e = g.edge_between(*u, *v).ok_or(EngineError::UnknownEdge(*u, *v))?;
+                    if present[e.index()] {
+                        return Err(EngineError::EdgePresent(*u, *v));
+                    }
+                    present[e.index()] = true;
+                }
+                EngineEvent::EdgeRemove { u, v } => {
+                    check_node(*u)?;
+                    check_node(*v)?;
+                    let e = g.edge_between(*u, *v).ok_or(EngineError::UnknownEdge(*u, *v))?;
+                    if !present[e.index()] {
+                        return Err(EngineError::EdgeAbsent(*u, *v));
+                    }
+                    present[e.index()] = false;
+                }
+                EngineEvent::QuotaChange { node, .. } => check_node(*node)?,
+                EngineEvent::PreferenceUpdate { node, list } => {
+                    check_node(*node)?;
+                    // A permutation of the universe neighbourhood: right
+                    // length, no duplicates, all neighbours.
+                    if list.len() != g.degree(*node) {
+                        return Err(EngineError::InvalidPreferences(*node));
+                    }
+                    let mut sorted = list.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    if sorted.len() != list.len()
+                        || !sorted.iter().zip(g.neighbor_ids(*node)).all(|(&a, b)| a == b)
+                    {
+                        return Err(EngineError::InvalidPreferences(*node));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Certified repair, checked: recomputes the matching **from scratch**
+    /// (LIC on the current alive snapshot) and compares edge for edge.
+    /// `Err` carries a description of the first divergence.
+    pub fn certify(&self) -> Result<(), String> {
+        let (snap, map) = self.dp.snapshot_with_map();
+        let reference = lic(&snap, SelectionPolicy::InOrder);
+        for (k, &ue) in map.iter().enumerate() {
+            let se = EdgeId(k as u32);
+            if reference.contains(se) != self.matching.contains(ue) {
+                return Err(format!(
+                    "{}: engine {} universe edge {ue:?} but the from-scratch run {} it",
+                    self.epoch,
+                    if self.matching.contains(ue) { "selects" } else { "omits" },
+                    if reference.contains(se) { "selects" } else { "omits" },
+                ));
+            }
+        }
+        if reference.size() != self.matching.size() {
+            return Err(format!(
+                "{}: engine holds {} edges ({} alive from scratch) — a dead edge is still selected",
+                self.epoch,
+                self.matching.size(),
+                reference.size(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(seed: u64) -> Engine {
+        Engine::new(Problem::random_gnp(24, 0.3, 2, seed))
+    }
+
+    #[test]
+    fn initial_state_is_canonical_and_certified() {
+        let e = engine(1);
+        assert_eq!(e.epoch(), Epoch(0));
+        e.certify().expect("epoch 0");
+        let reference = lic(
+            &Problem::random_gnp(24, 0.3, 2, 1),
+            SelectionPolicy::InOrder,
+        );
+        assert!(e.matching().same_edges(&reference));
+        let direct: f64 = reference.total_satisfaction(&Problem::random_gnp(24, 0.3, 2, 1));
+        assert!((e.total_satisfaction() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_leave_seeds_its_neighbourhood() {
+        let mut e = engine(2);
+        let victim = NodeId(3);
+        let deg = e.dynamic().graph().degree(victim);
+        let r = e.apply(EngineEvent::NodeLeave { node: victim }).unwrap();
+        // The dirty region starts from the victim's incident edges and only
+        // grows by cascade — with nothing else perturbed it stays well under
+        // the instance size.
+        assert!(r.evaluated >= deg, "every incident edge re-examined");
+        assert!(e.matching().connections(victim).is_empty());
+        assert_eq!(e.satisfaction(victim), 0.0);
+        e.certify().expect("after leave");
+    }
+
+    #[test]
+    fn node_join_restores_participation() {
+        let mut e = engine(3);
+        let victim = NodeId(5);
+        e.apply(EngineEvent::NodeLeave { node: victim }).unwrap();
+        let r = e.apply(EngineEvent::NodeJoin { node: victim }).unwrap();
+        assert!(r.evaluated >= e.dynamic().graph().degree(victim));
+        e.certify().expect("after rejoin");
+        // Rejoining everything returns to the original canonical matching.
+        let fresh = engine(3);
+        assert!(e.matching().same_edges(fresh.matching()));
+        assert_eq!(e.epoch(), Epoch(2));
+    }
+
+    #[test]
+    fn edge_remove_and_add_seed_the_edge() {
+        let mut e = engine(4);
+        let g = e.dynamic().graph();
+        let edge = g.edges().next().unwrap();
+        let (u, v) = g.endpoints(edge);
+        let r = e.apply(EngineEvent::EdgeRemove { u, v }).unwrap();
+        assert!(r.evaluated >= 1);
+        assert!(!e.matching().contains(edge));
+        assert!(!e.dynamic().is_present(edge));
+        e.certify().expect("after remove");
+        let r = e.apply(EngineEvent::EdgeAdd { u, v }).unwrap();
+        assert!(r.evaluated >= 1);
+        e.certify().expect("after re-add");
+        assert!(e.matching().same_edges(engine(4).matching()));
+    }
+
+    #[test]
+    fn quota_change_moves_weights_and_stays_certified() {
+        let mut e = engine(5);
+        let node = NodeId(7);
+        let r = e.apply(EngineEvent::QuotaChange { node, quota: 1 }).unwrap();
+        assert_eq!(r.reranked, e.dynamic().graph().degree(node));
+        assert!(e.matching().degree(node) <= 1);
+        e.certify().expect("after quota cut");
+        // Weight maintenance: the stored weights equal a fresh eq. 9 pass.
+        let dp = e.dynamic();
+        let fresh = owp_matching::EdgeWeights::compute(dp.graph(), dp.prefs(), dp.quotas());
+        for edge in dp.graph().edges() {
+            assert_eq!(dp.weights().get(edge), fresh.get(edge));
+        }
+    }
+
+    #[test]
+    fn preference_update_moves_weights_and_stays_certified() {
+        let mut e = engine(6);
+        let node = NodeId(2);
+        let mut list: Vec<NodeId> =
+            e.dynamic().graph().neighbor_ids(node).collect();
+        list.reverse();
+        let r = e
+            .apply(EngineEvent::PreferenceUpdate { node, list: list.clone() })
+            .unwrap();
+        assert_eq!(r.reranked, list.len());
+        assert_eq!(e.dynamic().prefs().list(node), &list[..]);
+        e.certify().expect("after preference update");
+        let dp = e.dynamic();
+        let fresh = owp_matching::EdgeWeights::compute(dp.graph(), dp.prefs(), dp.quotas());
+        for edge in dp.graph().edges() {
+            assert_eq!(dp.weights().get(edge), fresh.get(edge));
+        }
+    }
+
+    #[test]
+    fn batches_are_atomic_on_error() {
+        let mut e = engine(7);
+        let before = e.clone();
+        let err = e.apply_batch(&[
+            EngineEvent::NodeLeave { node: NodeId(1) },
+            EngineEvent::NodeLeave { node: NodeId(1) }, // invalid: already gone
+        ]);
+        assert_eq!(err.unwrap_err(), EngineError::NotActive(NodeId(1)));
+        assert_eq!(e.epoch(), before.epoch());
+        assert!(e.matching().same_edges(before.matching()));
+        assert!(e.dynamic().is_active(NodeId(1)));
+    }
+
+    #[test]
+    fn validation_errors_cover_every_variant() {
+        let mut e = engine(8);
+        let (non_edge, first_edge_endpoints) = {
+            let g = e.dynamic().graph();
+            // A non-adjacent pair must exist in a sparse G(n, p).
+            let mut pair = None;
+            'outer: for a in g.nodes() {
+                for b in g.nodes() {
+                    if a < b && !g.has_edge(a, b) {
+                        pair = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            let edge = g.edges().next().unwrap();
+            (pair.expect("sparse graph has a non-edge"), g.endpoints(edge))
+        };
+        let far = NodeId(1000);
+        assert_eq!(
+            e.apply(EngineEvent::NodeJoin { node: far }).unwrap_err(),
+            EngineError::UnknownNode(far)
+        );
+        assert_eq!(
+            e.apply(EngineEvent::NodeJoin { node: NodeId(0) }).unwrap_err(),
+            EngineError::AlreadyActive(NodeId(0))
+        );
+        let (u, v) = non_edge;
+        assert_eq!(
+            e.apply(EngineEvent::EdgeRemove { u, v }).unwrap_err(),
+            EngineError::UnknownEdge(u, v)
+        );
+        let (a, b) = first_edge_endpoints;
+        assert_eq!(
+            e.apply(EngineEvent::EdgeAdd { u: a, v: b }).unwrap_err(),
+            EngineError::EdgePresent(a, b)
+        );
+        assert_eq!(
+            e.apply(EngineEvent::PreferenceUpdate { node: NodeId(0), list: vec![] })
+                .unwrap_err(),
+            EngineError::InvalidPreferences(NodeId(0))
+        );
+        assert_eq!(e.epoch(), Epoch(0), "failed singles never tick the epoch");
+    }
+
+    #[test]
+    fn one_batch_repairs_many_events_at_once() {
+        let mut e = engine(9);
+        let r = e
+            .apply_batch(&[
+                EngineEvent::NodeLeave { node: NodeId(0) },
+                EngineEvent::NodeLeave { node: NodeId(1) },
+                EngineEvent::QuotaChange { node: NodeId(2), quota: 1 },
+            ])
+            .unwrap();
+        assert_eq!(r.events, 3);
+        assert_eq!(r.epoch, Epoch(1));
+        assert_eq!(r.matching_size, e.matching().size());
+        e.certify().expect("after mixed batch");
+    }
+
+    #[test]
+    fn traced_batches_emit_the_engine_taxonomy() {
+        use owp_telemetry::EventLog;
+        let mut e = engine(10);
+        let mut log = EventLog::enabled();
+        e.apply_batch_traced(&[EngineEvent::NodeLeave { node: NodeId(4) }], &mut log)
+            .unwrap();
+        let tags: Vec<&str> = log.events().iter().map(|ev| ev.tag()).collect();
+        assert_eq!(tags.last(), Some(&"engine_batch_applied"));
+        assert!(tags
+            .iter()
+            .all(|t| t.starts_with("engine_")), "only engine events: {tags:?}");
+    }
+
+    #[test]
+    fn empty_batch_is_a_quiescent_tick() {
+        let mut e = engine(11);
+        let r = e.apply_batch(&[]).unwrap();
+        assert!(r.is_quiescent());
+        assert_eq!(r.net_edges(), 0);
+        assert_eq!(r.evaluated, 0);
+        assert_eq!(e.epoch(), Epoch(1));
+    }
+}

@@ -1,0 +1,53 @@
+//! Epoch-versioned change reports — what one applied batch did.
+
+use owp_graph::EdgeId;
+
+/// A monotone version counter: one tick per applied batch. Epoch 0 is the
+/// engine's initial (from-scratch) state; the first batch produces epoch 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(pub u64);
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
+
+/// What one batch changed: the matching delta, the size of the dirty
+/// region the repair actually evaluated, and the satisfaction movement.
+/// Edge ids refer to the **universe** graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaReport {
+    /// The epoch this batch produced.
+    pub epoch: Epoch,
+    /// Events in the batch.
+    pub events: usize,
+    /// Edges the repair added to the matching, in repair (rank) order.
+    pub edges_added: Vec<EdgeId>,
+    /// Edges the repair removed from the matching, in repair (rank) order.
+    pub edges_removed: Vec<EdgeId>,
+    /// Edges the bounded repair evaluated — the dirty region's size. The
+    /// headline of E19: this stays near the event neighbourhood while a
+    /// from-scratch run pays the whole instance.
+    pub evaluated: usize,
+    /// Edges whose rank keys were recomputed by weight-changing events.
+    pub reranked: usize,
+    /// Change in total satisfaction over active peers (ΔΣS).
+    pub delta_satisfaction: f64,
+    /// Total satisfaction over active peers after the batch.
+    pub total_satisfaction: f64,
+    /// Matching size after the batch.
+    pub matching_size: usize,
+}
+
+impl DeltaReport {
+    /// `true` iff the batch left the matching unchanged.
+    pub fn is_quiescent(&self) -> bool {
+        self.edges_added.is_empty() && self.edges_removed.is_empty()
+    }
+
+    /// Net matched-edge change (`added − removed`).
+    pub fn net_edges(&self) -> i64 {
+        self.edges_added.len() as i64 - self.edges_removed.len() as i64
+    }
+}

@@ -154,6 +154,42 @@ impl PreferenceTable {
         Self::from_lists_unchecked(lists)
     }
 
+    /// Replaces `L_i` with a new permutation of `i`'s neighbourhood,
+    /// rebuilding the rank lookup for that node only.
+    ///
+    /// This is the mutation entry point of the dynamic engine
+    /// (`owp-engine`'s `PreferenceUpdate` event): a peer re-ranks its
+    /// neighbourhood at runtime, e.g. after observing transaction history.
+    /// The list must cover the **full** neighbourhood `Γ_i` of the
+    /// underlying (universe) graph, exactly like [`PreferenceTable::from_lists`].
+    pub fn set_list(
+        &mut self,
+        g: &Graph,
+        i: NodeId,
+        list: Vec<NodeId>,
+    ) -> Result<(), PreferenceError> {
+        if list.len() != g.degree(i) {
+            return Err(PreferenceError::NotAPermutation { node: i });
+        }
+        let mut sorted = list.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != list.len()
+            || !sorted.iter().zip(g.neighbor_ids(i)).all(|(&a, b)| a == b)
+        {
+            return Err(PreferenceError::NotAPermutation { node: i });
+        }
+        let mut ranks: Vec<(NodeId, Rank)> = list
+            .iter()
+            .enumerate()
+            .map(|(rank, &j)| (j, rank as Rank))
+            .collect();
+        ranks.sort_unstable_by_key(|&(j, _)| j);
+        self.lists[i.index()] = list;
+        self.ranks[i.index()] = ranks;
+        Ok(())
+    }
+
     /// The rank `R_i(j)` of neighbour `j` in `i`'s list, or `None` if `j` is
     /// not a neighbour of `i`.
     #[inline]
@@ -271,6 +307,49 @@ mod tests {
             ),
             Err(PreferenceError::NotAPermutation { node: NodeId(1) })
         );
+    }
+
+    #[test]
+    fn set_list_replaces_one_node_and_revalidates() {
+        let g = complete(5);
+        let mut p = PreferenceTable::by_node_id(&g);
+        let before_other = p.list(NodeId(1)).to_vec();
+
+        // Reverse node 0's list.
+        let mut rev: Vec<NodeId> = p.list(NodeId(0)).to_vec();
+        rev.reverse();
+        p.set_list(&g, NodeId(0), rev.clone()).expect("valid permutation");
+        assert_eq!(p.list(NodeId(0)), &rev[..]);
+        assert_eq!(p.rank(NodeId(0), rev[0]), Some(0));
+        assert_eq!(p.rank(NodeId(0), rev[3]), Some(3));
+        // Other nodes untouched.
+        assert_eq!(p.list(NodeId(1)), &before_other[..]);
+
+        // Wrong length.
+        assert_eq!(
+            p.set_list(&g, NodeId(0), vec![NodeId(1)]),
+            Err(PreferenceError::NotAPermutation { node: NodeId(0) })
+        );
+        // Duplicate entry.
+        assert_eq!(
+            p.set_list(
+                &g,
+                NodeId(0),
+                vec![NodeId(1), NodeId(1), NodeId(2), NodeId(3)]
+            ),
+            Err(PreferenceError::NotAPermutation { node: NodeId(0) })
+        );
+        // Non-neighbour (itself).
+        assert_eq!(
+            p.set_list(
+                &g,
+                NodeId(0),
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+            ),
+            Err(PreferenceError::NotAPermutation { node: NodeId(0) })
+        );
+        // Failed updates must not corrupt the table.
+        assert_eq!(p.list(NodeId(0)), &rev[..]);
     }
 
     #[test]

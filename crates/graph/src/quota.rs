@@ -45,6 +45,15 @@ impl Quotas {
         }
     }
 
+    /// Sets `b_i`, clamped to `i`'s degree like every constructor — the
+    /// mutation entry point of the dynamic engine (`owp-engine`'s
+    /// `QuotaChange` event). Returns the value actually stored.
+    pub fn set(&mut self, g: &Graph, i: NodeId, b: u32) -> u32 {
+        let clamped = b.min(g.degree(i) as u32);
+        self.b[i.index()] = clamped;
+        clamped
+    }
+
     /// Quota of node `i` (`b_i`).
     #[inline]
     pub fn get(&self, i: NodeId) -> u32 {
@@ -119,6 +128,18 @@ mod tests {
         for (_, b) in q.iter() {
             assert!((2..=5).contains(&b));
         }
+    }
+
+    #[test]
+    fn set_clamps_and_reports() {
+        let g = star(5); // hub degree 4, leaves degree 1
+        let mut q = Quotas::uniform(&g, 2);
+        assert_eq!(q.set(&g, NodeId(0), 10), 4, "clamped to hub degree");
+        assert_eq!(q.get(NodeId(0)), 4);
+        assert_eq!(q.set(&g, NodeId(1), 0), 0);
+        assert_eq!(q.get(NodeId(1)), 0);
+        assert_eq!(q.set(&g, NodeId(2), 1), 1);
+        assert_eq!(q.bmax(), 4);
     }
 
     #[test]

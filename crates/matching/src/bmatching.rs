@@ -52,6 +52,21 @@ impl BMatching {
         self.size += 1;
     }
 
+    /// Adds edge `e` **without** a quota check — for the dynamic engine's
+    /// incremental repair, where selections are revised in global rank order
+    /// and a node may transiently hold more connections than its (just
+    /// lowered) quota until the repair frontier reaches its lighter edges.
+    /// The engine re-establishes the quota invariant before a batch returns;
+    /// duplicate insertion still panics.
+    pub fn insert_unchecked(&mut self, g: &Graph, e: EdgeId) {
+        assert!(!self.selected[e.index()], "edge {e:?} selected twice");
+        let (u, v) = g.endpoints(e);
+        self.selected[e.index()] = true;
+        self.connections[u.index()].push(v);
+        self.connections[v.index()].push(u);
+        self.size += 1;
+    }
+
     /// Removes edge `e` (used by the churn / dynamics code).
     pub fn remove(&mut self, g: &Graph, e: EdgeId) {
         assert!(self.selected[e.index()], "edge {e:?} not selected");
@@ -167,6 +182,32 @@ mod tests {
         let e01 = p.graph.edge_between(NodeId(0), NodeId(1)).unwrap();
         let e02 = p.graph.edge_between(NodeId(0), NodeId(2)).unwrap();
         BMatching::from_edges(&p, [e01, e02]);
+    }
+
+    #[test]
+    fn insert_unchecked_bypasses_quotas_but_not_duplicates() {
+        let g = complete(4);
+        let p = Problem::random_over(g, 1, 1);
+        let e01 = p.graph.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let e02 = p.graph.edge_between(NodeId(0), NodeId(2)).unwrap();
+        let mut m = BMatching::empty(&p.graph);
+        m.insert_unchecked(&p.graph, e01);
+        // Second incident edge would violate node 0's quota of 1; the
+        // unchecked path admits it (the engine's transient state).
+        m.insert_unchecked(&p.graph, e02);
+        assert_eq!(m.degree(NodeId(0)), 2);
+        assert_eq!(m.size(), 2);
+        m.remove(&p.graph, e02);
+        assert_eq!(m.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "selected twice")]
+    fn insert_unchecked_rejects_duplicates() {
+        let p = problem();
+        let mut m = BMatching::empty(&p.graph);
+        m.insert_unchecked(&p.graph, EdgeId(0));
+        m.insert_unchecked(&p.graph, EdgeId(0));
     }
 
     #[test]

@@ -61,6 +61,74 @@ impl EdgeOrder {
         EdgeOrder { rank, by_rank }
     }
 
+    /// Incrementally re-ranks after the weights of `changed` edges were
+    /// mutated (everything else unchanged). Produces exactly the ranks
+    /// [`EdgeOrder::compute`] would from scratch, but pays exact-key work
+    /// proportional to the *change*, not the instance:
+    ///
+    /// * `O(|changed| log |changed|)` key comparisons to sort the moved
+    ///   edges by their new keys;
+    /// * `O(|changed| log m)` key comparisons to binary-search each moved
+    ///   edge's insertion point among the unmoved (still-sorted) edges;
+    /// * one `O(m)` **integer** pass to splice the two sorted sequences and
+    ///   rebuild the dense rank array.
+    ///
+    /// No `Rational` comparison touches the `m − |changed|` unmoved edges
+    /// beyond the binary-search probes. This is what keeps the dynamic
+    /// engine's `PreferenceUpdate`/`QuotaChange` path off the full
+    /// `O(m log m)` exact re-sort.
+    pub fn update_keys(&mut self, g: &Graph, weights: &EdgeWeights, changed: &[EdgeId]) {
+        if changed.is_empty() {
+            return;
+        }
+        let mut is_changed = vec![false; self.rank.len()];
+        let mut moved: Vec<(EdgeKey, EdgeId)> = Vec::with_capacity(changed.len());
+        for &e in changed {
+            if !is_changed[e.index()] {
+                is_changed[e.index()] = true;
+                moved.push((weights.key(g, e), e));
+            }
+        }
+        // Heaviest first, like `by_rank`.
+        moved.sort_unstable_by_key(|&(key, _)| std::cmp::Reverse(key));
+
+        // The unmoved edges keep their relative order.
+        let rest: Vec<EdgeId> = self
+            .by_rank
+            .iter()
+            .copied()
+            .filter(|e| !is_changed[e.index()])
+            .collect();
+
+        // Insertion index of each moved edge among `rest` (first position
+        // whose key is lighter). Distinct edges never compare equal
+        // (EdgeKey is a strict total order), so `partition_point` is exact.
+        let targets: Vec<usize> = moved
+            .iter()
+            .map(|&(key, _)| rest.partition_point(|&r| weights.key(g, r) > key))
+            .collect();
+
+        // Splice: `moved` is sorted by key, so its target indices are
+        // non-decreasing and equal targets are already in key order.
+        let mut by_rank = Vec::with_capacity(self.by_rank.len());
+        let mut mi = 0;
+        for (ri, &r) in rest.iter().enumerate() {
+            while mi < moved.len() && targets[mi] == ri {
+                by_rank.push(moved[mi].1);
+                mi += 1;
+            }
+            by_rank.push(r);
+        }
+        while mi < moved.len() {
+            by_rank.push(moved[mi].1);
+            mi += 1;
+        }
+        for (r, &e) in by_rank.iter().enumerate() {
+            self.rank[e.index()] = r as EdgeRank;
+        }
+        self.by_rank = by_rank;
+    }
+
     /// The rank of edge `e`; `0` is the globally heaviest edge.
     #[inline]
     pub fn rank(&self, e: EdgeId) -> EdgeRank {
@@ -141,6 +209,38 @@ mod tests {
         for w in p.order.heaviest_first().windows(2) {
             assert!(heavier(&p.weights, g, w[0], w[1]));
         }
+    }
+
+    #[test]
+    fn update_keys_matches_recompute_from_scratch() {
+        use owp_graph::NodeId;
+        // Perturb one node's quota (which shifts the eq. 9 weights of all
+        // its incident edges), patch the weights incrementally, and check
+        // the spliced order is bit-identical to a fresh compute.
+        for seed in 0..20u64 {
+            let mut p = Problem::random_gnp(30, 0.3, 3, seed);
+            let mut order = p.order.clone();
+            let node = NodeId((seed % 30) as u32);
+            let new_b = (seed % 4) as u32; // includes b = 0
+            p.quotas.set(&p.graph, node, new_b);
+            let changed =
+                p.weights.recompute_incident(&p.graph, &p.prefs, &p.quotas, node);
+            order.update_keys(&p.graph, &p.weights, &changed);
+            let fresh = crate::EdgeOrder::compute(&p.graph, &p.weights);
+            assert_eq!(order, fresh, "seed {seed}: incremental rank drifted");
+        }
+    }
+
+    #[test]
+    fn update_keys_with_duplicates_and_noops() {
+        let p = Problem::random_gnp(20, 0.4, 2, 7);
+        let mut order = p.order.clone();
+        // Weights untouched: re-ranking any (duplicated) subset is a no-op.
+        let some: Vec<_> = p.graph.edges().take(5).chain(p.graph.edges().take(5)).collect();
+        order.update_keys(&p.graph, &p.weights, &some);
+        assert_eq!(order, p.order);
+        order.update_keys(&p.graph, &p.weights, &[]);
+        assert_eq!(order, p.order);
     }
 
     #[test]

@@ -67,6 +67,37 @@ impl EdgeWeights {
         EdgeWeights { w }
     }
 
+    /// Wraps explicit per-edge values (indexed by [`EdgeId`]). Used by the
+    /// dynamic engine's snapshot, which *inherits* the maintained universe
+    /// weights for the alive sub-instance instead of re-deriving eq. 9 —
+    /// certification must compare against exactly the weights the engine
+    /// ranks by.
+    pub fn from_raw(w: Vec<Rational>) -> Self {
+        EdgeWeights { w }
+    }
+
+    /// Recomputes eq. 9 for every edge incident to `i` (after `i`'s
+    /// preference list or quota changed) and returns the edges touched.
+    ///
+    /// Both endpoint contributions are re-derived, so the call is also
+    /// correct when several incident nodes changed in sequence. The
+    /// returned list is exactly `i`'s incident edges — feed it to
+    /// [`crate::EdgeOrder::update_keys`] to restore the rank kernel.
+    pub fn recompute_incident(
+        &mut self,
+        g: &Graph,
+        prefs: &PreferenceTable,
+        quotas: &Quotas,
+        i: owp_graph::NodeId,
+    ) -> Vec<EdgeId> {
+        let mut touched = Vec::with_capacity(g.degree(i));
+        for &(j, e) in g.neighbors(i) {
+            self.w[e.index()] = delta_static(prefs, quotas, i, j) + delta_static(prefs, quotas, j, i);
+            touched.push(e);
+        }
+        touched
+    }
+
     /// Exact weight of edge `e`.
     #[inline]
     pub fn get(&self, e: EdgeId) -> Rational {
@@ -214,6 +245,19 @@ mod tests {
         assert_eq!(sorted.len(), g.edge_count());
         for pair in sorted.windows(2) {
             assert!(heavier(&w, &g, pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn recompute_incident_matches_full_recompute() {
+        let (g, prefs, mut quotas, mut w) = setup(9, 3, 5);
+        let i = NodeId(4);
+        quotas.set(&g, i, 1);
+        let touched = w.recompute_incident(&g, &prefs, &quotas, i);
+        assert_eq!(touched.len(), g.degree(i));
+        let fresh = EdgeWeights::compute(&g, &prefs, &quotas);
+        for e in g.edges() {
+            assert_eq!(w.get(e), fresh.get(e), "edge {e:?} stale after patch");
         }
     }
 

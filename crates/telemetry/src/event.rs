@@ -201,6 +201,42 @@ pub enum TelemetryEvent {
         /// Removed entries skipped by this advance.
         skipped: u32,
     },
+    /// The dynamic engine finished applying an event batch (owp-engine).
+    /// "Time" for all `Engine*` events is the epoch the batch produced.
+    EngineBatchApplied {
+        /// Epoch after the batch (monotone, one per batch).
+        epoch: u64,
+        /// Events in the batch.
+        events: u32,
+        /// Edges evaluated by the bounded repair (the dirty region's size).
+        evaluated: u32,
+        /// Edges the repair added to the matching.
+        added: u32,
+        /// Edges the repair removed from the matching.
+        removed: u32,
+    },
+    /// The repair selected an edge into the maintained matching.
+    EngineEdgeAdded {
+        /// Epoch of the batch making the change.
+        epoch: u64,
+        /// The edge that entered the matching.
+        edge: EdgeId,
+    },
+    /// The repair evicted an edge from the maintained matching.
+    EngineEdgeRemoved {
+        /// Epoch of the batch making the change.
+        epoch: u64,
+        /// The edge that left the matching.
+        edge: EdgeId,
+    },
+    /// A weight-changing event re-ranked part of the edge order
+    /// incrementally (`EdgeOrder::update_keys`).
+    EngineReranked {
+        /// Epoch of the batch making the change.
+        epoch: u64,
+        /// Edges whose rank keys were recomputed.
+        edges: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -217,6 +253,10 @@ impl TelemetryEvent {
             TelemetryEvent::LicEdgeSelected { step, .. }
             | TelemetryEvent::LicNodeSaturated { step, .. } => step as u64,
             TelemetryEvent::LicCursorAdvanced { .. } => 0,
+            TelemetryEvent::EngineBatchApplied { epoch, .. }
+            | TelemetryEvent::EngineEdgeAdded { epoch, .. }
+            | TelemetryEvent::EngineEdgeRemoved { epoch, .. }
+            | TelemetryEvent::EngineReranked { epoch, .. } => epoch,
         }
     }
 
@@ -239,6 +279,10 @@ impl TelemetryEvent {
             TelemetryEvent::LicEdgeSelected { .. } => "lic_edge_selected",
             TelemetryEvent::LicNodeSaturated { .. } => "lic_node_saturated",
             TelemetryEvent::LicCursorAdvanced { .. } => "lic_cursor_advanced",
+            TelemetryEvent::EngineBatchApplied { .. } => "engine_batch_applied",
+            TelemetryEvent::EngineEdgeAdded { .. } => "engine_edge_added",
+            TelemetryEvent::EngineEdgeRemoved { .. } => "engine_edge_removed",
+            TelemetryEvent::EngineReranked { .. } => "engine_reranked",
         }
     }
 
@@ -292,6 +336,19 @@ impl TelemetryEvent {
             }
             TelemetryEvent::LicCursorAdvanced { node, skipped } => {
                 let _ = write!(s, ",\"node\":{},\"skipped\":{skipped}", node.0);
+            }
+            TelemetryEvent::EngineBatchApplied { epoch, events, evaluated, added, removed } => {
+                let _ = write!(
+                    s,
+                    ",\"epoch\":{epoch},\"events\":{events},\"evaluated\":{evaluated},\"added\":{added},\"removed\":{removed}"
+                );
+            }
+            TelemetryEvent::EngineEdgeAdded { epoch, edge }
+            | TelemetryEvent::EngineEdgeRemoved { epoch, edge } => {
+                let _ = write!(s, ",\"epoch\":{epoch},\"edge\":{}", edge.0);
+            }
+            TelemetryEvent::EngineReranked { epoch, edges } => {
+                let _ = write!(s, ",\"epoch\":{epoch},\"edges\":{edges}");
             }
         }
         s.push('}');
@@ -370,5 +427,31 @@ mod tests {
             events[1].to_json(),
             "{\"ev\":\"edge_locked\",\"time\":2,\"node\":5,\"peer\":4}"
         );
+    }
+
+    #[test]
+    fn engine_events_time_tag_and_json() {
+        let batch = TelemetryEvent::EngineBatchApplied {
+            epoch: 12,
+            events: 3,
+            evaluated: 40,
+            added: 2,
+            removed: 1,
+        };
+        assert_eq!(batch.time(), 12);
+        assert_eq!(batch.tag(), "engine_batch_applied");
+        assert_eq!(
+            batch.to_json(),
+            "{\"ev\":\"engine_batch_applied\",\"epoch\":12,\"events\":3,\"evaluated\":40,\"added\":2,\"removed\":1}"
+        );
+        let added = TelemetryEvent::EngineEdgeAdded { epoch: 12, edge: EdgeId(7) };
+        assert_eq!(added.time(), 12);
+        assert_eq!(added.to_json(), "{\"ev\":\"engine_edge_added\",\"epoch\":12,\"edge\":7}");
+        let removed = TelemetryEvent::EngineEdgeRemoved { epoch: 13, edge: EdgeId(8) };
+        assert_eq!(removed.tag(), "engine_edge_removed");
+        assert_eq!(removed.to_json(), "{\"ev\":\"engine_edge_removed\",\"epoch\":13,\"edge\":8}");
+        let rer = TelemetryEvent::EngineReranked { epoch: 13, edges: 5 };
+        assert_eq!(rer.tag(), "engine_reranked");
+        assert_eq!(rer.to_json(), "{\"ev\":\"engine_reranked\",\"epoch\":13,\"edges\":5}");
     }
 }

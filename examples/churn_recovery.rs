@@ -1,10 +1,12 @@
-//! Churn: peers leaving and joining, with greedy local repair.
+//! Churn: peers leaving and joining under continuous certified repair.
 //!
 //! The paper leaves dynamicity as future work and conjectures the same
-//! greedy strategy handles it. This example exercises that extension: build
-//! an overlay, evict 15% of the peers, repair locally, let them rejoin,
-//! repair again — and track how much total satisfaction each phase recovers
-//! compared with rebuilding the whole overlay from scratch.
+//! greedy strategy handles it. This example exercises the engine that
+//! makes the conjecture concrete: build an overlay, evict 15% of the
+//! peers, let them rejoin — after *every* event the engine has already
+//! repaired the matching back to the exact locally-heaviest matching of
+//! the current population (`certify()` checks it against a from-scratch
+//! run), touching only a bounded dirty region per event.
 //!
 //! ```text
 //! cargo run --release --example churn_recovery
@@ -32,53 +34,51 @@ fn main() {
     let initial_sat = overlay.report.satisfaction_total;
     println!("initial overlay: total satisfaction {initial_sat:.2} over {n} peers");
 
-    let mut sim = ChurnSim::new(p, overlay.lid.matching);
+    // The engine starts from the same (canonical) matching LID converged
+    // to, and keeps it exact through every membership change.
+    let mut sim = ChurnSim::new(p);
 
     // 15% of peers leave at once.
     let mut peers: Vec<NodeId> = p.nodes().collect();
     peers.shuffle(&mut rng);
     let leavers: Vec<NodeId> = peers[..n * 15 / 100].to_vec();
+    let mut torn = 0usize;
+    let mut rebuilt = 0usize;
+    let mut dirty = 0usize;
     for &i in &leavers {
-        sim.leave(i);
+        let report = sim.leave(i).expect("active peer leaves");
+        torn += report.edges_removed.len();
+        rebuilt += report.edges_added.len();
+        dirty += report.evaluated;
     }
     let after_leave = sim.active_satisfaction();
     println!(
-        "\n{} peers left → active satisfaction {:.2} ({:.1}% of pre-churn level)",
+        "\n{} peers left → {torn} links dissolved, {rebuilt} replacement links formed\n\
+         repair examined {dirty} edges in total ({:.1} per event, of {} in the overlay)\n\
+         active satisfaction {after_leave:.2} ({:.1}% of pre-churn level)",
         leavers.len(),
-        after_leave,
+        dirty as f64 / leavers.len() as f64,
+        p.edge_count(),
         100.0 * after_leave / initial_sat
     );
+    sim.certify()
+        .expect("matching is bit-identical to a from-scratch run on the survivors");
+    println!("certified: survivors hold exactly the from-scratch locally-heaviest matching");
 
-    // Local repair: survivors with freed quota re-match greedily.
-    let stats = sim.repair();
-    let after_repair = sim.active_satisfaction();
-    println!(
-        "local repair added {} links → active satisfaction {:.2} ({:.1}%)",
-        stats.edges_added,
-        after_repair,
-        100.0 * after_repair / initial_sat
-    );
-
-    // The leavers come back.
+    // The leavers come back; the engine reconnects them exactly.
+    let mut regained = 0usize;
     for &i in &leavers {
-        sim.join(i);
+        regained += sim.join(i).expect("peer rejoins").edges_added.len();
     }
-    let stats = sim.repair();
     let after_rejoin = sim.active_satisfaction();
     println!(
-        "rejoin + repair added {} links → total satisfaction {:.2} ({:.1}%)",
-        stats.edges_added,
-        after_rejoin,
+        "\nrejoin formed {regained} links → total satisfaction {after_rejoin:.2} ({:.1}%)",
         100.0 * after_rejoin / initial_sat
     );
-
-    // Reference: a full rebuild from scratch (what a non-incremental system
-    // would do — and what the repair result should stay close to).
-    let rebuilt = network.run(SimConfig::with_seed(2));
+    sim.certify().expect("round-trip returns to the canonical matching");
     println!(
-        "\nfull rebuild would reach {:.2} — local repair kept {:.1}% of that \
-         without touching surviving links",
-        rebuilt.report.satisfaction_total,
-        100.0 * after_rejoin / rebuilt.report.satisfaction_total
+        "certified: after rejoin the overlay is back to the exact pre-churn matching \
+         — no rebuild, {} epochs of bounded repair",
+        sim.engine().epoch().0
     );
 }

@@ -12,6 +12,9 @@
 //!   distributed substrate LID runs on);
 //! * [`owp_matching`] — satisfaction metric, eq. 9 weights, LIC, baselines,
 //!   exact solvers, stability machinery, verification, bounds;
+//! * [`owp_engine`] — the event-driven dynamic engine: certified bounded
+//!   repair of the locally-heaviest matching under joins, leaves, edge
+//!   churn and preference/quota updates;
 //! * [`owp_core`] — the LID protocol and the overlay-construction API.
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub use owp_core;
+pub use owp_engine;
 pub use owp_graph;
 pub use owp_matching;
 pub use owp_simnet;
@@ -37,6 +41,7 @@ pub mod prelude {
         replay_lid_trace, run_lid, run_lid_sync, run_lid_sync_series, run_lid_traced, ChurnSim,
         DisclosureReport, LidResult,
     };
+    pub use owp_engine::{DeltaReport, DynamicProblem, Engine, EngineError, EngineEvent, Epoch};
     pub use owp_graph::{Graph, GraphBuilder, NodeId, PreferenceTable, Quotas};
     pub use owp_matching::{
         lic, BMatching, MatchingReport, Problem, SelectionPolicy,

@@ -49,16 +49,18 @@ fn full_pipeline_with_every_metric_kind() {
         assert!((0.0..=1.0 + 1e-12).contains(s), "satisfaction {s} out of range");
     }
 
-    // Churn round-trip on top of the built overlay.
+    // Churn round-trip on top of the built overlay: the engine repairs
+    // within each call and stays bit-identical to a from-scratch run.
     let p = &network.problem;
-    let mut churn = ChurnSim::new(p, overlay.lid.matching);
-    churn.leave(NodeId(5));
-    churn.leave(NodeId(6));
-    churn.repair();
-    churn.join(NodeId(5));
-    churn.join(NodeId(6));
-    churn.repair();
+    let mut churn = ChurnSim::new(p);
+    churn.leave(NodeId(5)).expect("leave 5");
+    churn.leave(NodeId(6)).expect("leave 6");
+    churn.certify().expect("exact after leaves");
+    churn.join(NodeId(5)).expect("rejoin 5");
+    churn.join(NodeId(6)).expect("rejoin 6");
+    churn.certify().expect("exact after rejoins");
     verify::check_valid(p, churn.matching()).expect("valid after churn");
+    verify::check_maximal(p, churn.matching()).expect("maximal after churn");
 }
 
 #[test]
