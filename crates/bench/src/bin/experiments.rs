@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <e1|e2|...|e19|all> [--quick] [--json] [--trace-out <path>]
+//!             [--metrics-out <path>] [--watch]
 //! ```
 //!
 //! With `--json`, each experiment additionally writes its tables to
@@ -10,18 +11,56 @@
 //! without scraping stdout.
 //!
 //! With `--trace-out <path>`, the per-round convergence series of a traced
-//! experiment (currently `e18`) is written as JSONL — one
-//! `{"round":…,"matched_edges":…,…}` object per line (schema in
-//! `owp_telemetry::series`). Selecting `--trace-out` without a traced
-//! experiment is an error.
+//! experiment (see `experiments::TRACED`, currently `e18`) is written as
+//! JSONL — one `{"round":…,"matched_edges":…,…}` object per line (schema in
+//! `owp_telemetry::series`). Experiments without a trace warn and ignore
+//! the flag; selecting *only* untraced experiments is an error.
+//!
+//! With `--metrics-out <path>`, the instrumented experiments (see
+//! `experiments::INSTRUMENTED`: e5, e18, e19) run with a shared
+//! `MetricsRegistry` — histograms, message counters and the online
+//! invariant audit — and the final snapshot is written to `path`:
+//! Prometheus text format if the path ends in `.prom`, JSON otherwise.
+//! Any audit violation makes the run exit non-zero.
+//!
+//! With `--watch`, a background thread prints a compact metrics table to
+//! stderr every 2 seconds while experiments run (implies collecting
+//! metrics even without `--metrics-out`).
 
 use owp_bench::experiments;
+use owp_metrics::{MetricsRegistry, MetricsSnapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// One compact stderr block per tick: counters and gauges one per line,
+/// histograms as count/mean/p50/p99.
+fn render_watch(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("--- metrics ---\n");
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("{name:<34} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("{name:<34} {v:.4}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!(
+            "{name:<34} n={} mean={:.1} p50<={} p99<={}\n",
+            h.count,
+            h.mean(),
+            h.quantile_upper_bound(0.5).unwrap_or(0),
+            h.quantile_upper_bound(0.99).unwrap_or(0),
+        ));
+    }
+    out
+}
 
 fn main() {
     let mut quick = false;
     let mut json = false;
+    let mut watch = false;
     let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -29,10 +68,18 @@ fn main() {
         match a.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
+            "--watch" => watch = true,
             "--trace-out" => match args.next() {
                 Some(path) => trace_out = Some(path),
                 None => {
                     eprintln!("--trace-out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(path),
+                None => {
+                    eprintln!("--metrics-out requires a path argument");
                     std::process::exit(2);
                 }
             },
@@ -45,7 +92,10 @@ fn main() {
     }
 
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e19|all> [--quick] [--json] [--trace-out <path>]");
+        eprintln!(
+            "usage: experiments <e1..e19|all> [--quick] [--json] [--trace-out <path>] \
+             [--metrics-out <path>] [--watch]"
+        );
         eprintln!("known experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
     }
@@ -56,10 +106,33 @@ fn main() {
         ids.iter().map(|s| s.as_str()).collect()
     };
 
+    let registry = (metrics_out.is_some() || watch).then(|| Arc::new(MetricsRegistry::new()));
+
+    // The watch printer shares the registry; recording stays lock-free, the
+    // printer takes the cold snapshot lock once per tick.
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = registry.as_ref().filter(|_| watch).map(|reg| {
+        let reg = Arc::clone(reg);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_secs(2));
+                eprint!("{}", render_watch(&reg.snapshot()));
+            }
+        })
+    });
+
     let mut trace_written = false;
     for id in selected {
+        if trace_out.is_some() && !experiments::TRACED.contains(&id) {
+            eprintln!(
+                "warning: {id} records no convergence trace, --trace-out ignored for it \
+                 (traced experiments: {})",
+                experiments::TRACED.join(", ")
+            );
+        }
         let start = Instant::now();
-        match experiments::run_with_trace(id, quick) {
+        match experiments::run_instrumented(id, quick, registry.as_deref()) {
             Some((tables, series)) => {
                 for t in &tables {
                     println!();
@@ -98,8 +171,47 @@ fn main() {
         }
     }
 
+    stop.store(true, Ordering::Relaxed);
+    if let Some(w) = watcher {
+        let _ = w.join();
+    }
+
+    if let Some(reg) = &registry {
+        let snap = reg.snapshot();
+        if watch {
+            eprint!("{}", render_watch(&snap));
+        }
+        if let Some(path) = &metrics_out {
+            let doc = if path.ends_with(".prom") {
+                snap.to_prometheus()
+            } else {
+                snap.to_json()
+            };
+            match std::fs::write(path, doc) {
+                Ok(()) => println!("[wrote metrics snapshot to {path}]"),
+                Err(e) => {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let violations = snap
+            .counters
+            .iter()
+            .find(|(name, _)| name == "audit_violations_total")
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        if violations > 0 {
+            eprintln!("audit: {violations} invariant violation(s) detected during the run");
+            std::process::exit(1);
+        }
+    }
+
     if trace_out.is_some() && !trace_written {
-        eprintln!("--trace-out given but no selected experiment records a convergence trace (use e18)");
+        eprintln!(
+            "--trace-out given but no selected experiment records a convergence trace (use {})",
+            experiments::TRACED.join(", ")
+        );
         std::process::exit(2);
     }
 }

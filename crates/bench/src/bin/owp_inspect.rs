@@ -1,0 +1,186 @@
+//! `owp-inspect` — offline post-processing of run artifacts.
+//!
+//! ```text
+//! owp-inspect trace <series.jsonl|series.csv>   per-phase convergence summary
+//! owp-inspect metrics <snapshot.json|.prom>     metrics summary + audit report
+//! ```
+//!
+//! `trace` consumes the convergence series written by
+//! `experiments e18 --trace-out <path>` (JSONL schema of
+//! `owp_telemetry::series`; `.csv` files written via `to_csv` parse too)
+//! and splits the trajectory into its two phases — *matching growth* up to
+//! the stabilization round, then the *termination-detection tail* — with
+//! per-phase round, edge and message accounting.
+//!
+//! `metrics` consumes a snapshot written by `experiments --metrics-out`
+//! (JSON, or Prometheus text for `.prom` paths), prints every family with
+//! histogram quantiles, and reports the audit verdict: exit status 1 if
+//! the snapshot records any invariant violation, 0 otherwise.
+//!
+//! Reports are accumulated and written in one shot with write errors
+//! ignored, so piping into `head` never aborts the tool.
+
+use owp_metrics::MetricsSnapshot;
+use owp_telemetry::{ConvergenceSample, ConvergenceSeries};
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("owp-inspect: {msg}");
+    std::process::exit(2);
+}
+
+fn emit(out: &str) {
+    let _ = std::io::stdout().write_all(out.as_bytes());
+}
+
+fn phase_row(out: &mut String, label: &str, from: &ConvergenceSample, to: &ConvergenceSample) {
+    let rounds = to.round - from.round;
+    let _ = writeln!(
+        out,
+        "  {label:<22} rounds {:>4}..{:<4} ({rounds:>4})  edges +{:<6} msgs +{:<8} term {:>5.1}% -> {:>5.1}%",
+        from.round,
+        to.round,
+        to.matched_edges.saturating_sub(from.matched_edges),
+        to.messages_sent.saturating_sub(from.messages_sent),
+        100.0 * from.terminated_fraction,
+        100.0 * to.terminated_fraction,
+    );
+}
+
+fn inspect_trace(path: &str) {
+    let doc = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let series = if path.ends_with(".csv") {
+        ConvergenceSeries::parse_csv(&doc)
+    } else {
+        ConvergenceSeries::parse_jsonl(&doc)
+    }
+    .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+
+    let mut out = String::new();
+    let Some(last) = series.last() else {
+        emit(&format!("{path}: empty series\n"));
+        return;
+    };
+    let first = &series.samples()[0];
+    let stable = series.stabilization_round().unwrap_or(last.round);
+
+    let _ = writeln!(
+        out,
+        "{path}: {} samples, rounds {}..{}",
+        series.len(),
+        first.round,
+        last.round
+    );
+    let _ = writeln!(
+        out,
+        "  final: {} edges, weight {:.4}, ΣS {:.4}, {} msgs, {:.1}% terminated",
+        last.matched_edges,
+        last.total_weight,
+        last.satisfaction_total,
+        last.messages_sent,
+        100.0 * last.terminated_fraction
+    );
+    let _ = writeln!(out, "  matching stable from round {stable}");
+
+    // Phase split: growth until the matching stops changing, then pure
+    // termination detection.
+    let split = series
+        .samples()
+        .iter()
+        .position(|s| s.round >= stable)
+        .unwrap_or(series.len() - 1);
+    let stable_sample = &series.samples()[split];
+    out.push_str("phases:\n");
+    phase_row(&mut out, "matching growth", first, stable_sample);
+    phase_row(&mut out, "termination detection", stable_sample, last);
+
+    let peak_in_flight = series.samples().iter().map(|s| s.in_flight).max().unwrap_or(0);
+    let tail_msgs = last.messages_sent.saturating_sub(stable_sample.messages_sent);
+    let tail_pct = if last.messages_sent > 0 {
+        100.0 * tail_msgs as f64 / last.messages_sent as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  peak in-flight {peak_in_flight}; {tail_pct:.1}% of messages spent after stabilization"
+    );
+    emit(&out);
+}
+
+fn inspect_metrics(path: &str) {
+    let doc = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let snap = if path.ends_with(".prom") {
+        MetricsSnapshot::parse_prometheus(&doc)
+    } else {
+        MetricsSnapshot::parse_json(&doc)
+    }
+    .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} counters, {} gauges, {} histograms",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len()
+    );
+    for (name, v) in &snap.counters {
+        let _ = writeln!(out, "  counter   {name:<34} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(out, "  gauge     {name:<34} {v:.4}");
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "  histogram {name:<34} n={} mean={:.1} p50<={} p99<={}",
+            h.count,
+            h.mean(),
+            h.quantile_upper_bound(0.5).unwrap_or(0),
+            h.quantile_upper_bound(0.99).unwrap_or(0),
+        );
+    }
+
+    let counter = |key: &str| {
+        snap.counters.iter().find(|(name, _)| name == key).map(|&(_, v)| v)
+    };
+    out.push_str("audit:\n");
+    let verdict = counter("audit_violations_total");
+    match verdict {
+        None => out.push_str("  no audit ran (snapshot has no audit_violations_total)\n"),
+        Some(0) => {
+            let checks = counter("audit_checks_total").unwrap_or(0);
+            let _ = writeln!(out, "  clean — 0 violations over {checks} checks");
+            for (name, v) in &snap.gauges {
+                if name.starts_with("audit_") {
+                    let _ = writeln!(out, "  {name} = {v:.4}");
+                }
+            }
+        }
+        Some(v) => {
+            let _ = writeln!(out, "  FAILED — {v} invariant violation(s) recorded");
+        }
+    }
+    emit(&out);
+    if matches!(verdict, Some(v) if v > 0) {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "trace" => inspect_trace(path),
+        [cmd, path] if cmd == "metrics" => inspect_metrics(path),
+        _ => {
+            eprintln!("usage: owp-inspect <trace|metrics> <path>");
+            eprintln!("  trace   <series.jsonl|.csv>  per-phase convergence summary");
+            eprintln!("  metrics <snapshot.json|.prom> metrics summary + audit report");
+            std::process::exit(2);
+        }
+    }
+}

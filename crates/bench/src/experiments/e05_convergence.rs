@@ -9,6 +9,7 @@
 use crate::{mean, Table};
 use owp_core::{run_lid, run_lid_sync_series};
 use owp_matching::Problem;
+use owp_metrics::{Auditor, MetricsRegistry};
 use owp_simnet::{LatencyModel, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,12 +17,34 @@ use rayon::prelude::*;
 
 /// Runs the sweep. `quick` caps `n`.
 pub fn run(quick: bool) -> Table {
+    run_inner(quick, None)
+}
+
+/// [`run`] with metrics: per-run histograms (`lid_sync_rounds`,
+/// `lid_stabilization_round`, `lid_async_completion_ticks`) land in `reg`,
+/// and every synchronous result is audited (quota/mutuality/Lemma 4) —
+/// the auditor's violation counter stays at zero on a healthy build.
+pub fn run_with_metrics(quick: bool, reg: &MetricsRegistry) -> Table {
+    run_inner(quick, Some(reg))
+}
+
+fn run_inner(quick: bool, reg: Option<&MetricsRegistry>) -> Table {
     let sizes: &[usize] = if quick {
         &[64, 256]
     } else {
         &[64, 128, 256, 512, 1024, 2048]
     };
     let seeds: u64 = if quick { 2 } else { 10 };
+
+    // Handles are cloned once here (cold path); the rayon closures record
+    // through them lock-free.
+    let hists = reg.map(|r| {
+        (
+            r.histogram("lid_sync_rounds"),
+            r.histogram("lid_stabilization_round"),
+            r.histogram("lid_async_completion_ticks"),
+        )
+    });
 
     let mut t = Table::new(
         "E5 / Figure 3 — convergence vs n (G(n,p), avg degree ≈ 12)",
@@ -59,6 +82,19 @@ pub fn run(quick: bool) -> Table {
                         SimConfig::with_seed(seed).latency(LatencyModel::Exponential { mean: 10.0 }),
                     );
                     assert!(c.terminated && e.terminated);
+                    if let Some((h_rounds, h_stable, h_async)) = &hists {
+                        h_rounds.observe(sync.rounds);
+                        h_stable.observe(stable);
+                        h_async.observe(c.end_time);
+                        h_async.observe(e.end_time);
+                    }
+                    if let Some(r) = reg {
+                        // Per-closure auditor: the handles it publishes
+                        // through are shared registry families, so the
+                        // violation counter aggregates across the sweep.
+                        let mut auditor = Auditor::new(r);
+                        auditor.audit_matching(&p, &sync.matching);
+                    }
                     (
                         sync.rounds as f64,
                         stable as f64,
@@ -88,6 +124,22 @@ pub fn run(quick: bool) -> Table {
 
 #[cfg(test)]
 mod tests {
+    use owp_metrics::MetricsRegistry;
+
+    #[test]
+    fn metrics_variant_fills_histograms_and_audits_clean() {
+        let reg = MetricsRegistry::new();
+        let t = super::run_with_metrics(true, &reg);
+        assert_eq!(t.row_count(), 4);
+        // 4 cells × 2 seeds = 8 sync runs, each observed once.
+        assert_eq!(reg.histogram("lid_sync_rounds").count(), 8);
+        assert_eq!(reg.histogram("lid_async_completion_ticks").count(), 16);
+        // Every audited LID matching was certified clean.
+        assert_eq!(reg.counter("audit_checks_total").get(), 8);
+        assert_eq!(reg.counter("audit_violations_total").get(), 0);
+        assert_eq!(reg.gauge("audit_epsilon_blocking_edges").get(), 0.0);
+    }
+
     #[test]
     fn quick_run() {
         let t = super::run(true);

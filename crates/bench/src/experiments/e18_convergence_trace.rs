@@ -75,6 +75,33 @@ pub fn run(quick: bool) -> Table {
     run_with_series(quick).0
 }
 
+/// [`run_with_series`] plus the metrics surface: an *additional*
+/// asynchronous traced run of the same instance is replayed through a
+/// [`owp_metrics::MetricsRecorder`] (message counters, send→deliver and
+/// PROP→accept latency histograms, termination times) and both final
+/// matchings are audited. The synchronous table/series are byte-identical
+/// to the un-instrumented run.
+pub fn run_with_series_metrics(
+    quick: bool,
+    reg: &owp_metrics::MetricsRegistry,
+) -> (Table, ConvergenceSeries) {
+    let (table, series) = run_with_series(quick);
+
+    let p = instance(quick);
+    let cfg = owp_simnet::SimConfig::with_seed(18)
+        .latency(owp_simnet::LatencyModel::Constant { ticks: 10 })
+        .telemetry();
+    let (r, log) = owp_core::run_lid_traced(&p, cfg);
+    let mut rec = owp_metrics::MetricsRecorder::new(reg);
+    rec.consume(&log);
+
+    let mut auditor = owp_metrics::Auditor::new(reg);
+    auditor.audit_weights(&p);
+    auditor.audit_matching(&p, &r.matching);
+
+    (table, series)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +137,27 @@ mod tests {
         assert_eq!(t.row_count(), series.len());
         let final_row = t.row_count() - 1;
         assert_eq!(t.cell(final_row, 1), edges.to_string());
+    }
+
+    #[test]
+    fn metrics_variant_records_traffic_and_audits_clean() {
+        let reg = owp_metrics::MetricsRegistry::new();
+        let (t, series) = run_with_series_metrics(true, &reg);
+        assert_eq!(t.row_count(), series.len());
+        // The async traced run produced real traffic and matched latencies.
+        assert!(reg.counter("messages_sent_total").get() > 0);
+        assert!(reg.counter("messages_sent_prop").get() > 0);
+        let lat = reg.histogram("message_latency_ticks");
+        assert!(lat.count() > 0);
+        // Constant-latency model: every delivery takes 10 ticks, plus the
+        // occasional tick when the per-link FIFO clamp serializes same-tick
+        // sends — so the mean sits in [10, 11).
+        assert!(lat.sum() >= lat.count() * 10, "latency below the constant model");
+        assert!(lat.sum() < lat.count() * 11, "FIFO slack should stay fractional");
+        // Both audit passes were clean.
+        assert_eq!(reg.counter("audit_violations_total").get(), 0);
+        let ratio = reg.gauge("audit_satisfaction_ratio").get();
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio}");
     }
 
     #[test]

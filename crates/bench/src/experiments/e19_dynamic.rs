@@ -30,6 +30,21 @@ const BATCHES: usize = 8;
 /// Runs the dynamic-repair sweep. Returns the BA headline table (tracked
 /// by `BENCH_e19.json` / `bench_guard`) and the ER counterpart.
 pub fn run(quick: bool) -> Vec<Table> {
+    run_inner(quick, None)
+}
+
+/// [`run`] with metrics: batches go through `apply_batch_traced` into a
+/// [`owp_metrics::MetricsRecorder`] (batch-size and dirty-region
+/// histograms, add/remove counters), repair wall times land in a
+/// `engine_repair_wall_us` histogram, and an [`owp_metrics::Auditor`]
+/// consumes every `DeltaReport` and re-audits the maintained matching
+/// after each batch. The un-instrumented [`run`] stays the `bench_guard`
+/// surface, so guarded wall times never include the audit cost.
+pub fn run_with_metrics(quick: bool, reg: &owp_metrics::MetricsRegistry) -> Vec<Table> {
+    run_inner(quick, Some(reg))
+}
+
+fn run_inner(quick: bool, reg: Option<&owp_metrics::MetricsRegistry>) -> Vec<Table> {
     let n: usize = if quick { 5_000 } else { 20_000 };
     let pcts: &[f64] = if quick { &[0.2, 1.0] } else { &[0.1, 0.5, 1.0] };
 
@@ -38,12 +53,19 @@ pub fn run(quick: bool) -> Vec<Table> {
     let er = owp_graph::generators::erdos_renyi(n, 10.0 / n as f64, &mut rng);
 
     vec![
-        sweep("ba(m=5)", ba, n, pcts, 1),
-        sweep("er(avg deg 10)", er, n, pcts, 2),
+        sweep("ba(m=5)", ba, n, pcts, 1, reg),
+        sweep("er(avg deg 10)", er, n, pcts, 2, reg),
     ]
 }
 
-fn sweep(topology: &str, g: Graph, n: usize, pcts: &[f64], seed: u64) -> Table {
+fn sweep(
+    topology: &str,
+    g: Graph,
+    n: usize,
+    pcts: &[f64],
+    seed: u64,
+    reg: Option<&owp_metrics::MetricsRegistry>,
+) -> Table {
     let m = g.edge_count();
     let mut t = Table::new(
         format!(
@@ -62,6 +84,16 @@ fn sweep(topology: &str, g: Graph, n: usize, pcts: &[f64], seed: u64) -> Table {
     );
 
     for &pct in pcts {
+        // One auditor per engine lifetime: epochs restart at 1 for every
+        // batch-size cell, so monotonicity must be tracked per engine. The
+        // registry handles are shared families, so counts still aggregate.
+        let mut instruments = reg.map(|r| {
+            (
+                owp_metrics::MetricsRecorder::new(r),
+                owp_metrics::Auditor::new(r),
+                r.histogram("engine_repair_wall_us"),
+            )
+        });
         let p = Problem::random_over(g.clone(), 4, seed);
         let mut engine = Engine::new(p);
         let mut gen = EventGen::new(&g, seed * 1000 + (pct * 10.0) as u64);
@@ -75,8 +107,18 @@ fn sweep(topology: &str, g: Graph, n: usize, pcts: &[f64], seed: u64) -> Table {
             let batch = gen.batch(events_per_batch);
 
             let t0 = Instant::now();
-            let report = engine.apply_batch(&batch).expect("generated batches are valid");
+            let report = match instruments.as_mut() {
+                None => engine.apply_batch(&batch).expect("generated batches are valid"),
+                Some((rec, _, _)) => engine
+                    .apply_batch_traced(&batch, rec)
+                    .expect("generated batches are valid"),
+            };
             repair_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            if let Some((_, auditor, wall)) = instruments.as_mut() {
+                wall.observe((repair_ms.last().unwrap() * 1e3) as u64);
+                auditor.observe_delta(&report);
+                auditor.audit_engine(&engine);
+            }
             dirty.push(report.evaluated as f64);
             dsat.push(report.delta_satisfaction);
 
@@ -206,6 +248,22 @@ impl EventGen {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn metrics_variant_audits_every_batch_clean() {
+        let reg = owp_metrics::MetricsRegistry::new();
+        let tables = super::run_with_metrics(true, &reg);
+        assert_eq!(tables.len(), 2);
+        // 2 topologies × 2 batch sizes × 8 batches, each: one delta
+        // observed, one engine audit, one wall-time sample.
+        let batches = 2 * 2 * super::BATCHES as u64;
+        assert_eq!(reg.histogram("engine_batch_events").count(), batches);
+        assert_eq!(reg.histogram("engine_repair_wall_us").count(), batches);
+        assert_eq!(reg.counter("audit_checks_total").get(), 2 * batches);
+        assert_eq!(reg.counter("audit_violations_total").get(), 0);
+        assert!(reg.counter("engine_edges_added_total").get() > 0);
+        assert!(reg.gauge("audit_engine_matching_size").get() > 0.0);
+    }
+
     #[test]
     fn quick_run_beats_rebuild_and_certifies() {
         let tables = super::run(true);

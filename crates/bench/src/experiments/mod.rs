@@ -25,6 +25,7 @@ pub mod e18_convergence_trace;
 pub mod e19_dynamic;
 
 use crate::Table;
+use owp_metrics::MetricsRegistry;
 use owp_telemetry::ConvergenceSeries;
 
 /// All experiment ids, in order.
@@ -32,18 +33,50 @@ pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19",
 ];
 
+/// The experiments that record a per-round [`ConvergenceSeries`] — i.e.
+/// that honor `--trace-out`. Everything else ignores the flag (the binary
+/// warns per experiment).
+pub const TRACED: &[&str] = &["e18"];
+
+/// The experiments with a metrics-instrumented variant — i.e. that
+/// populate a [`MetricsRegistry`] under `--metrics-out`/`--watch`. The
+/// rest run un-instrumented even when a registry is supplied.
+pub const INSTRUMENTED: &[&str] = &["e5", "e18", "e19"];
+
 /// Dispatches an experiment by id. Returns the tables it produced.
 pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
     run_with_trace(id, quick).map(|(tables, _)| tables)
 }
 
 /// Like [`run`], but also returns the per-round [`ConvergenceSeries`] for
-/// experiments that record one (currently E18) so the binary can honor
+/// experiments that record one (see [`TRACED`]) so the binary can honor
 /// `--trace-out` without running the experiment twice.
 pub fn run_with_trace(id: &str, quick: bool) -> Option<(Vec<Table>, Option<ConvergenceSeries>)> {
+    run_instrumented(id, quick, None)
+}
+
+/// Full dispatch: like [`run_with_trace`], and when a registry is supplied
+/// the experiments listed in [`INSTRUMENTED`] run their metrics variant
+/// (registry histograms/counters + online audit) instead of the plain one.
+/// Tables are identical either way.
+pub fn run_instrumented(
+    id: &str,
+    quick: bool,
+    metrics: Option<&MetricsRegistry>,
+) -> Option<(Vec<Table>, Option<ConvergenceSeries>)> {
     if id == "e18" {
-        let (table, series) = e18_convergence_trace::run_with_series(quick);
+        let (table, series) = match metrics {
+            Some(reg) => e18_convergence_trace::run_with_series_metrics(quick, reg),
+            None => e18_convergence_trace::run_with_series(quick),
+        };
         return Some((vec![table], Some(series)));
+    }
+    if let Some(reg) = metrics {
+        match id {
+            "e5" => return Some((vec![e05_convergence::run_with_metrics(quick, reg)], None)),
+            "e19" => return Some((e19_dynamic::run_with_metrics(quick, reg), None)),
+            _ => {}
+        }
     }
     let tables = match id {
         "e1" => vec![e01_figure1::run()],
@@ -135,6 +168,18 @@ mod tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(run("e99", true).is_none());
+        assert!(run_instrumented("e99", true, Some(&owp_metrics::MetricsRegistry::new())).is_none());
+    }
+
+    /// TRACED/INSTRUMENTED are subsets of ALL (a typo'd id there would make
+    /// the binary's warnings lie).
+    #[test]
+    fn capability_lists_are_consistent() {
+        for id in TRACED.iter().chain(INSTRUMENTED) {
+            assert!(ALL.contains(id), "{id} not in ALL");
+        }
+        assert!(TRACED.iter().all(|id| INSTRUMENTED.contains(id)),
+            "traced experiments must also have a metrics variant");
     }
 
     #[test]

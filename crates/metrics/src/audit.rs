@@ -1,0 +1,521 @@
+//! The online invariant auditor: continuous checks of the paper's
+//! structural guarantees, reported as structured violations and gauges.
+//!
+//! The auditor **never panics**: every broken invariant becomes an
+//! [`AuditViolation`] (and bumps `audit_violations_total`), so a corrupted
+//! run degrades to reporting instead of taking the process down — the
+//! property a production overlay monitor needs.
+//!
+//! # Invariant catalogue
+//!
+//! | kind | property | source |
+//! |---|---|---|
+//! | [`InvariantKind::QuotaFeasibility`] | `c_i ≤ b_i` at every node | feasibility of eq. 2 |
+//! | [`InvariantKind::Mutuality`] | edge selected ⇔ listed at both endpoints | matching well-formedness |
+//! | [`InvariantKind::WeightSymmetry`] | stored `w(i,j)` equals eq. 9 | Lemma 5's precondition |
+//! | [`InvariantKind::LocallyHeaviest`] | Lemma 4 witness at every unselected edge | Theorem 2 (½-approximation) |
+//! | [`InvariantKind::EngineConsistency`] | maintained matching = canonical greedy over alive edges | PR 3's certified-repair invariant |
+//! | [`InvariantKind::EpochMonotonicity`] | `DeltaReport` epochs strictly increase | engine versioning |
+//!
+//! # Health gauges
+//!
+//! * `audit_epsilon_blocking_edges` — the ε-blocking-edge count of Floréen
+//!   et al. (*Almost stable matchings in constant time*): an unselected
+//!   edge is ε-blocking when **both** endpoints would profitably switch to
+//!   it, tolerating a relative slack of ε. A locally-heaviest matching has
+//!   **zero** ε-blocking edges at ε = 0 (each unselected edge's Lemma 4
+//!   witness endpoint refuses the switch), so any positive value signals
+//!   drift.
+//! * `audit_satisfaction_ratio` — `w(M)` against the LP upper bound
+//!   `Σ_i (top-bᵢ incident weights)/2 ≥ w(M*)`; since eq. 9 weights are
+//!   exactly static satisfaction contributions, this is the satisfaction
+//!   ratio against the greedy/LP bound. Theorem 2 guarantees the *true*
+//!   ratio vs `w(M*)` is ≥ ½; the gauge is a conservative lower estimate
+//!   and is informational (the exact optimum is not computed online).
+//!
+//! Ratio gauges are only refreshed by an audit pass that found no
+//! structural violation — degraded mode keeps the last healthy values
+//! rather than publishing numbers derived from a corrupt state.
+
+use crate::registry::{Counter, Gauge, MetricsRegistry};
+use owp_engine::{DeltaReport, Engine};
+use owp_graph::NodeId;
+use owp_matching::problem::Problem;
+use owp_matching::verify;
+use owp_matching::BMatching;
+use std::fmt::Write as _;
+
+/// Which invariant a violation broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InvariantKind {
+    /// A node holds more connections than its quota allows.
+    QuotaFeasibility,
+    /// Edge selection and the two endpoint connection lists disagree.
+    Mutuality,
+    /// A stored edge weight does not match eq. 9 (symmetry/recomputation drift).
+    WeightSymmetry,
+    /// An unselected edge has no Lemma 4 witness — the ½-approximation
+    /// certificate is broken.
+    LocallyHeaviest,
+    /// The engine's maintained matching differs from the canonical greedy
+    /// matching over the alive edge set.
+    EngineConsistency,
+    /// A `DeltaReport` epoch failed to advance strictly.
+    EpochMonotonicity,
+}
+
+impl InvariantKind {
+    /// Short stable tag (the `"kind"` field of the JSON schema).
+    pub fn tag(self) -> &'static str {
+        match self {
+            InvariantKind::QuotaFeasibility => "quota_feasibility",
+            InvariantKind::Mutuality => "mutuality",
+            InvariantKind::WeightSymmetry => "weight_symmetry",
+            InvariantKind::LocallyHeaviest => "locally_heaviest",
+            InvariantKind::EngineConsistency => "engine_consistency",
+            InvariantKind::EpochMonotonicity => "epoch_monotonicity",
+        }
+    }
+}
+
+impl std::fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One detected invariant breach.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// The broken invariant.
+    pub kind: InvariantKind,
+    /// Engine epoch the breach was detected at (`None` for static audits).
+    pub epoch: Option<u64>,
+    /// Human-readable specifics (node/edge ids, expected vs found).
+    pub detail: String,
+}
+
+impl AuditViolation {
+    /// One JSON object (no trailing newline):
+    /// `{"kind":"…","epoch":…,"detail":"…"}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(48 + self.detail.len());
+        let _ = write!(s, "{{\"kind\":\"{}\",\"epoch\":", self.kind.tag());
+        match self.epoch {
+            Some(e) => {
+                let _ = write!(s, "{e}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"detail\":\"");
+        for c in self.detail.chars() {
+            match c {
+                '"' => s.push_str("\\\""),
+                '\\' => s.push_str("\\\\"),
+                '\n' => s.push_str("\\n"),
+                c => s.push(c),
+            }
+        }
+        s.push_str("\"}");
+        s
+    }
+}
+
+/// Counts the ε-blocking edges of `m`: unselected edges where **both**
+/// endpoints would switch — an endpoint switches if it has free quota, or
+/// if one of its selected edges is lighter than `w(e)/(1+ε)`.
+///
+/// Zero at ε = 0 for any matching satisfying the Lemma 4 certificate.
+pub fn epsilon_blocking_count(problem: &Problem, m: &BMatching, epsilon: f64) -> usize {
+    let g = &problem.graph;
+    let scale = 1.0 + epsilon.max(0.0);
+    let blocking_at = |x: NodeId, w_e: f64| -> bool {
+        let b = problem.quotas.get(x) as usize;
+        if b == 0 {
+            return false;
+        }
+        if m.degree(x) < b {
+            return true;
+        }
+        m.connections(x).iter().any(|&j| {
+            g.edge_between(x, j)
+                .is_some_and(|f| problem.weights.get_f64(f) * scale < w_e)
+        })
+    };
+    g.edges()
+        .filter(|&e| {
+            if m.contains(e) {
+                return false;
+            }
+            let (u, v) = g.endpoints(e);
+            let w_e = problem.weights.get_f64(e);
+            blocking_at(u, w_e) && blocking_at(v, w_e)
+        })
+        .count()
+}
+
+/// The LP/greedy upper bound on the optimal matching weight:
+/// `Σ_i (sum of the bᵢ heaviest weights incident to i) / 2`. Any feasible
+/// matching uses at most `bᵢ` edges at `i` and each edge is counted at both
+/// endpoints, so `w(M*) ≤` this bound.
+pub fn weight_upper_bound(problem: &Problem) -> f64 {
+    let g = &problem.graph;
+    let mut total = 0.0f64;
+    let mut incident: Vec<f64> = Vec::new();
+    for i in g.nodes() {
+        let b = problem.quotas.get(i) as usize;
+        if b == 0 {
+            continue;
+        }
+        incident.clear();
+        incident.extend(g.neighbors(i).iter().map(|&(_, e)| problem.weights.get_f64(e)));
+        incident.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        total += incident.iter().take(b).sum::<f64>();
+    }
+    total / 2.0
+}
+
+/// The online auditor. Accumulates [`AuditViolation`]s across audit passes
+/// and publishes health gauges into a [`MetricsRegistry`].
+#[derive(Debug)]
+pub struct Auditor {
+    violations: Vec<AuditViolation>,
+    violations_total: Counter,
+    checks_total: Counter,
+    eps_blocking: Gauge,
+    satisfaction_ratio: Gauge,
+    engine_matching_size: Gauge,
+    engine_satisfaction: Gauge,
+    epsilon: f64,
+    last_epoch: Option<u64>,
+}
+
+impl Auditor {
+    /// An auditor publishing into `reg`, with ε = 0 (the strict
+    /// blocking-edge notion).
+    pub fn new(reg: &MetricsRegistry) -> Self {
+        Auditor {
+            violations: Vec::new(),
+            violations_total: reg.counter("audit_violations_total"),
+            checks_total: reg.counter("audit_checks_total"),
+            eps_blocking: reg.gauge("audit_epsilon_blocking_edges"),
+            satisfaction_ratio: reg.gauge("audit_satisfaction_ratio"),
+            engine_matching_size: reg.gauge("audit_engine_matching_size"),
+            engine_satisfaction: reg.gauge("audit_engine_satisfaction"),
+            epsilon: 0.0,
+            last_epoch: None,
+        }
+    }
+
+    /// Sets the slack for the ε-blocking gauge.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon.max(0.0);
+        self
+    }
+
+    fn push(&mut self, kind: InvariantKind, epoch: Option<u64>, detail: String) {
+        self.violations_total.inc();
+        self.violations.push(AuditViolation { kind, epoch, detail });
+    }
+
+    /// Audits a static matching: quota feasibility, mutuality and the
+    /// Lemma 4 locally-heaviest certificate; on a structurally clean pass,
+    /// refreshes the ε-blocking and satisfaction-ratio gauges. Returns the
+    /// number of violations this pass added.
+    pub fn audit_matching(&mut self, problem: &Problem, m: &BMatching) -> usize {
+        self.checks_total.inc();
+        let before = self.violations.len();
+        let g = &problem.graph;
+
+        for i in g.nodes() {
+            let c = m.degree(i);
+            let b = problem.quotas.get(i) as usize;
+            if c > b {
+                self.push(
+                    InvariantKind::QuotaFeasibility,
+                    None,
+                    format!("node {} holds {c} connections, quota {b}", i.0),
+                );
+            }
+        }
+
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            let listed =
+                m.connections(u).contains(&v) && m.connections(v).contains(&u);
+            if m.contains(e) != listed {
+                self.push(
+                    InvariantKind::Mutuality,
+                    None,
+                    format!(
+                        "edge {} = ({},{}): selected={} but listed-at-both={}",
+                        e.0,
+                        u.0,
+                        v.0,
+                        m.contains(e),
+                        listed
+                    ),
+                );
+            }
+        }
+
+        if let Err(why) = verify::check_greedy_certificate(problem, m) {
+            self.push(InvariantKind::LocallyHeaviest, None, why);
+        }
+
+        let added = self.violations.len() - before;
+        if added == 0 {
+            self.eps_blocking
+                .set(epsilon_blocking_count(problem, m, self.epsilon) as f64);
+            let upper = weight_upper_bound(problem);
+            let ratio = if upper > 0.0 { m.total_weight(problem) / upper } else { 1.0 };
+            self.satisfaction_ratio.set(ratio);
+        }
+        added
+    }
+
+    /// Audits eq. 9 weight symmetry of the stored weight table. Returns the
+    /// number of violations added (0 or 1 — the first offending edge).
+    pub fn audit_weights(&mut self, problem: &Problem) -> usize {
+        self.checks_total.inc();
+        match verify::check_weights(problem) {
+            Ok(()) => 0,
+            Err(why) => {
+                self.push(InvariantKind::WeightSymmetry, None, why);
+                1
+            }
+        }
+    }
+
+    /// Audits the engine's maintained matching against the canonical greedy
+    /// matching over the current alive edge set (scan the rank order
+    /// heaviest-first, select whenever both endpoints have quota left —
+    /// with unique keys this is exactly the locally-heaviest matching the
+    /// engine promises to maintain). Returns the violations added.
+    pub fn audit_engine(&mut self, engine: &Engine) -> usize {
+        self.checks_total.inc();
+        let before = self.violations.len();
+        let epoch = engine.epoch().0;
+        let dp = engine.dynamic();
+        let g = dp.graph();
+        let m = engine.matching();
+
+        let mut remaining: Vec<u32> = g.nodes().map(|i| dp.quotas().get(i)).collect();
+        let mut expected = vec![false; g.edge_count()];
+        for &e in dp.order().heaviest_first() {
+            if !dp.is_alive(e) {
+                continue;
+            }
+            let (u, v) = g.endpoints(e);
+            if remaining[u.index()] > 0 && remaining[v.index()] > 0 {
+                expected[e.index()] = true;
+                remaining[u.index()] -= 1;
+                remaining[v.index()] -= 1;
+            }
+        }
+        for e in g.edges() {
+            let want = expected[e.index()];
+            let got = m.contains(e);
+            if want != got {
+                self.push(
+                    InvariantKind::EngineConsistency,
+                    Some(epoch),
+                    format!(
+                        "edge {}: canonical greedy says {}, engine matching says {}",
+                        e.0,
+                        if want { "selected" } else { "unselected" },
+                        if got { "selected" } else { "unselected" }
+                    ),
+                );
+            }
+        }
+
+        let added = self.violations.len() - before;
+        if added == 0 {
+            self.engine_matching_size.set(m.size() as f64);
+            self.engine_satisfaction.set(engine.total_satisfaction());
+        }
+        added
+    }
+
+    /// Consumes one engine [`DeltaReport`]: checks strict epoch advance and
+    /// refreshes the engine gauges from the report. Returns the violations
+    /// added (0 or 1).
+    pub fn observe_delta(&mut self, report: &DeltaReport) -> usize {
+        self.checks_total.inc();
+        let epoch = report.epoch.0;
+        let mut added = 0;
+        if let Some(last) = self.last_epoch {
+            if epoch <= last {
+                self.push(
+                    InvariantKind::EpochMonotonicity,
+                    Some(epoch),
+                    format!("epoch {epoch} does not advance past {last}"),
+                );
+                added = 1;
+            }
+        }
+        self.last_epoch = Some(epoch);
+        if added == 0 {
+            self.engine_matching_size.set(report.matching_size as f64);
+            self.engine_satisfaction.set(report.total_satisfaction);
+        }
+        added
+    }
+
+    /// All violations detected so far, in detection order.
+    pub fn report(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// `true` iff no audit pass has detected a violation.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations as JSONL (one object per line; empty string when clean).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_matching::weights::EdgeWeights;
+    use owp_matching::{lic, Rational, SelectionPolicy};
+
+    fn instance(seed: u64) -> Problem {
+        Problem::random_gnp(40, 0.2, 2, seed)
+    }
+
+    #[test]
+    fn clean_lic_run_audits_clean() {
+        let reg = MetricsRegistry::new();
+        let mut auditor = Auditor::new(&reg);
+        for seed in 0..5 {
+            let p = instance(seed);
+            let m = lic(&p, SelectionPolicy::InOrder);
+            assert_eq!(auditor.audit_weights(&p), 0);
+            assert_eq!(auditor.audit_matching(&p, &m), 0);
+        }
+        assert!(auditor.is_clean());
+        assert_eq!(auditor.to_jsonl(), "");
+        // Locally heaviest ⇒ zero blocking edges at ε = 0, and the ratio
+        // gauge sits inside (0, 1].
+        assert_eq!(reg.gauge("audit_epsilon_blocking_edges").get(), 0.0);
+        let ratio = reg.gauge("audit_satisfaction_ratio").get();
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio}");
+        assert_eq!(reg.counter("audit_violations_total").get(), 0);
+    }
+
+    #[test]
+    fn quota_overflow_is_reported_not_panicked() {
+        let reg = MetricsRegistry::new();
+        let mut auditor = Auditor::new(&reg);
+        let p = instance(1);
+        let mut m = lic(&p, SelectionPolicy::InOrder);
+        // Force an extra edge onto a node that is already at quota.
+        let full = p
+            .graph
+            .nodes()
+            .find(|&i| m.degree(i) == p.quotas.get(i) as usize && p.quotas.get(i) > 0)
+            .expect("some saturated node");
+        let extra = p
+            .graph
+            .neighbors(full)
+            .iter()
+            .map(|&(_, e)| e)
+            .find(|&e| !m.contains(e))
+            .expect("an unselected incident edge");
+        m.insert_unchecked(&p.graph, extra);
+        let added = auditor.audit_matching(&p, &m);
+        assert!(added > 0);
+        assert!(auditor
+            .report()
+            .iter()
+            .any(|v| v.kind == InvariantKind::QuotaFeasibility));
+        assert!(!auditor.is_clean());
+        assert_eq!(reg.counter("audit_violations_total").get(), added as u64);
+        // Degraded mode: gauges were never refreshed by the dirty pass.
+        assert_eq!(reg.gauge("audit_satisfaction_ratio").get(), 0.0);
+        let line = auditor.to_jsonl();
+        assert!(line.contains("\"kind\":\"quota_feasibility\""), "{line}");
+    }
+
+    #[test]
+    fn asymmetric_weight_is_reported() {
+        let p = instance(2);
+        // Tamper with one edge's weight so it no longer matches eq. 9.
+        let mut raw: Vec<Rational> =
+            p.graph.edges().map(|e| p.weights.get(e)).collect();
+        raw[0] = raw[0] + Rational::new(1, 2);
+        let tampered = Problem::with_weights(
+            p.graph.clone(),
+            p.prefs.clone(),
+            p.quotas.clone(),
+            EdgeWeights::from_raw(raw),
+        );
+        let reg = MetricsRegistry::new();
+        let mut auditor = Auditor::new(&reg);
+        assert_eq!(auditor.audit_weights(&tampered), 1);
+        assert_eq!(auditor.report()[0].kind, InvariantKind::WeightSymmetry);
+        assert!(auditor.report()[0].to_json().starts_with("{\"kind\":\"weight_symmetry\""));
+    }
+
+    #[test]
+    fn removing_a_matched_edge_breaks_the_certificate() {
+        let reg = MetricsRegistry::new();
+        let mut auditor = Auditor::new(&reg);
+        let p = instance(3);
+        let mut m = lic(&p, SelectionPolicy::InOrder);
+        let heaviest = *p.order.heaviest_first().iter().find(|&&e| m.contains(e)).unwrap();
+        m.remove(&p.graph, heaviest);
+        let added = auditor.audit_matching(&p, &m);
+        assert!(added > 0);
+        assert!(auditor
+            .report()
+            .iter()
+            .any(|v| v.kind == InvariantKind::LocallyHeaviest));
+    }
+
+    #[test]
+    fn epsilon_blocking_counts_relaxed_pairs() {
+        let p = instance(4);
+        let empty = BMatching::empty(&p.graph);
+        // Every edge blocks an empty matching (free quota everywhere).
+        assert_eq!(epsilon_blocking_count(&p, &empty, 0.0), p.graph.edge_count());
+        // A huge ε forgives any saturated endpoint.
+        let m = lic(&p, SelectionPolicy::InOrder);
+        assert_eq!(epsilon_blocking_count(&p, &m, 0.0), 0);
+        assert!(weight_upper_bound(&p) >= m.total_weight(&p));
+    }
+
+    #[test]
+    fn epoch_monotonicity() {
+        let reg = MetricsRegistry::new();
+        let mut auditor = Auditor::new(&reg);
+        let mk = |e: u64| DeltaReport {
+            epoch: owp_engine::Epoch(e),
+            events: 1,
+            edges_added: vec![],
+            edges_removed: vec![],
+            evaluated: 0,
+            reranked: 0,
+            delta_satisfaction: 0.0,
+            total_satisfaction: 1.5,
+            matching_size: 3,
+        };
+        assert_eq!(auditor.observe_delta(&mk(1)), 0);
+        assert_eq!(auditor.observe_delta(&mk(2)), 0);
+        assert_eq!(reg.gauge("audit_engine_matching_size").get(), 3.0);
+        assert_eq!(auditor.observe_delta(&mk(2)), 1);
+        assert_eq!(auditor.report()[0].kind, InvariantKind::EpochMonotonicity);
+        assert_eq!(auditor.report()[0].epoch, Some(2));
+    }
+}

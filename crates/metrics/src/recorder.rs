@@ -1,0 +1,294 @@
+//! [`MetricsRecorder`] — an [`owp_telemetry::Recorder`] that aggregates the
+//! event stream into registry metrics instead of (or alongside) storing it.
+//!
+//! Drop it anywhere a recorder is accepted (`run_lid_traced`'s internals,
+//! `Engine::apply_batch_traced`, or replaying an [`EventLog`] through
+//! [`MetricsRecorder::consume`]) and the registry fills with:
+//!
+//! | metric | type | source |
+//! |---|---|---|
+//! | `messages_sent_total` (+ `_prop/_rej/_ack`) | counter | `Sent` |
+//! | `messages_delivered_total` | counter | `Delivered` |
+//! | `messages_dropped_total` | counter | `Dropped` |
+//! | `messages_dead_lettered_total` | counter | `DeadLettered` |
+//! | `timers_fired_total` | counter | `TimerFired` |
+//! | `message_latency_ticks` | histogram | matched `Sent`→`Delivered` |
+//! | `prop_accept_latency_ticks` | histogram | `PropSent`→`EdgeLocked` per node |
+//! | `node_termination_time_ticks` | histogram | `NodeTerminated` |
+//! | `retransmits_total` | counter | `Retransmit` |
+//! | `lic_edges_selected_total` | counter | `LicEdgeSelected` |
+//! | `lic_discarded_total` / `lic_cursor_skips_total` | counter | LIC events |
+//! | `engine_batch_events` / `engine_batch_evaluated` | histogram | `EngineBatchApplied` |
+//! | `engine_edges_added_total` / `engine_edges_removed_total` | counter | edge deltas |
+//! | `engine_reranked_total` | counter | `EngineReranked` |
+//!
+//! Latency pairing keeps a FIFO queue per `(from, to, kind)` link — exactly
+//! the per-link FIFO discipline of the simnet — so reordered interleavings
+//! across links still pair correctly. Unmatched sends (dropped, dead
+//! lettered, still in flight) simply never produce a latency sample.
+
+use crate::registry::{Counter, Histogram, MetricsRegistry};
+use owp_telemetry::{MessageKind, NodeEvent, Recorder, TelemetryEvent};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Aggregating recorder over a [`MetricsRegistry`].
+///
+/// The handles are cloned out of the registry at construction, so recording
+/// never touches the registry mutex; the pairing state for latencies is
+/// recorder-local.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    sent_total: Counter,
+    sent_kind: [Counter; MessageKind::FIXED],
+    delivered_total: Counter,
+    dropped_total: Counter,
+    dead_lettered_total: Counter,
+    timers_fired_total: Counter,
+    retransmits_total: Counter,
+    message_latency: Histogram,
+    prop_accept_latency: Histogram,
+    node_termination_time: Histogram,
+    lic_edges_selected_total: Counter,
+    lic_discarded_total: Counter,
+    lic_cursor_skips_total: Counter,
+    engine_batch_events: Histogram,
+    engine_batch_evaluated: Histogram,
+    engine_edges_added_total: Counter,
+    engine_edges_removed_total: Counter,
+    engine_reranked_total: Counter,
+    /// Send times awaiting their delivery, FIFO per (from, to, kind) link.
+    in_flight: BTreeMap<(u32, u32, MessageKind), VecDeque<u64>>,
+    /// Outstanding proposals awaiting a lock, keyed (proposer, peer).
+    pending_props: BTreeMap<(u32, u32), VecDeque<u64>>,
+}
+
+impl MetricsRecorder {
+    /// Registers this recorder's metric families in `reg` and returns the
+    /// recorder. Multiple recorders over the same registry share families.
+    pub fn new(reg: &MetricsRegistry) -> Self {
+        MetricsRecorder {
+            sent_total: reg.counter("messages_sent_total"),
+            sent_kind: [
+                reg.counter("messages_sent_prop"),
+                reg.counter("messages_sent_rej"),
+                reg.counter("messages_sent_ack"),
+            ],
+            delivered_total: reg.counter("messages_delivered_total"),
+            dropped_total: reg.counter("messages_dropped_total"),
+            dead_lettered_total: reg.counter("messages_dead_lettered_total"),
+            timers_fired_total: reg.counter("timers_fired_total"),
+            retransmits_total: reg.counter("retransmits_total"),
+            message_latency: reg.histogram("message_latency_ticks"),
+            prop_accept_latency: reg.histogram("prop_accept_latency_ticks"),
+            node_termination_time: reg.histogram("node_termination_time_ticks"),
+            lic_edges_selected_total: reg.counter("lic_edges_selected_total"),
+            lic_discarded_total: reg.counter("lic_discarded_total"),
+            lic_cursor_skips_total: reg.counter("lic_cursor_skips_total"),
+            engine_batch_events: reg.histogram("engine_batch_events"),
+            engine_batch_evaluated: reg.histogram("engine_batch_evaluated"),
+            engine_edges_added_total: reg.counter("engine_edges_added_total"),
+            engine_edges_removed_total: reg.counter("engine_edges_removed_total"),
+            engine_reranked_total: reg.counter("engine_reranked_total"),
+            in_flight: BTreeMap::new(),
+            pending_props: BTreeMap::new(),
+        }
+    }
+
+    /// Replays every event of an already-captured log through the recorder
+    /// (the offline path: aggregate a finished run's trace).
+    pub fn consume(&mut self, log: &owp_telemetry::EventLog) {
+        for &ev in log.events() {
+            self.record(ev);
+        }
+    }
+
+    /// Drops pairing state for sends that never delivered and proposals
+    /// that never locked (call between independent runs sharing one
+    /// recorder, so stale queue heads cannot skew the next run's pairing).
+    pub fn reset_pairing(&mut self) {
+        self.in_flight.clear();
+        self.pending_props.clear();
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, ev: TelemetryEvent) {
+        match ev {
+            TelemetryEvent::Sent { time, from, to, kind } => {
+                self.sent_total.inc();
+                if let Some(slot) = kind.fixed_slot() {
+                    self.sent_kind[slot].inc();
+                }
+                self.in_flight.entry((from.0, to.0, kind)).or_default().push_back(time);
+            }
+            TelemetryEvent::Delivered { time, from, to, kind } => {
+                self.delivered_total.inc();
+                if let Some(sent) =
+                    self.in_flight.get_mut(&(from.0, to.0, kind)).and_then(VecDeque::pop_front)
+                {
+                    self.message_latency.observe(time.saturating_sub(sent));
+                }
+            }
+            TelemetryEvent::Dropped { from, to, kind, .. } => {
+                self.dropped_total.inc();
+                // The lost message occupies the oldest queue slot of its
+                // link (per-link FIFO), so evict that to keep pairing sane.
+                self.in_flight.get_mut(&(from.0, to.0, kind)).and_then(VecDeque::pop_front);
+            }
+            TelemetryEvent::DeadLettered { from, to, kind, .. } => {
+                self.dead_lettered_total.inc();
+                self.in_flight.get_mut(&(from.0, to.0, kind)).and_then(VecDeque::pop_front);
+            }
+            TelemetryEvent::TimerFired { .. } => self.timers_fired_total.inc(),
+            TelemetryEvent::Node { time, node, event } => match event {
+                NodeEvent::PropSent { to } => {
+                    self.pending_props.entry((node.0, to.0)).or_default().push_back(time);
+                }
+                NodeEvent::EdgeLocked { peer } => {
+                    if let Some(proposed) = self
+                        .pending_props
+                        .get_mut(&(node.0, peer.0))
+                        .and_then(VecDeque::pop_front)
+                    {
+                        self.prop_accept_latency.observe(time.saturating_sub(proposed));
+                    }
+                }
+                NodeEvent::NodeTerminated => self.node_termination_time.observe(time),
+                NodeEvent::RejSent { .. } => {}
+                NodeEvent::Retransmit { .. } => self.retransmits_total.inc(),
+            },
+            TelemetryEvent::LicEdgeSelected { .. } => self.lic_edges_selected_total.inc(),
+            TelemetryEvent::LicNodeSaturated { discarded, .. } => {
+                self.lic_discarded_total.add(discarded as u64)
+            }
+            TelemetryEvent::LicCursorAdvanced { skipped, .. } => {
+                self.lic_cursor_skips_total.add(skipped as u64)
+            }
+            TelemetryEvent::EngineBatchApplied { events, evaluated, added, removed, .. } => {
+                self.engine_batch_events.observe(events as u64);
+                self.engine_batch_evaluated.observe(evaluated as u64);
+                self.engine_edges_added_total.add(added as u64);
+                self.engine_edges_removed_total.add(removed as u64);
+            }
+            TelemetryEvent::EngineEdgeAdded { .. } | TelemetryEvent::EngineEdgeRemoved { .. } => {}
+            TelemetryEvent::EngineReranked { edges, .. } => {
+                self.engine_reranked_total.add(edges as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_graph::NodeId;
+    use owp_telemetry::EventLog;
+
+    fn msg(
+        mk: fn(u64, NodeId, NodeId, MessageKind) -> TelemetryEvent,
+        t: u64,
+        from: u32,
+        to: u32,
+        kind: MessageKind,
+    ) -> TelemetryEvent {
+        mk(t, NodeId(from), NodeId(to), kind)
+    }
+
+    fn sent(t: u64, from: u32, to: u32, kind: MessageKind) -> TelemetryEvent {
+        msg(|time, from, to, kind| TelemetryEvent::Sent { time, from, to, kind }, t, from, to, kind)
+    }
+
+    fn delivered(t: u64, from: u32, to: u32, kind: MessageKind) -> TelemetryEvent {
+        msg(
+            |time, from, to, kind| TelemetryEvent::Delivered { time, from, to, kind },
+            t,
+            from,
+            to,
+            kind,
+        )
+    }
+
+    #[test]
+    fn latency_pairing_is_per_link_fifo() {
+        let reg = MetricsRegistry::new();
+        let mut rec = MetricsRecorder::new(&reg);
+        // Two sends on one link, one on another; deliveries interleaved.
+        rec.record(sent(0, 0, 1, MessageKind::Prop));
+        rec.record(sent(2, 0, 1, MessageKind::Prop));
+        rec.record(sent(1, 5, 6, MessageKind::Rej));
+        rec.record(delivered(4, 0, 1, MessageKind::Prop)); // latency 4
+        rec.record(delivered(9, 5, 6, MessageKind::Rej)); // latency 8
+        rec.record(delivered(3, 0, 1, MessageKind::Prop)); // latency 1
+        let lat = reg.histogram("message_latency_ticks");
+        assert_eq!(lat.count(), 3);
+        assert_eq!(lat.sum(), 13);
+        assert_eq!(reg.counter("messages_sent_total").get(), 3);
+        assert_eq!(reg.counter("messages_sent_prop").get(), 2);
+        assert_eq!(reg.counter("messages_sent_rej").get(), 1);
+        assert_eq!(reg.counter("messages_delivered_total").get(), 3);
+    }
+
+    #[test]
+    fn drops_evict_their_queue_slot() {
+        let reg = MetricsRegistry::new();
+        let mut rec = MetricsRecorder::new(&reg);
+        rec.record(sent(0, 0, 1, MessageKind::Prop));
+        rec.record(sent(10, 0, 1, MessageKind::Prop));
+        // First send lost: the later delivery must pair with the t=10 send.
+        rec.record(msg(
+            |time, from, to, kind| TelemetryEvent::Dropped { time, from, to, kind },
+            1,
+            0,
+            1,
+            MessageKind::Prop,
+        ));
+        rec.record(delivered(12, 0, 1, MessageKind::Prop));
+        let lat = reg.histogram("message_latency_ticks");
+        assert_eq!(lat.count(), 1);
+        assert_eq!(lat.sum(), 2);
+        assert_eq!(reg.counter("messages_dropped_total").get(), 1);
+    }
+
+    #[test]
+    fn prop_accept_and_termination() {
+        let reg = MetricsRegistry::new();
+        let mut rec = MetricsRecorder::new(&reg);
+        let node = |t, n, event| TelemetryEvent::Node { time: t, node: NodeId(n), event };
+        rec.record(node(1, 0, NodeEvent::PropSent { to: NodeId(1) }));
+        rec.record(node(5, 0, NodeEvent::EdgeLocked { peer: NodeId(1) }));
+        rec.record(node(5, 0, NodeEvent::NodeTerminated));
+        rec.record(node(6, 1, NodeEvent::Retransmit { to: NodeId(0) }));
+        let h = reg.histogram("prop_accept_latency_ticks");
+        assert_eq!((h.count(), h.sum()), (1, 4));
+        assert_eq!(reg.histogram("node_termination_time_ticks").sum(), 5);
+        assert_eq!(reg.counter("retransmits_total").get(), 1);
+    }
+
+    #[test]
+    fn consume_replays_a_log_and_engine_events_aggregate() {
+        let mut log = EventLog::enabled();
+        log.record(TelemetryEvent::EngineBatchApplied {
+            epoch: 1,
+            events: 4,
+            evaluated: 17,
+            added: 2,
+            removed: 1,
+        });
+        log.record(TelemetryEvent::EngineReranked { epoch: 1, edges: 6 });
+        log.record(TelemetryEvent::LicNodeSaturated { step: 0, node: NodeId(0), discarded: 3 });
+        let reg = MetricsRegistry::new();
+        let mut rec = MetricsRecorder::new(&reg);
+        rec.consume(&log);
+        assert_eq!(reg.histogram("engine_batch_events").sum(), 4);
+        assert_eq!(reg.histogram("engine_batch_evaluated").sum(), 17);
+        assert_eq!(reg.counter("engine_edges_added_total").get(), 2);
+        assert_eq!(reg.counter("engine_edges_removed_total").get(), 1);
+        assert_eq!(reg.counter("engine_reranked_total").get(), 6);
+        assert_eq!(reg.counter("lic_discarded_total").get(), 3);
+    }
+}

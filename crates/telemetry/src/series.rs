@@ -163,6 +163,100 @@ impl ConvergenceSeries {
         std::fs::write(path, self.to_csv())
     }
 
+    /// Parses a JSONL document produced by [`ConvergenceSeries::to_jsonl`]
+    /// (blank lines skipped). Fields must appear in the schema order the
+    /// exporter writes — this is a reader for our own stable schema, not a
+    /// general JSON parser.
+    pub fn parse_jsonl(doc: &str) -> Result<ConvergenceSeries, String> {
+        let mut series = ConvergenceSeries::new();
+        for (lineno, line) in doc.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let ctx = |what: &str| format!("line {}: {what}", lineno + 1);
+            let body = line
+                .strip_prefix('{')
+                .and_then(|l| l.strip_suffix('}'))
+                .ok_or_else(|| ctx("not a JSON object"))?;
+            let mut fields = body.split(',');
+            let mut next = |key: &str| -> Result<&str, String> {
+                let f = fields.next().ok_or_else(|| ctx(&format!("missing field {key}")))?;
+                let (k, v) = f.split_once(':').ok_or_else(|| ctx("field without ':'"))?;
+                if k.trim() != format!("\"{key}\"") {
+                    return Err(ctx(&format!("expected field {key:?}, found {k}")));
+                }
+                Ok(v.trim())
+            };
+            let f64_field = |v: &str| -> Result<f64, String> {
+                if v == "null" {
+                    Ok(f64::NAN)
+                } else {
+                    v.parse().map_err(|e| format!("{e}: {v}"))
+                }
+            };
+            series.push(ConvergenceSample {
+                round: next("round")?.parse().map_err(|e| ctx(&format!("round: {e}")))?,
+                matched_edges: next("matched_edges")?
+                    .parse()
+                    .map_err(|e| ctx(&format!("matched_edges: {e}")))?,
+                total_weight: f64_field(next("total_weight")?).map_err(|e| ctx(&e))?,
+                satisfaction_total: f64_field(next("satisfaction_total")?).map_err(|e| ctx(&e))?,
+                messages_sent: next("messages_sent")?
+                    .parse()
+                    .map_err(|e| ctx(&format!("messages_sent: {e}")))?,
+                in_flight: next("in_flight")?
+                    .parse()
+                    .map_err(|e| ctx(&format!("in_flight: {e}")))?,
+                terminated_fraction: f64_field(next("terminated_fraction")?)
+                    .map_err(|e| ctx(&e))?,
+            });
+        }
+        Ok(series)
+    }
+
+    /// Parses a CSV document produced by [`ConvergenceSeries::to_csv`].
+    /// The header row must match [`ConvergenceSeries::CSV_HEADER`] exactly —
+    /// schema drift is an error, not a silent remap.
+    pub fn parse_csv(doc: &str) -> Result<ConvergenceSeries, String> {
+        let mut lines = doc.lines();
+        let header = lines.next().ok_or("empty document")?;
+        if header != Self::CSV_HEADER {
+            return Err(format!(
+                "header mismatch: expected {:?}, found {header:?}",
+                Self::CSV_HEADER
+            ));
+        }
+        let mut series = ConvergenceSeries::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() != 7 {
+                return Err(format!("row {}: expected 7 columns, found {}", lineno + 2, cols.len()));
+            }
+            let ctx = |what: String| format!("row {}: {what}", lineno + 2);
+            let f64_col = |v: &str| -> Result<f64, String> {
+                if v == "null" {
+                    Ok(f64::NAN)
+                } else {
+                    v.parse().map_err(|e| format!("{e}: {v}"))
+                }
+            };
+            series.push(ConvergenceSample {
+                round: cols[0].parse().map_err(|e| ctx(format!("round: {e}")))?,
+                matched_edges: cols[1].parse().map_err(|e| ctx(format!("matched_edges: {e}")))?,
+                total_weight: f64_col(cols[2]).map_err(ctx)?,
+                satisfaction_total: f64_col(cols[3]).map_err(ctx)?,
+                messages_sent: cols[4].parse().map_err(|e| ctx(format!("messages_sent: {e}")))?,
+                in_flight: cols[5].parse().map_err(|e| ctx(format!("in_flight: {e}")))?,
+                terminated_fraction: f64_col(cols[6]).map_err(ctx)?,
+            });
+        }
+        Ok(series)
+    }
+
     /// First round at which the matched-edge count reached its final value
     /// — the "edges stable from" convergence point (`None` for an empty
     /// series).
@@ -238,6 +332,61 @@ mod tests {
         assert_eq!(series.stabilization_round(), Some(2));
         assert_eq!(series.last().unwrap().matched_edges, 5);
         assert_eq!(ConvergenceSeries::new().stabilization_round(), None);
+    }
+
+    #[test]
+    fn csv_header_is_pinned() {
+        // Downstream tooling (owp-inspect, plotting scripts) keys on these
+        // exact column names; changing them is a breaking schema change.
+        assert_eq!(
+            ConvergenceSeries::CSV_HEADER,
+            "round,matched_edges,total_weight,satisfaction_total,messages_sent,in_flight,terminated_fraction"
+        );
+    }
+
+    #[test]
+    fn jsonl_export_parses_back_bit_for_bit() {
+        let mut series = ConvergenceSeries::new();
+        for (r, e) in [(0u64, 0usize), (1, 3), (2, 5), (5, 5)] {
+            series.push(s(r, e, 0.1 + 0.2 + e as f64));
+        }
+        let back = ConvergenceSeries::parse_jsonl(&series.to_jsonl()).expect("parses");
+        assert_eq!(back.len(), series.len());
+        for (a, b) in back.samples().iter().zip(series.samples()) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.matched_edges, b.matched_edges);
+            assert_eq!(a.total_weight.to_bits(), b.total_weight.to_bits());
+            assert_eq!(a.satisfaction_total.to_bits(), b.satisfaction_total.to_bits());
+            assert_eq!(a.messages_sent, b.messages_sent);
+            assert_eq!(a.in_flight, b.in_flight);
+            assert_eq!(a.terminated_fraction.to_bits(), b.terminated_fraction.to_bits());
+        }
+        // And re-export is byte-identical.
+        assert_eq!(back.to_jsonl(), series.to_jsonl());
+    }
+
+    #[test]
+    fn csv_export_parses_back_bit_for_bit() {
+        let mut series = ConvergenceSeries::new();
+        for (r, e) in [(0u64, 0usize), (1, 2), (3, 7)] {
+            series.push(s(r, e, e as f64 * 1.25));
+        }
+        let back = ConvergenceSeries::parse_csv(&series.to_csv()).expect("parses");
+        assert_eq!(back.to_csv(), series.to_csv());
+        assert_eq!(back.stabilization_round(), series.stabilization_round());
+    }
+
+    #[test]
+    fn parsers_reject_schema_drift() {
+        // CSV: a renamed column is an error, not a silent remap.
+        let bad = "round,edges,total_weight,satisfaction_total,messages_sent,in_flight,terminated_fraction\n0,0,0.0,0.0,0,0,0.0\n";
+        assert!(ConvergenceSeries::parse_csv(bad).is_err());
+        assert!(ConvergenceSeries::parse_csv("").is_err());
+        // JSONL: reordered/missing fields are errors.
+        assert!(ConvergenceSeries::parse_jsonl("{\"matched_edges\":0,\"round\":0}").is_err());
+        assert!(ConvergenceSeries::parse_jsonl("not json\n").is_err());
+        // Empty JSONL is a valid empty series.
+        assert!(ConvergenceSeries::parse_jsonl("").unwrap().is_empty());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`owp_engine`] — the event-driven dynamic engine: certified bounded
 //!   repair of the locally-heaviest matching under joins, leaves, edge
 //!   churn and preference/quota updates;
-//! * [`owp_core`] — the LID protocol and the overlay-construction API.
+//! * [`owp_core`] — the LID protocol and the overlay-construction API;
+//! * [`owp_metrics`] — lock-free metrics registry (counters, gauges, log₂
+//!   histograms), Prometheus/JSON exporters, and the online invariant
+//!   auditor that scores live runs against the paper's guarantees.
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -28,6 +31,7 @@ pub use owp_core;
 pub use owp_engine;
 pub use owp_graph;
 pub use owp_matching;
+pub use owp_metrics;
 pub use owp_simnet;
 
 /// Convenience prelude: the types most programs need.
@@ -45,6 +49,10 @@ pub mod prelude {
     pub use owp_graph::{Graph, GraphBuilder, NodeId, PreferenceTable, Quotas};
     pub use owp_matching::{
         lic, BMatching, MatchingReport, Problem, SelectionPolicy,
+    };
+    pub use owp_metrics::{
+        AuditViolation, Auditor, Counter, Gauge, Histogram, MetricsRecorder, MetricsRegistry,
+        MetricsSnapshot,
     };
     pub use owp_simnet::{EventLog, FaultPlan, LatencyModel, MessageKind, SimConfig};
 }
