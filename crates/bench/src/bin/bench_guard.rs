@@ -3,7 +3,7 @@
 //! against the committed `BENCH_<id>.json` baselines.
 //!
 //! ```text
-//! bench_guard [e15|e19|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
+//! bench_guard [e15|e19|e20|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
 //! ```
 //!
 //! Guarded experiments:
@@ -11,7 +11,12 @@
 //! * `e15` — end-to-end scale sweep: telemetry-off build and LID wall
 //!   times per size (`BENCH_e15.json`);
 //! * `e19` — dynamic engine: bounded-repair and from-scratch-rebuild wall
-//!   times per batch size (`BENCH_e19.json`).
+//!   times per batch size (`BENCH_e19.json`);
+//! * `e20` — causal critical path: span count, critical-path length /
+//!   latency and sync round count per size (`BENCH_e20.json`). These are
+//!   *deterministic structure*, not wall times, so the guard demands
+//!   **exact** equality — any drift means the causal layer changed
+//!   semantics, which is a correctness signal, not jitter.
 //!
 //! Flags:
 //!
@@ -30,7 +35,7 @@
 //! overhead must stay at zero, so the guard doubles as the regression check
 //! for the "telemetry off costs nothing" claim.
 
-use owp_bench::experiments::{e15_scale, e19_dynamic, tables_to_json};
+use owp_bench::experiments::{e15_scale, e19_dynamic, e20_critical_path, tables_to_json};
 use owp_bench::Table;
 use std::time::Instant;
 
@@ -43,6 +48,10 @@ struct Guard {
     key_label: &'static str,
     cols: &'static [(&'static str, usize)],
     run: fn(bool) -> Vec<Table>,
+    /// `false`: wall times, checked within tolerance + slack. `true`:
+    /// deterministic structural values, checked for exact equality
+    /// (tolerance/slack are ignored).
+    exact: bool,
 }
 
 const GUARDS: &[Guard] = &[
@@ -53,6 +62,7 @@ const GUARDS: &[Guard] = &[
         key_label: "n",
         cols: &[("build ms", 2), ("LID ms", 3)],
         run: e15_scale::run,
+        exact: false,
     },
     Guard {
         id: "e19",
@@ -61,6 +71,16 @@ const GUARDS: &[Guard] = &[
         key_label: "batch %",
         cols: &[("repair ms", 2), ("rebuild ms", 3)],
         run: e19_dynamic::run,
+        exact: false,
+    },
+    Guard {
+        id: "e20",
+        what: "E20 causal critical-path sweep (full sizes, deterministic)",
+        key_col: 0,
+        key_label: "n",
+        cols: &[("spans", 2), ("crit len", 5), ("crit latency", 6), ("sync rounds", 8)],
+        run: e20_critical_path::run,
+        exact: true,
     },
 ];
 
@@ -97,7 +117,7 @@ fn main() {
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag: {a}");
                 eprintln!(
-                    "usage: bench_guard [e15|e19|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]"
+                    "usage: bench_guard [e15|e19|e20|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]"
                 );
                 std::process::exit(2);
             }
@@ -177,14 +197,24 @@ fn main() {
             for &(label, col) in g.cols {
                 let base = base_row[col];
                 let now: f64 = fresh.cell(fresh_row, col).parse().expect("numeric cell");
-                let limit = base * (1.0 + tolerance_pct / 100.0) + slack_ms;
                 compared += 1;
-                let verdict = if now <= limit { "ok" } else { "REGRESSED" };
-                println!(
-                    "  [{}] {}={key:>8} {label:>10}: baseline {base:>8.1} ms, now {now:>8.1} ms (limit {limit:.1} ms) {verdict}",
-                    g.id, g.key_label
-                );
-                if now > limit {
+                let failed = if g.exact {
+                    let verdict = if now == base { "ok" } else { "CHANGED" };
+                    println!(
+                        "  [{}] {}={key:>8} {label:>12}: baseline {base}, now {now} (exact) {verdict}",
+                        g.id, g.key_label
+                    );
+                    now != base
+                } else {
+                    let limit = base * (1.0 + tolerance_pct / 100.0) + slack_ms;
+                    let verdict = if now <= limit { "ok" } else { "REGRESSED" };
+                    println!(
+                        "  [{}] {}={key:>8} {label:>10}: baseline {base:>8.1} ms, now {now:>8.1} ms (limit {limit:.1} ms) {verdict}",
+                        g.id, g.key_label
+                    );
+                    now > limit
+                };
+                if failed {
                     failures += 1;
                 }
             }
@@ -200,19 +230,22 @@ fn main() {
     }
     if failures > 0 {
         eprintln!(
-            "bench_guard: FAILED — {failures} of {compared} timings regressed beyond {tolerance_pct}% (+{slack_ms} ms)"
+            "bench_guard: FAILED — {failures} of {compared} checks outside their envelope \
+             (timed: {tolerance_pct}% +{slack_ms} ms; structural: exact)"
         );
         std::process::exit(1);
     }
     println!(
-        "bench_guard: ok — {compared} timings within {tolerance_pct}% (+{slack_ms} ms) of the baselines"
+        "bench_guard: ok — {compared} checks within their envelopes \
+         (timed: {tolerance_pct}% +{slack_ms} ms; structural: exact)"
     );
 }
 
 /// Extracts the first table's `"rows":[[...],...]` from a
-/// `BENCH_<id>.json` document as numbers. The headline tables of the
-/// guarded experiments are all-numeric, so every cell parses; non-numeric
-/// cells (later tables are never reached) would return `None`.
+/// `BENCH_<id>.json` document as numbers. Non-numeric cells (e.g. E20's
+/// textual "certified" column) become `NaN` — the guarded columns are all
+/// numeric, so a `NaN` is only ever compared if a guard misconfigures its
+/// column indices, and `NaN` comparisons always fail loudly.
 fn parse_first_rows(doc: &str) -> Option<Vec<Vec<f64>>> {
     let start = doc.find("\"rows\":[")? + "\"rows\":[".len();
     let rest = &doc[start..];
@@ -241,8 +274,11 @@ fn parse_first_rows(doc: &str) -> Option<Vec<Vec<f64>>> {
         if row.is_empty() {
             continue;
         }
-        let cells: Option<Vec<f64>> = row.split(',').map(|c| c.trim().parse().ok()).collect();
-        rows.push(cells?);
+        let cells: Vec<f64> = row
+            .split(',')
+            .map(|c| c.trim().parse().unwrap_or(f64::NAN))
+            .collect();
+        rows.push(cells);
     }
     Some(rows)
 }
@@ -271,8 +307,20 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_e20_document_shape() {
+        let doc = r#"{"experiment":"e20","quick":false,"elapsed_ms":250.0,"tables":[{"title":"ba","headers":["n","edges","spans","roots","dag depth","crit len","crit latency","end time","sync rounds","max fanout","certified"],"rows":[[500,1990,3810,1500,7,6,91,91,7,72,"yes"],[1000,3990,7764,3000,7,7,101,101,7,98,"yes"]],"notes":[]},{"title":"er","headers":["n"],"rows":[[500]],"notes":[]}]}"#;
+        let rows = parse_first_rows(doc).expect("parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][2], 3810.0); // spans
+        assert_eq!(rows[1][5], 7.0); // crit len
+        // The textual "certified" cell degrades to NaN instead of sinking
+        // the document.
+        assert!(rows[0][10].is_nan());
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(parse_first_rows("{}").is_none());
-        assert!(parse_first_rows("{\"rows\":[[\"text\"]]}").is_none());
+        assert!(parse_first_rows("no rows key at all").is_none());
     }
 }

@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table/figure of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! experiments <e1|e2|...|e19|all> [--quick] [--json] [--trace-out <path>]
+//! experiments <e1|e2|...|e20|all> [--quick] [--json] [--trace-out <path>]
 //!             [--metrics-out <path>] [--watch]
 //! ```
 //!
@@ -10,14 +10,15 @@
 //! produces `BENCH_e15.json`) so perf numbers can be tracked across commits
 //! without scraping stdout.
 //!
-//! With `--trace-out <path>`, the per-round convergence series of a traced
-//! experiment (see `experiments::TRACED`, currently `e18`) is written as
-//! JSONL — one `{"round":…,"matched_edges":…,…}` object per line (schema in
-//! `owp_telemetry::series`). Experiments without a trace warn and ignore
-//! the flag; selecting *only* untraced experiments is an error.
+//! With `--trace-out <path>`, the raw trace artifact of a traced
+//! experiment (see `experiments::TRACED`) is written as JSONL: for `e18`
+//! the per-round convergence series (schema in `owp_telemetry::series`),
+//! for `e20` the span-annotated telemetry event log consumed by
+//! `owp-inspect causal`. Experiments without a trace warn and ignore the
+//! flag; selecting *only* untraced experiments is an error.
 //!
 //! With `--metrics-out <path>`, the instrumented experiments (see
-//! `experiments::INSTRUMENTED`: e5, e18, e19) run with a shared
+//! `experiments::INSTRUMENTED`: e5, e18, e19, e20) run with a shared
 //! `MetricsRegistry` — histograms, message counters and the online
 //! invariant audit — and the final snapshot is written to `path`:
 //! Prometheus text format if the path ends in `.prom`, JSON otherwise.
@@ -93,7 +94,7 @@ fn main() {
 
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <e1..e19|all> [--quick] [--json] [--trace-out <path>] \
+            "usage: experiments <e1..e20|all> [--quick] [--json] [--trace-out <path>] \
              [--metrics-out <path>] [--watch]"
         );
         eprintln!("known experiments: {}", experiments::ALL.join(", "));
@@ -126,7 +127,7 @@ fn main() {
     for id in selected {
         if trace_out.is_some() && !experiments::TRACED.contains(&id) {
             eprintln!(
-                "warning: {id} records no convergence trace, --trace-out ignored for it \
+                "warning: {id} records no trace artifact, --trace-out ignored for it \
                  (traced experiments: {})",
                 experiments::TRACED.join(", ")
             );
@@ -150,10 +151,10 @@ fn main() {
                         }
                     }
                 }
-                if let (Some(path), Some(series)) = (trace_out.as_deref(), series.as_ref()) {
-                    match series.write_jsonl(path) {
+                if let (Some(path), Some(artifact)) = (trace_out.as_deref(), series.as_ref()) {
+                    match std::fs::write(path, artifact.to_jsonl()) {
                         Ok(()) => {
-                            println!("[{id}: wrote {} trace rows to {path}]", series.len());
+                            println!("[{id}: wrote {} trace rows to {path}]", artifact.len());
                             trace_written = true;
                         }
                         Err(e) => {
@@ -209,7 +210,7 @@ fn main() {
 
     if trace_out.is_some() && !trace_written {
         eprintln!(
-            "--trace-out given but no selected experiment records a convergence trace (use {})",
+            "--trace-out given but no selected experiment records a trace artifact (use {})",
             experiments::TRACED.join(", ")
         );
         std::process::exit(2);

@@ -3,6 +3,8 @@
 //! ```text
 //! owp-inspect trace <series.jsonl|series.csv>   per-phase convergence summary
 //! owp-inspect metrics <snapshot.json|.prom>     metrics summary + audit report
+//! owp-inspect causal <events.jsonl> [--top <k>] [--dot <path>]
+//!                                               happens-before DAG summary
 //! ```
 //!
 //! `trace` consumes the convergence series written by
@@ -14,14 +16,23 @@
 //!
 //! `metrics` consumes a snapshot written by `experiments --metrics-out`
 //! (JSON, or Prometheus text for `.prom` paths), prints every family with
-//! histogram quantiles, and reports the audit verdict: exit status 1 if
-//! the snapshot records any invariant violation, 0 otherwise.
+//! interpolated histogram quantiles, and reports the audit verdict: exit
+//! status 1 if the snapshot records any invariant violation, 0 otherwise.
+//!
+//! `causal` consumes a telemetry event log with span records (written by
+//! `experiments e20 --trace-out <path>`, or any `EventLog::to_jsonl`
+//! dump), reconstructs the happens-before DAG, verifies the empirical
+//! Lemma 5 certificate (acyclicity + temporal consistency), and prints
+//! the span/root/depth accounting, the top-k critical paths hop by hop,
+//! the per-kind causation fan-out and the edge-lifecycle tally. With
+//! `--dot <path>` a Graphviz digraph of the critical paths is written.
+//! Exit status 1 if the certificate fails, 0 otherwise.
 //!
 //! Reports are accumulated and written in one shot with write errors
 //! ignored, so piping into `head` never aborts the tool.
 
 use owp_metrics::MetricsSnapshot;
-use owp_telemetry::{ConvergenceSample, ConvergenceSeries};
+use owp_telemetry::{CausalDag, ConvergenceSample, ConvergenceSeries, EventLog};
 use std::fmt::Write as _;
 use std::io::Write as _;
 
@@ -137,11 +148,12 @@ fn inspect_metrics(path: &str) {
     for (name, h) in &snap.histograms {
         let _ = writeln!(
             out,
-            "  histogram {name:<34} n={} mean={:.1} p50<={} p99<={}",
+            "  histogram {name:<34} n={} mean={:.1} p50~{:.1} p95~{:.1} p99~{:.1}",
             h.count,
             h.mean(),
-            h.quantile_upper_bound(0.5).unwrap_or(0),
-            h.quantile_upper_bound(0.99).unwrap_or(0),
+            h.quantile_interpolated(0.5).unwrap_or(0.0),
+            h.quantile_interpolated(0.95).unwrap_or(0.0),
+            h.quantile_interpolated(0.99).unwrap_or(0.0),
         );
     }
 
@@ -171,15 +183,158 @@ fn inspect_metrics(path: &str) {
     }
 }
 
+fn inspect_causal(path: &str, top: usize, dot: Option<&str>) {
+    let doc = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let log = EventLog::parse_jsonl(&doc)
+        .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+    let dag = CausalDag::from_log(&log);
+
+    let mut out = String::new();
+    if dag.is_empty() {
+        emit(&format!("{path}: no span records (was the trace written by e20?)\n"));
+        return;
+    }
+    let (mut delivered, mut dropped, mut dead, mut in_flight) = (0u64, 0u64, 0u64, 0u64);
+    for s in dag.spans() {
+        match s.outcome {
+            owp_telemetry::SpanOutcome::Delivered => delivered += 1,
+            owp_telemetry::SpanOutcome::Dropped => dropped += 1,
+            owp_telemetry::SpanOutcome::DeadLettered => dead += 1,
+            owp_telemetry::SpanOutcome::InFlight => in_flight += 1,
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{path}: {} spans ({} roots), {} delivered, {} dropped, {} dead-lettered, {} in flight",
+        dag.len(),
+        dag.roots(),
+        delivered,
+        dropped,
+        dead,
+        in_flight
+    );
+    let _ = writeln!(
+        out,
+        "  happens-before: max depth {}, max fan-out {}",
+        dag.max_depth(),
+        dag.max_fanout()
+    );
+
+    let violations = dag.verify();
+    if violations.is_empty() {
+        out.push_str("  certificate: acyclic and temporally consistent (Lemma 5 holds)\n");
+    } else {
+        let _ = writeln!(out, "  certificate: FAILED — {} violation(s):", violations.len());
+        for v in &violations {
+            let _ = writeln!(out, "    {v}");
+        }
+    }
+
+    let paths = dag.top_critical_paths(top);
+    for (i, p) in paths.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "critical path #{}: {} hops, latency {} (ends at t={})",
+            i + 1,
+            p.len(),
+            p.total_latency(),
+            p.end_time
+        );
+        for hop in &p.hops {
+            let when = match hop.delivered {
+                Some(d) => format!("{}..{d}", hop.sent),
+                None => format!("{}..?", hop.sent),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<6} {:<4} {:>5} -> {:<5} t={:<11} wait {:<4} flight {}",
+                hop.span.to_string(),
+                hop.kind.label(),
+                hop.from.0,
+                hop.to.0,
+                when,
+                hop.wait,
+                hop.flight
+            );
+        }
+    }
+
+    let fanout = dag.kind_fanout();
+    if !fanout.is_empty() {
+        out.push_str("causation fan-out (parent kind -> child kind):\n");
+        for ((pk, ck), n) in &fanout {
+            let _ = writeln!(out, "  {pk:<5} -> {ck:<5} {n}");
+        }
+    }
+
+    let lifecycles = dag.edge_lifecycles();
+    if !lifecycles.is_empty() {
+        let mut tally: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for l in &lifecycles {
+            *tally.entry(l.outcome.label()).or_insert(0) += 1;
+        }
+        let counts: Vec<String> =
+            tally.iter().map(|(k, v)| format!("{v} {k}")).collect();
+        let _ = writeln!(
+            out,
+            "edge lifecycles: {} proposed pairs ({})",
+            lifecycles.len(),
+            counts.join(", ")
+        );
+    }
+
+    if let Some(dot_path) = dot {
+        match std::fs::write(dot_path, dag.to_dot(&paths)) {
+            Ok(()) => {
+                let _ = writeln!(out, "[wrote Graphviz digraph of {} path(s) to {dot_path}]", paths.len());
+            }
+            Err(e) => fail(&format!("cannot write {dot_path}: {e}")),
+        }
+    }
+
+    emit(&out);
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [cmd, path] if cmd == "trace" => inspect_trace(path),
         [cmd, path] if cmd == "metrics" => inspect_metrics(path),
+        [cmd, rest @ ..] if cmd == "causal" && !rest.is_empty() => {
+            let mut path: Option<&str> = None;
+            let mut top = 1usize;
+            let mut dot: Option<&str> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--top" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(k) if k > 0 => top = k,
+                        _ => fail("--top requires a positive integer"),
+                    },
+                    "--dot" => match it.next() {
+                        Some(p) => dot = Some(p.as_str()),
+                        None => fail("--dot requires a path argument"),
+                    },
+                    _ if a.starts_with("--") => fail(&format!("unknown flag: {a}")),
+                    _ if path.is_none() => path = Some(a.as_str()),
+                    _ => fail("causal takes exactly one trace path"),
+                }
+            }
+            match path {
+                Some(p) => inspect_causal(p, top, dot),
+                None => fail("causal requires a trace path"),
+            }
+        }
         _ => {
-            eprintln!("usage: owp-inspect <trace|metrics> <path>");
-            eprintln!("  trace   <series.jsonl|.csv>  per-phase convergence summary");
+            eprintln!("usage: owp-inspect <trace|metrics|causal> <path>");
+            eprintln!("  trace   <series.jsonl|.csv>   per-phase convergence summary");
             eprintln!("  metrics <snapshot.json|.prom> metrics summary + audit report");
+            eprintln!("  causal  <events.jsonl> [--top <k>] [--dot <path>]");
+            eprintln!("                                happens-before DAG + critical paths");
             std::process::exit(2);
         }
     }

@@ -23,35 +23,71 @@ pub mod e16_stability;
 pub mod e17_ratio_at_scale;
 pub mod e18_convergence_trace;
 pub mod e19_dynamic;
+pub mod e20_critical_path;
 
 use crate::Table;
 use owp_metrics::MetricsRegistry;
-use owp_telemetry::ConvergenceSeries;
+use owp_telemetry::{ConvergenceSeries, EventLog};
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20",
 ];
 
-/// The experiments that record a per-round [`ConvergenceSeries`] — i.e.
-/// that honor `--trace-out`. Everything else ignores the flag (the binary
+/// The experiments that record a raw trace artifact — i.e. that honor
+/// `--trace-out`. `e18` writes a per-round [`ConvergenceSeries`]; `e20`
+/// writes the span-annotated telemetry [`EventLog`] (the input format of
+/// `owp-inspect causal`). Everything else ignores the flag (the binary
 /// warns per experiment).
-pub const TRACED: &[&str] = &["e18"];
+pub const TRACED: &[&str] = &["e18", "e20"];
 
 /// The experiments with a metrics-instrumented variant — i.e. that
 /// populate a [`MetricsRegistry`] under `--metrics-out`/`--watch`. The
 /// rest run un-instrumented even when a registry is supplied.
-pub const INSTRUMENTED: &[&str] = &["e5", "e18", "e19"];
+pub const INSTRUMENTED: &[&str] = &["e5", "e18", "e19", "e20"];
+
+/// The raw artifact a traced experiment attaches to its tables; what
+/// `--trace-out` serializes (each variant has its own JSONL schema).
+pub enum TraceArtifact {
+    /// Per-round convergence samples (`owp_telemetry::series` schema).
+    Series(ConvergenceSeries),
+    /// Structured telemetry events with causal span records
+    /// (`owp_telemetry::event` schema; input of `owp-inspect causal`).
+    Events(EventLog),
+}
+
+impl TraceArtifact {
+    /// Number of JSONL rows the artifact serializes to.
+    pub fn len(&self) -> usize {
+        match self {
+            TraceArtifact::Series(s) => s.len(),
+            TraceArtifact::Events(l) => l.len(),
+        }
+    }
+
+    /// `true` iff the artifact has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The artifact in its JSONL serialization.
+    pub fn to_jsonl(&self) -> String {
+        match self {
+            TraceArtifact::Series(s) => s.to_jsonl(),
+            TraceArtifact::Events(l) => l.to_jsonl(),
+        }
+    }
+}
 
 /// Dispatches an experiment by id. Returns the tables it produced.
 pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
     run_with_trace(id, quick).map(|(tables, _)| tables)
 }
 
-/// Like [`run`], but also returns the per-round [`ConvergenceSeries`] for
+/// Like [`run`], but also returns the raw [`TraceArtifact`] for
 /// experiments that record one (see [`TRACED`]) so the binary can honor
 /// `--trace-out` without running the experiment twice.
-pub fn run_with_trace(id: &str, quick: bool) -> Option<(Vec<Table>, Option<ConvergenceSeries>)> {
+pub fn run_with_trace(id: &str, quick: bool) -> Option<(Vec<Table>, Option<TraceArtifact>)> {
     run_instrumented(id, quick, None)
 }
 
@@ -63,13 +99,20 @@ pub fn run_instrumented(
     id: &str,
     quick: bool,
     metrics: Option<&MetricsRegistry>,
-) -> Option<(Vec<Table>, Option<ConvergenceSeries>)> {
+) -> Option<(Vec<Table>, Option<TraceArtifact>)> {
     if id == "e18" {
         let (table, series) = match metrics {
             Some(reg) => e18_convergence_trace::run_with_series_metrics(quick, reg),
             None => e18_convergence_trace::run_with_series(quick),
         };
-        return Some((vec![table], Some(series)));
+        return Some((vec![table], Some(TraceArtifact::Series(series))));
+    }
+    if id == "e20" {
+        let (tables, log) = match metrics {
+            Some(reg) => e20_critical_path::run_with_metrics(quick, reg),
+            None => e20_critical_path::run_with_log(quick),
+        };
+        return Some((tables, Some(TraceArtifact::Events(log))));
     }
     if let Some(reg) = metrics {
         match id {
@@ -151,18 +194,35 @@ mod tests {
         for id in ALL {
             assert!(seen.insert(*id), "duplicate id {id}");
         }
-        assert_eq!(ALL.len(), 19);
+        assert_eq!(ALL.len(), 20);
     }
 
-    /// Only E18 carries a convergence trace; the others return `None` for it.
+    /// E18 carries a convergence series, E20 a raw event log; the others
+    /// return `None` for the trace artifact.
     #[test]
     fn trace_is_attached_exactly_where_expected() {
-        let (tables, series) = run_with_trace("e18", true).expect("e18 runs");
-        let series = series.expect("e18 records a trace");
+        let (tables, artifact) = run_with_trace("e18", true).expect("e18 runs");
+        let artifact = artifact.expect("e18 records a trace");
+        assert!(matches!(artifact, TraceArtifact::Series(_)));
         assert_eq!(tables.len(), 1);
-        assert_eq!(tables[0].row_count(), series.len());
+        assert_eq!(tables[0].row_count(), artifact.len());
+        assert!(!artifact.is_empty());
+        assert!(artifact.to_jsonl().lines().count() == artifact.len());
         let (_, none) = run_with_trace("e1", true).expect("e1 runs");
-        assert!(none.is_none(), "e1 has no convergence trace");
+        assert!(none.is_none(), "e1 has no trace artifact");
+    }
+
+    /// The E20 artifact is a telemetry event log whose JSONL round-trips
+    /// into a certified causal DAG (the `owp-inspect causal` input path).
+    #[test]
+    fn e20_trace_artifact_is_a_causal_event_log() {
+        let (_, artifact) = run_with_trace("e20", true).expect("e20 runs");
+        let artifact = artifact.expect("e20 records a trace");
+        assert!(matches!(artifact, TraceArtifact::Events(_)));
+        let log = owp_telemetry::EventLog::parse_jsonl(&artifact.to_jsonl()).expect("parses");
+        let dag = owp_telemetry::CausalDag::from_log(&log);
+        assert!(!dag.is_empty());
+        assert!(dag.is_certified());
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub mod privacy;
 
 pub use churn::ChurnSim;
 pub use lid::{
-    replay_lid_trace, run_lid, run_lid_sync, run_lid_sync_series, run_lid_traced, LidMessage,
-    LidNode, LidResult,
+    replay_lid_trace, run_lid, run_lid_causal, run_lid_sync, run_lid_sync_series, run_lid_traced,
+    LidMessage, LidNode, LidResult,
 };
 pub use lid_reliable::{run_lid_reliable, ReliableLidNode, DEFAULT_RETRY_INTERVAL};
 pub use metric::SuitabilityMetric;

@@ -16,6 +16,7 @@
 //! | [`InvariantKind::LocallyHeaviest`] | Lemma 4 witness at every unselected edge | Theorem 2 (½-approximation) |
 //! | [`InvariantKind::EngineConsistency`] | maintained matching = canonical greedy over alive edges | PR 3's certified-repair invariant |
 //! | [`InvariantKind::EpochMonotonicity`] | `DeltaReport` epochs strictly increase | engine versioning |
+//! | [`InvariantKind::CausalAcyclicity`] | the trace's happens-before DAG is acyclic and clock-consistent | empirical Lemma 5 certificate |
 //!
 //! # Health gauges
 //!
@@ -62,6 +63,11 @@ pub enum InvariantKind {
     EngineConsistency,
     /// A `DeltaReport` epoch failed to advance strictly.
     EpochMonotonicity,
+    /// The happens-before DAG reconstructed from a trace is not a
+    /// well-formed acyclic forest (cycle, temporal inversion, dangling or
+    /// duplicated span) — Lemma 5 rules all of these out for live runs, so
+    /// any hit means trace corruption or tampering.
+    CausalAcyclicity,
 }
 
 impl InvariantKind {
@@ -74,6 +80,7 @@ impl InvariantKind {
             InvariantKind::LocallyHeaviest => "locally_heaviest",
             InvariantKind::EngineConsistency => "engine_consistency",
             InvariantKind::EpochMonotonicity => "epoch_monotonicity",
+            InvariantKind::CausalAcyclicity => "causal_acyclicity",
         }
     }
 }
@@ -186,6 +193,8 @@ pub struct Auditor {
     satisfaction_ratio: Gauge,
     engine_matching_size: Gauge,
     engine_satisfaction: Gauge,
+    lid_critical_path_len: Gauge,
+    lid_critical_path_latency: Gauge,
     epsilon: f64,
     last_epoch: Option<u64>,
 }
@@ -202,6 +211,8 @@ impl Auditor {
             satisfaction_ratio: reg.gauge("audit_satisfaction_ratio"),
             engine_matching_size: reg.gauge("audit_engine_matching_size"),
             engine_satisfaction: reg.gauge("audit_engine_satisfaction"),
+            lid_critical_path_len: reg.gauge("lid_critical_path_len"),
+            lid_critical_path_latency: reg.gauge("lid_critical_path_latency"),
             epsilon: 0.0,
             last_epoch: None,
         }
@@ -334,6 +345,31 @@ impl Auditor {
         if added == 0 {
             self.engine_matching_size.set(m.size() as f64);
             self.engine_satisfaction.set(engine.total_satisfaction());
+        }
+        added
+    }
+
+    /// Audits a trace's happens-before DAG (the empirical Lemma 5
+    /// certificate): every [`owp_telemetry::CausalViolation`] found becomes
+    /// a [`InvariantKind::CausalAcyclicity`] violation. On a clean pass the
+    /// `lid_critical_path_len` / `lid_critical_path_latency` gauges are
+    /// refreshed from the DAG (degraded mode keeps the last healthy
+    /// values, matching the other gauges). Returns the violations added.
+    pub fn audit_causal(&mut self, dag: &owp_telemetry::CausalDag) -> usize {
+        self.checks_total.inc();
+        let causal = dag.verify();
+        let added = causal.len();
+        for v in causal {
+            self.push(
+                InvariantKind::CausalAcyclicity,
+                None,
+                format!("{} at {}: {}", v.kind.tag(), v.span, v.detail),
+            );
+        }
+        if added == 0 {
+            let path = dag.critical_path();
+            self.lid_critical_path_len.set(path.len() as f64);
+            self.lid_critical_path_latency.set(path.total_latency() as f64);
         }
         added
     }
@@ -494,6 +530,51 @@ mod tests {
         let m = lic(&p, SelectionPolicy::InOrder);
         assert_eq!(epsilon_blocking_count(&p, &m, 0.0), 0);
         assert!(weight_upper_bound(&p) >= m.total_weight(&p));
+    }
+
+    #[test]
+    fn causal_audit_certifies_clean_and_flags_tampered() {
+        use owp_graph::NodeId as N;
+        use owp_telemetry::{CausalDag, EventLog, MessageKind, Recorder as _, SpanId, TelemetryEvent};
+        let sent = |time, span, parent: Option<u64>, from: u32, to: u32| TelemetryEvent::SpanSent {
+            time,
+            span: SpanId(span),
+            parent: parent.map(SpanId),
+            from: N(from),
+            to: N(to),
+            kind: MessageKind::Prop,
+        };
+        // Clean 2-hop chain refreshes the critical-path gauges.
+        let mut log = EventLog::enabled();
+        log.record(sent(0, 0, None, 0, 1));
+        log.record(TelemetryEvent::SpanDelivered { time: 2, span: SpanId(0) });
+        log.record(sent(2, 1, Some(0), 1, 2));
+        log.record(TelemetryEvent::SpanDelivered { time: 5, span: SpanId(1) });
+        let reg = MetricsRegistry::new();
+        let mut auditor = Auditor::new(&reg);
+        assert_eq!(auditor.audit_causal(&CausalDag::from_log(&log)), 0);
+        assert!(auditor.is_clean());
+        assert_eq!(reg.gauge("lid_critical_path_len").get(), 2.0);
+        assert_eq!(reg.gauge("lid_critical_path_latency").get(), 5.0);
+
+        // A tampered trace with a parent cycle is reported, never panics,
+        // and leaves the healthy gauge values untouched (degraded mode).
+        let mut bad = EventLog::enabled();
+        bad.record(sent(0, 5, Some(6), 0, 1));
+        bad.record(TelemetryEvent::SpanDelivered { time: 1, span: SpanId(5) });
+        bad.record(sent(1, 6, Some(5), 1, 0));
+        bad.record(TelemetryEvent::SpanDelivered { time: 2, span: SpanId(6) });
+        let added = auditor.audit_causal(&CausalDag::from_log(&bad));
+        assert!(added > 0);
+        assert!(auditor
+            .report()
+            .iter()
+            .any(|v| v.kind == InvariantKind::CausalAcyclicity
+                && v.detail.contains("cycle_detected")));
+        assert_eq!(reg.counter("audit_violations_total").get(), added as u64);
+        assert_eq!(reg.gauge("lid_critical_path_len").get(), 2.0);
+        let line = auditor.to_jsonl();
+        assert!(line.contains("\"kind\":\"causal_acyclicity\""), "{line}");
     }
 
     #[test]

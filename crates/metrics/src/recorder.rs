@@ -8,6 +8,7 @@
 //! | metric | type | source |
 //! |---|---|---|
 //! | `messages_sent_total` (+ `_prop/_rej/_ack`) | counter | `Sent` |
+//! | `messages_sent_other_<LABEL>` | counter | `Sent` with `Other(LABEL)` |
 //! | `messages_delivered_total` | counter | `Delivered` |
 //! | `messages_dropped_total` | counter | `Dropped` |
 //! | `messages_dead_lettered_total` | counter | `DeadLettered` |
@@ -56,10 +57,34 @@ pub struct MetricsRecorder {
     engine_edges_added_total: Counter,
     engine_edges_removed_total: Counter,
     engine_reranked_total: Counter,
+    /// Registry handle kept for lazy registration of per-label counters —
+    /// `MessageKind::Other` labels are open-ended, so their families cannot
+    /// be created up front like the fixed kinds.
+    registry: MetricsRegistry,
+    /// Lazily-registered `messages_sent_other_<LABEL>` counters, one per
+    /// distinct `Other` label seen, so custom kinds stay distinguishable
+    /// instead of folding into the total alone.
+    sent_other: BTreeMap<&'static str, Counter>,
     /// Send times awaiting their delivery, FIFO per (from, to, kind) link.
     in_flight: BTreeMap<(u32, u32, MessageKind), VecDeque<u64>>,
     /// Outstanding proposals awaiting a lock, keyed (proposer, peer).
     pending_props: BTreeMap<(u32, u32), VecDeque<u64>>,
+}
+
+/// Interned `messages_sent_other_<LABEL>` registry key for a label. The
+/// registry requires `&'static str` keys; each distinct label leaks its key
+/// string exactly once, process-wide (label sets are tiny in practice).
+fn sent_other_key(label: &'static str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static KEYS: OnceLock<Mutex<Vec<(&'static str, &'static str)>>> = OnceLock::new();
+    let keys = KEYS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut keys = keys.lock().expect("key interner poisoned");
+    if let Some(&(_, key)) = keys.iter().find(|&&(l, _)| l == label) {
+        return key;
+    }
+    let key: &'static str = Box::leak(format!("messages_sent_other_{label}").into_boxed_str());
+    keys.push((label, key));
+    key
 }
 
 impl MetricsRecorder {
@@ -89,6 +114,8 @@ impl MetricsRecorder {
             engine_edges_added_total: reg.counter("engine_edges_added_total"),
             engine_edges_removed_total: reg.counter("engine_edges_removed_total"),
             engine_reranked_total: reg.counter("engine_reranked_total"),
+            registry: reg.clone(),
+            sent_other: BTreeMap::new(),
             in_flight: BTreeMap::new(),
             pending_props: BTreeMap::new(),
         }
@@ -121,8 +148,16 @@ impl Recorder for MetricsRecorder {
         match ev {
             TelemetryEvent::Sent { time, from, to, kind } => {
                 self.sent_total.inc();
-                if let Some(slot) = kind.fixed_slot() {
-                    self.sent_kind[slot].inc();
+                match kind.fixed_slot() {
+                    Some(slot) => self.sent_kind[slot].inc(),
+                    None => {
+                        let MessageKind::Other(label) = kind else { unreachable!() };
+                        let reg = &self.registry;
+                        self.sent_other
+                            .entry(label)
+                            .or_insert_with(|| reg.counter(sent_other_key(label)))
+                            .inc();
+                    }
                 }
                 self.in_flight.entry((from.0, to.0, kind)).or_default().push_back(time);
             }
@@ -144,6 +179,14 @@ impl Recorder for MetricsRecorder {
                 self.dead_lettered_total.inc();
                 self.in_flight.get_mut(&(from.0, to.0, kind)).and_then(VecDeque::pop_front);
             }
+            // Span lifecycle events carry causal identity, not new counts —
+            // their transport twins (`Sent`/`Delivered`/...) are what the
+            // counters and latency pairing aggregate. Offline causal
+            // analysis consumes them via `owp_telemetry::CausalDag`.
+            TelemetryEvent::SpanSent { .. }
+            | TelemetryEvent::SpanDelivered { .. }
+            | TelemetryEvent::SpanDropped { .. }
+            | TelemetryEvent::SpanDeadLettered { .. } => {}
             TelemetryEvent::TimerFired { .. } => self.timers_fired_total.inc(),
             TelemetryEvent::Node { time, node, event } => match event {
                 NodeEvent::PropSent { to } => {
@@ -252,6 +295,46 @@ mod tests {
         assert_eq!(lat.count(), 1);
         assert_eq!(lat.sum(), 2);
         assert_eq!(reg.counter("messages_dropped_total").get(), 1);
+    }
+
+    #[test]
+    fn other_kinds_get_distinct_labelled_counters() {
+        let reg = MetricsRegistry::new();
+        let mut rec = MetricsRecorder::new(&reg);
+        // Two custom kinds plus a fixed one: the labels must not fold.
+        rec.record(sent(0, 0, 1, MessageKind::Other("TOKEN")));
+        rec.record(sent(1, 0, 1, MessageKind::Other("TOKEN")));
+        rec.record(sent(2, 1, 0, MessageKind::Other("PING")));
+        rec.record(sent(3, 1, 0, MessageKind::Ack));
+        assert_eq!(reg.counter("messages_sent_total").get(), 4);
+        assert_eq!(reg.counter(super::sent_other_key("TOKEN")).get(), 2);
+        assert_eq!(reg.counter(super::sent_other_key("PING")).get(), 1);
+        assert_eq!(reg.counter("messages_sent_ack").get(), 1);
+        // The labelled families appear in snapshots under stable keys.
+        let snap = reg.snapshot();
+        assert!(snap.counters.iter().any(|(k, v)| k == "messages_sent_other_TOKEN" && *v == 2));
+        assert!(snap.counters.iter().any(|(k, v)| k == "messages_sent_other_PING" && *v == 1));
+    }
+
+    #[test]
+    fn span_events_do_not_double_count() {
+        use owp_telemetry::SpanId;
+        let reg = MetricsRegistry::new();
+        let mut rec = MetricsRecorder::new(&reg);
+        rec.record(sent(0, 0, 1, MessageKind::Prop));
+        rec.record(TelemetryEvent::SpanSent {
+            time: 0,
+            span: SpanId(0),
+            parent: None,
+            from: NodeId(0),
+            to: NodeId(1),
+            kind: MessageKind::Prop,
+        });
+        rec.record(delivered(2, 0, 1, MessageKind::Prop));
+        rec.record(TelemetryEvent::SpanDelivered { time: 2, span: SpanId(0) });
+        assert_eq!(reg.counter("messages_sent_total").get(), 1);
+        assert_eq!(reg.counter("messages_delivered_total").get(), 1);
+        assert_eq!(reg.histogram("message_latency_ticks").count(), 1);
     }
 
     #[test]

@@ -186,9 +186,13 @@ struct Families {
 /// so independent subsystems can share a family by agreeing on its name.
 /// A key may live in only one family: registering `"x"` as both a counter
 /// and a gauge panics (it would be un-exportable).
-#[derive(Debug, Default)]
+///
+/// The registry is a cheap `Arc`-backed handle: clones share the same
+/// family table, so a component that must register families lazily (e.g.
+/// the recorder's per-label `Other(_)` send counters) can keep a clone.
+#[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
-    inner: Mutex<Families>,
+    inner: std::sync::Arc<Mutex<Families>>,
 }
 
 impl MetricsRegistry {

@@ -47,6 +47,41 @@ impl HistogramSnapshot {
         Some(u64::MAX)
     }
 
+    /// Interpolated `q`-quantile estimate (`None` when empty).
+    ///
+    /// Refines [`HistogramSnapshot::quantile_upper_bound`] by assuming the
+    /// observations inside the target bucket are spread uniformly over its
+    /// value range (`[2^(k−1), 2^k − 1]` for bucket `k ≥ 1`, the single
+    /// value 0 for bucket 0) and placing the quantile rank linearly within
+    /// it. Still bounded by the 2× log₂ bucket resolution, but without the
+    /// systematic upward bias of reporting the bucket's upper bound.
+    pub fn quantile_interpolated(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += c;
+            if (seen as f64) < target {
+                continue;
+            }
+            if k == 0 {
+                return Some(0.0);
+            }
+            let lo = (bucket_upper_bound(k - 1) + 1) as f64;
+            let hi = bucket_upper_bound(k) as f64;
+            // Fraction of the bucket's population strictly below the rank.
+            let frac = ((target - before as f64 - 1.0) / c as f64).clamp(0.0, 1.0);
+            return Some(lo + frac * (hi - lo));
+        }
+        Some(bucket_upper_bound(HISTOGRAM_BUCKETS - 1) as f64)
+    }
+
     /// Mean observation (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -480,6 +515,46 @@ prop_latency_ticks_count 5
         assert_eq!(h.quantile_upper_bound(0.5), Some(3));
         assert_eq!(h.quantile_upper_bound(0.99), Some(127));
         assert!((h.mean() - 21.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolated_quantiles_are_pinned() {
+        // Uniform 1..=8 → buckets k1={1}, k2={2,3}, k3={4..7}, k4={8}.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_ticks");
+        for v in 1u64..=8 {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let (_, h) = &snap.histograms[0];
+        assert_eq!(h.quantile_interpolated(0.0), Some(1.0)); // min
+        assert_eq!(h.quantile_interpolated(0.5), Some(4.0)); // true median 4.5
+        assert_eq!(h.quantile_interpolated(0.95), Some(8.0)); // true p95 ≈ 8
+        assert_eq!(h.quantile_interpolated(1.0), Some(8.0)); // max bucket floor
+        // Versus the coarse estimator: p50 upper bound is a whole bucket
+        // high (7), interpolation lands inside it.
+        assert_eq!(h.quantile_upper_bound(0.5), Some(7));
+
+        // Interior interpolation: 100 observations all in bucket 7
+        // ([64, 127]) spread the rank linearly across the bucket range.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("flat");
+        for _ in 0..100 {
+            h.observe(64);
+        }
+        let snap = reg.snapshot();
+        let (_, h) = &snap.histograms[0];
+        let p50 = h.quantile_interpolated(0.5).unwrap();
+        assert!((p50 - (64.0 + 0.49 * 63.0)).abs() < 1e-9, "p50 = {p50}");
+
+        // Zeros land exactly on 0; empty histograms have no quantiles.
+        let reg = MetricsRegistry::new();
+        let z = reg.histogram("zeros");
+        z.observe(0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].1.quantile_interpolated(0.9), Some(0.0));
+        let empty = HistogramSnapshot { count: 0, sum: 0, buckets: vec![0; HISTOGRAM_BUCKETS] };
+        assert_eq!(empty.quantile_interpolated(0.5), None);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::link::LinkIndex;
 use crate::protocol::{Context, Payload, Protocol};
 use crate::stats::NetStats;
 use crate::{NodeId, SimTime};
-use owp_telemetry::{EventLog, Recorder as _, TelemetryEvent};
+use owp_telemetry::{EventLog, Recorder as _, SpanId, TelemetryEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -91,11 +91,20 @@ struct InFlight<M> {
     from: NodeId,
     to: NodeId,
     msg: M,
+    /// Causal span of this message (assigned at send, see `next_span`).
+    span: SpanId,
 }
 
 enum Pending<M> {
     Msg(InFlight<M>),
-    Timer { node: NodeId, tag: u64 },
+    Timer {
+        node: NodeId,
+        tag: u64,
+        /// Span of the delivery whose handler armed the timer; sends from
+        /// the timer callback inherit it as their causal parent, so
+        /// retransmission chains stay connected in the happens-before DAG.
+        parent: Option<SpanId>,
+    },
 }
 
 /// Per-directed-link "last scheduled delivery" store for the FIFO clamp.
@@ -146,6 +155,11 @@ pub struct Simulator<P: Protocol> {
     rng: StdRng,
     now: SimTime,
     seq: u64,
+    /// Monotone span-id source: every send gets the next id, *including*
+    /// dropped sends, and independently of the heap's `seq` (dropped
+    /// messages never enter the queue, so reusing `seq` would perturb the
+    /// `(time, seq)` tie-breaks of existing seeded runs).
+    next_span: u64,
     /// Events ordered by `(delivery time, sequence number)`; the payload
     /// lives in the `payloads` slab at the carried slot.
     queue: BinaryHeap<(Reverse<(SimTime, u64)>, usize)>,
@@ -199,6 +213,7 @@ impl<P: Protocol> Simulator<P> {
             rng,
             now: 0,
             seq: 0,
+            next_span: 0,
             queue: BinaryHeap::new(),
             payloads: Vec::new(),
             free_slots: Vec::new(),
@@ -230,7 +245,10 @@ impl<P: Protocol> Simulator<P> {
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.queue.len());
     }
 
-    fn dispatch_ctx(&mut self, from: NodeId, ctx: Context<P::Message>) {
+    /// Drains a callback's context. `parent` is the span whose delivery ran
+    /// the callback (`None` for `on_start`); every send and armed timer
+    /// inherits it as causal parent.
+    fn dispatch_ctx(&mut self, from: NodeId, ctx: Context<P::Message>, parent: Option<SpanId>) {
         let (outbox, timers, events) = ctx.into_parts();
         // Protocol state transitions emitted during the callback, stamped
         // with the emitting node and its callback time. `events` is always
@@ -243,7 +261,7 @@ impl<P: Protocol> Simulator<P> {
             });
         }
         for (delay, tag) in timers {
-            self.schedule(self.now + delay, Pending::Timer { node: from, tag });
+            self.schedule(self.now + delay, Pending::Timer { node: from, tag, parent });
         }
         for (to, msg) in outbox {
             assert!(
@@ -252,9 +270,19 @@ impl<P: Protocol> Simulator<P> {
             );
             assert!(to != from, "node {from:?} sent a message to itself");
             let kind = msg.kind();
+            let span = SpanId(self.next_span);
+            self.next_span += 1;
             self.stats.record_send(kind);
             self.log.record(TelemetryEvent::Sent {
                 time: self.now,
+                from,
+                to,
+                kind,
+            });
+            self.log.record(TelemetryEvent::SpanSent {
+                time: self.now,
+                span,
+                parent,
                 from,
                 to,
                 kind,
@@ -270,6 +298,7 @@ impl<P: Protocol> Simulator<P> {
                     to,
                     kind,
                 });
+                self.log.record(TelemetryEvent::SpanDropped { time: self.now, span });
                 continue;
             }
 
@@ -277,7 +306,7 @@ impl<P: Protocol> Simulator<P> {
             if self.config.fifo {
                 at = self.link_clock.clamp(from, to, at);
             }
-            self.schedule(at, Pending::Msg(InFlight { from, to, msg }));
+            self.schedule(at, Pending::Msg(InFlight { from, to, msg, span }));
         }
     }
 
@@ -295,7 +324,7 @@ impl<P: Protocol> Simulator<P> {
             }
             let mut ctx = self.make_ctx(id, 0);
             self.nodes[i].on_start(&mut ctx);
-            self.dispatch_ctx(id, ctx);
+            self.dispatch_ctx(id, ctx, None);
         }
     }
 
@@ -313,7 +342,7 @@ impl<P: Protocol> Simulator<P> {
         self.now = at;
 
         match pending {
-            Pending::Timer { node, tag } => {
+            Pending::Timer { node, tag, parent } => {
                 if let Some(t) = self.config.faults.crash_time(node) {
                     if at >= t {
                         self.crashed[node.index()] = true;
@@ -330,9 +359,9 @@ impl<P: Protocol> Simulator<P> {
                 });
                 let mut ctx = self.make_ctx(node, at);
                 self.nodes[node.index()].on_timer(tag, &mut ctx);
-                self.dispatch_ctx(node, ctx);
+                self.dispatch_ctx(node, ctx, parent);
             }
-            Pending::Msg(InFlight { from, to, msg }) => {
+            Pending::Msg(InFlight { from, to, msg, span }) => {
                 // Crash handling: a node is dead from its crash time onward.
                 if let Some(t) = self.config.faults.crash_time(to) {
                     if at >= t {
@@ -347,6 +376,7 @@ impl<P: Protocol> Simulator<P> {
                         to,
                         kind: msg.kind(),
                     });
+                    self.log.record(TelemetryEvent::SpanDeadLettered { time: at, span });
                     return true;
                 }
 
@@ -357,9 +387,10 @@ impl<P: Protocol> Simulator<P> {
                     to,
                     kind: msg.kind(),
                 });
+                self.log.record(TelemetryEvent::SpanDelivered { time: at, span });
                 let mut ctx = self.make_ctx(to, at);
                 self.nodes[to.index()].on_message(from, msg, &mut ctx);
-                self.dispatch_ctx(to, ctx);
+                self.dispatch_ctx(to, ctx, Some(span));
             }
         }
         true
@@ -731,6 +762,74 @@ mod tests {
         assert_eq!(sim.terminated_fraction(), 0.0);
         sim.run();
         assert_eq!(sim.terminated_fraction(), 0.25); // exactly one node saw remaining=0
+    }
+
+    #[test]
+    fn token_ring_causal_chain_is_one_certified_path() {
+        use owp_telemetry::CausalDag;
+        let cfg = SimConfig::with_seed(1).telemetry();
+        let mut sim = Simulator::new(ring(5, 12), cfg);
+        sim.run();
+        let dag = CausalDag::from_log(sim.telemetry());
+        // Every hop is caused by the previous delivery: one root, one chain.
+        assert_eq!(dag.len(), 12);
+        assert_eq!(dag.roots(), 1);
+        assert!(dag.is_certified(), "live traces always certify (Lemma 5)");
+        assert_eq!(dag.critical_path_len(), 12);
+        assert_eq!(dag.max_fanout(), 1);
+        let path = dag.critical_path();
+        assert_eq!(path.end_time, sim.now());
+        assert_eq!(path.total_latency(), sim.now());
+    }
+
+    #[test]
+    fn timer_sends_inherit_the_arming_parent() {
+        use owp_telemetry::{CausalDag, MessageKind};
+        let cfg = SimConfig::with_seed(1).telemetry();
+        let mut sim = Simulator::new(retry_nodes(), cfg);
+        sim.run();
+        let dag = CausalDag::from_log(sim.telemetry());
+        assert!(dag.is_certified());
+        // The initial ping and the timer-driven retransmissions are all
+        // roots (the timer chain was armed from on_start), while the PONG
+        // is caused by the third delivered PING.
+        let pings: Vec<_> = dag
+            .spans()
+            .iter()
+            .filter(|s| s.kind == MessageKind::Other("PING"))
+            .collect();
+        assert_eq!(pings.len(), 3);
+        assert!(pings.iter().all(|s| s.parent.is_none()));
+        let pong = dag
+            .spans()
+            .iter()
+            .find(|s| s.kind == MessageKind::Other("PONG"))
+            .expect("pong span");
+        assert_eq!(pong.parent, Some(pings[2].span));
+        assert_eq!(dag.kind_fanout().get(&("PING", "PONG")), Some(&1));
+    }
+
+    #[test]
+    fn dropped_and_dead_lettered_spans_are_accounted() {
+        use owp_telemetry::{CausalDag, SpanOutcome};
+        let cfg = SimConfig::with_seed(4)
+            .faults(FaultPlan::with_drop_probability(1.0))
+            .telemetry();
+        let mut sim = Simulator::new(ring(4, 10), cfg);
+        sim.run();
+        let dag = CausalDag::from_log(sim.telemetry());
+        assert_eq!(dag.len(), 1);
+        assert_eq!(dag.spans()[0].outcome, SpanOutcome::Dropped);
+        assert!(dag.is_certified());
+
+        let cfg = SimConfig::with_seed(5)
+            .faults(FaultPlan::none().crash(NodeId(1), 0))
+            .telemetry();
+        let mut sim = Simulator::new(ring(4, 10), cfg);
+        sim.run();
+        let dag = CausalDag::from_log(sim.telemetry());
+        assert_eq!(dag.spans()[0].outcome, SpanOutcome::DeadLettered);
+        assert!(dag.is_certified());
     }
 
     #[test]

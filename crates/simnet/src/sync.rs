@@ -8,7 +8,7 @@
 use crate::protocol::{Context, Payload, Protocol};
 use crate::stats::NetStats;
 use crate::NodeId;
-use owp_telemetry::{EventLog, Recorder as _, TelemetryEvent};
+use owp_telemetry::{EventLog, Recorder as _, SpanId, TelemetryEvent};
 
 /// Outcome of a synchronous run.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -22,13 +22,15 @@ pub struct SyncOutcome {
 /// Synchronous-round engine. Nodes are driven in lock-step rounds.
 pub struct SyncRunner<P: Protocol> {
     nodes: Vec<P>,
-    /// Messages to deliver next round: `(from, to, msg)`.
-    pending: Vec<(NodeId, NodeId, P::Message)>,
-    /// Armed timers: `(fire round, node, tag)`.
-    timers: Vec<(u64, NodeId, u64)>,
+    /// Messages to deliver next round: `(from, to, msg, span)`.
+    pending: Vec<(NodeId, NodeId, P::Message, SpanId)>,
+    /// Armed timers: `(fire round, node, tag, causal parent at arm time)`.
+    timers: Vec<(u64, NodeId, u64, Option<SpanId>)>,
     stats: NetStats,
     log: EventLog,
     telemetry: bool,
+    /// Monotone span-id source (mirrors the asynchronous engine).
+    next_span: u64,
     rounds: u64,
     max_rounds: u64,
     started: bool,
@@ -44,6 +46,7 @@ impl<P: Protocol> SyncRunner<P> {
             stats: NetStats::default(),
             log: EventLog::disabled(),
             telemetry: false,
+            next_span: 0,
             rounds: 0,
             max_rounds: 1_000_000,
             started: false,
@@ -67,11 +70,13 @@ impl<P: Protocol> SyncRunner<P> {
     fn collect(
         stats: &mut NetStats,
         log: &mut EventLog,
-        pending: &mut Vec<(NodeId, NodeId, P::Message)>,
-        timers: &mut Vec<(u64, NodeId, u64)>,
+        pending: &mut Vec<(NodeId, NodeId, P::Message, SpanId)>,
+        timers: &mut Vec<(u64, NodeId, u64, Option<SpanId>)>,
+        next_span: &mut u64,
         round: u64,
         from: NodeId,
         ctx: Context<P::Message>,
+        parent: Option<SpanId>,
         n: usize,
     ) {
         let (outbox, new_timers, events) = ctx.into_parts();
@@ -84,12 +89,14 @@ impl<P: Protocol> SyncRunner<P> {
             });
         }
         for (delay, tag) in new_timers {
-            timers.push((round + delay, from, tag));
+            timers.push((round + delay, from, tag, parent));
         }
         for (to, msg) in outbox {
             assert!(to.index() < n, "send to unknown node {to:?}");
             assert!(to != from, "node {from:?} sent a message to itself");
             let kind = msg.kind();
+            let span = SpanId(*next_span);
+            *next_span += 1;
             stats.record_send(kind);
             log.record(TelemetryEvent::Sent {
                 time: round,
@@ -97,7 +104,15 @@ impl<P: Protocol> SyncRunner<P> {
                 to,
                 kind,
             });
-            pending.push((from, to, msg));
+            log.record(TelemetryEvent::SpanSent {
+                time: round,
+                span,
+                parent,
+                from,
+                to,
+                kind,
+            });
+            pending.push((from, to, msg, span));
         }
     }
 
@@ -117,9 +132,11 @@ impl<P: Protocol> SyncRunner<P> {
                 &mut self.log,
                 &mut self.pending,
                 &mut self.timers,
+                &mut self.next_span,
                 0,
                 id,
                 ctx,
+                None,
                 n,
             );
         }
@@ -139,7 +156,7 @@ impl<P: Protocol> SyncRunner<P> {
             let earliest = self
                 .timers
                 .iter()
-                .map(|&(r, _, _)| r)
+                .map(|&(r, _, _, _)| r)
                 .min()
                 .expect("timers non-empty");
             self.rounds = self.rounds.max(earliest);
@@ -150,8 +167,8 @@ impl<P: Protocol> SyncRunner<P> {
         let mut batch = std::mem::take(&mut self.pending);
         // Deterministic delivery order: sender id, then send sequence (stable
         // sort keeps per-sender order — the FIFO property).
-        batch.sort_by_key(|&(from, _, _)| from);
-        for (from, to, msg) in batch {
+        batch.sort_by_key(|&(from, _, _, _)| from);
+        for (from, to, msg, span) in batch {
             self.stats.delivered += 1;
             self.log.record(TelemetryEvent::Delivered {
                 time: round,
@@ -159,6 +176,7 @@ impl<P: Protocol> SyncRunner<P> {
                 to,
                 kind: msg.kind(),
             });
+            self.log.record(TelemetryEvent::SpanDelivered { time: round, span });
             let mut ctx = Context::with_telemetry(to, round, self.telemetry);
             self.nodes[to.index()].on_message(from, msg, &mut ctx);
             Self::collect(
@@ -166,15 +184,17 @@ impl<P: Protocol> SyncRunner<P> {
                 &mut self.log,
                 &mut self.pending,
                 &mut self.timers,
+                &mut self.next_span,
                 round,
                 to,
                 ctx,
+                Some(span),
                 n,
             );
         }
 
         // Fire due timers (armed before this round), in (node, tag) order.
-        let mut due: Vec<(u64, NodeId, u64)> = Vec::new();
+        let mut due: Vec<(u64, NodeId, u64, Option<SpanId>)> = Vec::new();
         self.timers.retain(|&t| {
             if t.0 <= round {
                 due.push(t);
@@ -183,8 +203,8 @@ impl<P: Protocol> SyncRunner<P> {
                 true
             }
         });
-        due.sort_by_key(|&(r, node, tag)| (r, node, tag));
-        for (_, node, tag) in due {
+        due.sort_by_key(|&(r, node, tag, _)| (r, node, tag));
+        for (_, node, tag, parent) in due {
             self.stats.timers_fired += 1;
             self.log.record(TelemetryEvent::TimerFired {
                 time: round,
@@ -198,9 +218,11 @@ impl<P: Protocol> SyncRunner<P> {
                 &mut self.log,
                 &mut self.pending,
                 &mut self.timers,
+                &mut self.next_span,
                 round,
                 node,
                 ctx,
+                parent,
                 n,
             );
         }
@@ -378,6 +400,23 @@ mod tests {
         assert!(log
             .with_tag("sent")
             .all(|e| e.time() == 0 || e.time() == 1));
+    }
+
+    #[test]
+    fn flood_causal_forest_certifies() {
+        use owp_telemetry::CausalDag;
+        let mut r = SyncRunner::new(flood_nodes(4)).with_telemetry();
+        let out = r.run();
+        assert!(out.quiescent);
+        let dag = CausalDag::from_log(r.telemetry());
+        assert_eq!(dag.len(), 12);
+        assert_eq!(dag.roots(), 3, "node 0's on_start wave");
+        assert!(dag.is_certified());
+        // Each delivered root wave causes a 3-way echo flood.
+        assert_eq!(dag.max_fanout(), 3);
+        assert_eq!(dag.max_depth(), 2);
+        assert_eq!(dag.critical_path_len(), 2);
+        assert_eq!(dag.kind_fanout().get(&("WAVE", "WAVE")), Some(&9));
     }
 
     #[test]

@@ -14,6 +14,21 @@
 use owp_graph::{EdgeId, NodeId};
 use std::fmt::Write as _;
 
+/// Identity of one in-flight message ("span"), unique within a run.
+///
+/// The engines assign span ids from a monotone per-run counter at *send*
+/// time, so a child span's id is always greater than its causal parent's —
+/// which is exactly why a live trace can never contain a causal cycle
+/// (the empirical face of Lemma 5; see [`crate::causal`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SpanId(pub u64);
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
 /// Typed message classes, replacing the string labels the engines used to
 /// aggregate on. The protocol kinds of Algorithm 1 get dedicated variants
 /// so statistics index a flat array — no string hashing or tree lookup on
@@ -72,6 +87,37 @@ impl std::fmt::Display for MessageKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
+}
+
+impl MessageKind {
+    /// Inverse of [`MessageKind::label`], for trace parsers. Unknown labels
+    /// become [`MessageKind::Other`] backed by a process-wide interned
+    /// string (the label set of any real trace is tiny, so the one-time
+    /// leak per distinct label is bounded and lets parsed kinds compare
+    /// equal to the engine-side constants).
+    pub fn parse(label: &str) -> MessageKind {
+        match label {
+            "PROP" => MessageKind::Prop,
+            "REJ" => MessageKind::Rej,
+            "ACK" => MessageKind::Ack,
+            other => MessageKind::Other(intern_label(other)),
+        }
+    }
+}
+
+/// Process-wide label interner: returns a `&'static str` equal to `s`,
+/// leaking each distinct label at most once.
+fn intern_label(s: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let pool = INTERNED.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pool = pool.lock().expect("label interner poisoned");
+    if let Some(hit) = pool.iter().find(|l| **l == s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.push(leaked);
+    leaked
 }
 
 /// A per-node protocol state transition, emitted from inside a protocol
@@ -153,6 +199,46 @@ pub enum TelemetryEvent {
         to: NodeId,
         /// Message class.
         kind: MessageKind,
+    },
+    /// Causal identity of a send: the span id assigned to the message and
+    /// the span of the delivery (if any) whose handler emitted it. Recorded
+    /// alongside [`TelemetryEvent::Sent`] so legacy consumers that count
+    /// `sent` tags keep working; `parent: None` marks a root span (a send
+    /// from `on_start`).
+    SpanSent {
+        /// Send time.
+        time: u64,
+        /// The span id of this message.
+        span: SpanId,
+        /// Span of the causally preceding delivery, `None` for roots.
+        parent: Option<SpanId>,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message class.
+        kind: MessageKind,
+    },
+    /// The span's message reached its destination handler.
+    SpanDelivered {
+        /// Delivery time.
+        time: u64,
+        /// The delivered span.
+        span: SpanId,
+    },
+    /// The span's message was dropped by fault injection.
+    SpanDropped {
+        /// Time the drop was decided.
+        time: u64,
+        /// The dropped span.
+        span: SpanId,
+    },
+    /// The span's message was discarded at a crashed destination.
+    SpanDeadLettered {
+        /// Time of the discard.
+        time: u64,
+        /// The discarded span.
+        span: SpanId,
     },
     /// A local timer fired.
     TimerFired {
@@ -248,6 +334,10 @@ impl TelemetryEvent {
             | TelemetryEvent::Delivered { time, .. }
             | TelemetryEvent::Dropped { time, .. }
             | TelemetryEvent::DeadLettered { time, .. }
+            | TelemetryEvent::SpanSent { time, .. }
+            | TelemetryEvent::SpanDelivered { time, .. }
+            | TelemetryEvent::SpanDropped { time, .. }
+            | TelemetryEvent::SpanDeadLettered { time, .. }
             | TelemetryEvent::TimerFired { time, .. }
             | TelemetryEvent::Node { time, .. } => time,
             TelemetryEvent::LicEdgeSelected { step, .. }
@@ -268,6 +358,10 @@ impl TelemetryEvent {
             TelemetryEvent::Delivered { .. } => "delivered",
             TelemetryEvent::Dropped { .. } => "dropped",
             TelemetryEvent::DeadLettered { .. } => "dead_lettered",
+            TelemetryEvent::SpanSent { .. } => "span_sent",
+            TelemetryEvent::SpanDelivered { .. } => "span_delivered",
+            TelemetryEvent::SpanDropped { .. } => "span_dropped",
+            TelemetryEvent::SpanDeadLettered { .. } => "span_dead_lettered",
             TelemetryEvent::TimerFired { .. } => "timer_fired",
             TelemetryEvent::Node { event, .. } => match event {
                 NodeEvent::PropSent { .. } => "prop_sent",
@@ -302,6 +396,27 @@ impl TelemetryEvent {
                     to.0,
                     kind.label()
                 );
+            }
+            TelemetryEvent::SpanSent { time, span, parent, from, to, kind } => {
+                let _ = write!(s, ",\"time\":{time},\"span\":{}", span.0);
+                match parent {
+                    Some(p) => {
+                        let _ = write!(s, ",\"parent\":{}", p.0);
+                    }
+                    None => s.push_str(",\"parent\":null"),
+                }
+                let _ = write!(
+                    s,
+                    ",\"from\":{},\"to\":{},\"kind\":\"{}\"",
+                    from.0,
+                    to.0,
+                    kind.label()
+                );
+            }
+            TelemetryEvent::SpanDelivered { time, span }
+            | TelemetryEvent::SpanDropped { time, span }
+            | TelemetryEvent::SpanDeadLettered { time, span } => {
+                let _ = write!(s, ",\"time\":{time},\"span\":{}", span.0);
             }
             TelemetryEvent::TimerFired { time, node, tag } => {
                 let _ = write!(s, ",\"time\":{time},\"node\":{},\"tag\":{tag}", node.0);
@@ -427,6 +542,45 @@ mod tests {
             events[1].to_json(),
             "{\"ev\":\"edge_locked\",\"time\":2,\"node\":5,\"peer\":4}"
         );
+    }
+
+    #[test]
+    fn span_events_time_tag_and_json() {
+        let root = TelemetryEvent::SpanSent {
+            time: 0,
+            span: SpanId(0),
+            parent: None,
+            from: NodeId(3),
+            to: NodeId(7),
+            kind: MessageKind::Prop,
+        };
+        assert_eq!(root.time(), 0);
+        assert_eq!(root.tag(), "span_sent");
+        assert_eq!(
+            root.to_json(),
+            "{\"ev\":\"span_sent\",\"time\":0,\"span\":0,\"parent\":null,\"from\":3,\"to\":7,\"kind\":\"PROP\"}"
+        );
+        let child = TelemetryEvent::SpanSent {
+            time: 2,
+            span: SpanId(5),
+            parent: Some(SpanId(0)),
+            from: NodeId(7),
+            to: NodeId(3),
+            kind: MessageKind::Rej,
+        };
+        assert_eq!(
+            child.to_json(),
+            "{\"ev\":\"span_sent\",\"time\":2,\"span\":5,\"parent\":0,\"from\":7,\"to\":3,\"kind\":\"REJ\"}"
+        );
+        let delivered = TelemetryEvent::SpanDelivered { time: 3, span: SpanId(5) };
+        assert_eq!(delivered.tag(), "span_delivered");
+        assert_eq!(delivered.to_json(), "{\"ev\":\"span_delivered\",\"time\":3,\"span\":5}");
+        let dropped = TelemetryEvent::SpanDropped { time: 1, span: SpanId(2) };
+        assert_eq!(dropped.to_json(), "{\"ev\":\"span_dropped\",\"time\":1,\"span\":2}");
+        let dead = TelemetryEvent::SpanDeadLettered { time: 4, span: SpanId(6) };
+        assert_eq!(dead.tag(), "span_dead_lettered");
+        assert_eq!(dead.to_json(), "{\"ev\":\"span_dead_lettered\",\"time\":4,\"span\":6}");
+        assert_eq!(format!("{}", SpanId(9)), "s9");
     }
 
     #[test]

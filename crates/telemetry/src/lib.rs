@@ -4,7 +4,7 @@
 //! communication cycles (Lemma 5), selects the same edge set as LIC
 //! (Lemmas 3, 4, 6) and converges in a bounded number of PROP/REJ
 //! exchanges. Final-outcome reports (`MatchingReport`, `NetStats`) cannot
-//! observe any of that; this crate supplies the three instruments the
+//! observe any of that; this crate supplies the instruments the
 //! execution layers thread through:
 //!
 //! * [`event`] / [`recorder`] — **structured event tracing**: one typed
@@ -20,6 +20,12 @@
 //!   total weight, total satisfaction, in-flight messages and the
 //!   terminated-node fraction at every simulator round, with JSONL and
 //!   CSV export for plotting and regression tracking.
+//! * [`causal`] — **happens-before analysis**: every in-flight message
+//!   carries a [`event::SpanId`] plus the span of the delivery that caused
+//!   it; [`causal::CausalDag`] rebuilds the causal forest from a trace,
+//!   certifies it acyclic (the empirical face of Lemma 5 — tampering
+//!   yields structured [`causal::CausalViolation`]s, never panics),
+//!   extracts latency-attributed critical paths and per-edge lifecycles.
 //! * [`profile`] — **phase profiling**: lightweight monotonic scoped
 //!   timers aggregated into a hierarchical [`profile::PhaseProfile`]
 //!   table (weight computation / edge ordering / CSR build / selection
@@ -36,12 +42,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod event;
 pub mod profile;
 pub mod recorder;
 pub mod series;
 
-pub use event::{MessageKind, NodeEvent, TelemetryEvent};
+pub use causal::{
+    CausalDag, CausalViolation, CausalViolationKind, CriticalHop, CriticalPath, EdgeLifecycle,
+    EdgeOutcome, SpanInfo, SpanOutcome,
+};
+pub use event::{MessageKind, NodeEvent, SpanId, TelemetryEvent};
 pub use profile::{PhaseProfile, PhaseToken};
 pub use recorder::{EventLog, NullRecorder, Recorder};
 pub use series::{ConvergenceSample, ConvergenceSeries};

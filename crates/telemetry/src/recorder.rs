@@ -11,7 +11,8 @@
 //!   state is a single predictable branch per event and never allocates
 //!   (the event vector is only created on first enabled push).
 
-use crate::event::TelemetryEvent;
+use crate::event::{MessageKind, NodeEvent, SpanId, TelemetryEvent};
+use owp_graph::{EdgeId, NodeId};
 
 /// A sink for [`TelemetryEvent`]s.
 ///
@@ -126,6 +127,224 @@ impl EventLog {
         }
         out
     }
+
+    /// Parses a JSONL document written by [`EventLog::to_jsonl`] back into
+    /// an (enabled) log — the offline half of `owp-inspect causal`, which
+    /// reconstructs happens-before DAGs from trace files on disk.
+    ///
+    /// The full event vocabulary round-trips: `parse_jsonl(log.to_jsonl())`
+    /// reproduces `log.events()` exactly. Blank lines are skipped; any
+    /// malformed line is an `Err` naming its line number.
+    pub fn parse_jsonl(doc: &str) -> Result<EventLog, String> {
+        let mut log = EventLog::enabled();
+        for (idx, line) in doc.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let ev = parse_event_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            log.events.push(ev);
+        }
+        Ok(log)
+    }
+}
+
+/// One raw `"key":value` pair of a flat event object; the value keeps its
+/// JSON spelling (`7`, `"PROP"`, `null`).
+fn split_fields(line: &str) -> Result<Vec<(&str, &str)>, String> {
+    let body = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not an object")?;
+    let mut fields = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let after_quote = rest.strip_prefix('"').ok_or("expected key quote")?;
+        let key_end = after_quote.find('"').ok_or("unterminated key")?;
+        let key = &after_quote[..key_end];
+        let after_key = after_quote[key_end + 1..]
+            .strip_prefix(':')
+            .ok_or("expected ':' after key")?;
+        // Values are numbers, null, or label strings (which never contain
+        // escapes), so the value ends at the first comma outside quotes.
+        let mut in_str = false;
+        let mut val_end = after_key.len();
+        for (i, c) in after_key.char_indices() {
+            match c {
+                '"' => in_str = !in_str,
+                ',' if !in_str => {
+                    val_end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let value = &after_key[..val_end];
+        if value.is_empty() {
+            return Err(format!("empty value for key {key:?}"));
+        }
+        fields.push((key, value));
+        rest = &after_key[val_end..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    Ok(fields)
+}
+
+fn lookup<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, String> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|&(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num(fields: &[(&str, &str)], key: &str) -> Result<u64, String> {
+    let raw = lookup(fields, key)?;
+    raw.parse::<u64>().map_err(|_| format!("field {key:?} is not a u64: {raw:?}"))
+}
+
+fn num32(fields: &[(&str, &str)], key: &str) -> Result<u32, String> {
+    let raw = lookup(fields, key)?;
+    raw.parse::<u32>().map_err(|_| format!("field {key:?} is not a u32: {raw:?}"))
+}
+
+fn node(fields: &[(&str, &str)], key: &str) -> Result<NodeId, String> {
+    Ok(NodeId(num32(fields, key)?))
+}
+
+fn string<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, String> {
+    let raw = lookup(fields, key)?;
+    raw.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("field {key:?} is not a string: {raw:?}"))
+}
+
+fn parse_event_line(line: &str) -> Result<TelemetryEvent, String> {
+    let fields = split_fields(line)?;
+    let tag = string(&fields, "ev")?;
+    let kind = |f: &[(&str, &str)]| -> Result<MessageKind, String> {
+        Ok(MessageKind::parse(string(f, "kind")?))
+    };
+    let ev = match tag {
+        "sent" => TelemetryEvent::Sent {
+            time: num(&fields, "time")?,
+            from: node(&fields, "from")?,
+            to: node(&fields, "to")?,
+            kind: kind(&fields)?,
+        },
+        "delivered" => TelemetryEvent::Delivered {
+            time: num(&fields, "time")?,
+            from: node(&fields, "from")?,
+            to: node(&fields, "to")?,
+            kind: kind(&fields)?,
+        },
+        "dropped" => TelemetryEvent::Dropped {
+            time: num(&fields, "time")?,
+            from: node(&fields, "from")?,
+            to: node(&fields, "to")?,
+            kind: kind(&fields)?,
+        },
+        "dead_lettered" => TelemetryEvent::DeadLettered {
+            time: num(&fields, "time")?,
+            from: node(&fields, "from")?,
+            to: node(&fields, "to")?,
+            kind: kind(&fields)?,
+        },
+        "span_sent" => {
+            let parent = match lookup(&fields, "parent")? {
+                "null" => None,
+                raw => Some(SpanId(raw.parse::<u64>().map_err(|_| {
+                    format!("field \"parent\" is not a u64 or null: {raw:?}")
+                })?)),
+            };
+            TelemetryEvent::SpanSent {
+                time: num(&fields, "time")?,
+                span: SpanId(num(&fields, "span")?),
+                parent,
+                from: node(&fields, "from")?,
+                to: node(&fields, "to")?,
+                kind: kind(&fields)?,
+            }
+        }
+        "span_delivered" => TelemetryEvent::SpanDelivered {
+            time: num(&fields, "time")?,
+            span: SpanId(num(&fields, "span")?),
+        },
+        "span_dropped" => TelemetryEvent::SpanDropped {
+            time: num(&fields, "time")?,
+            span: SpanId(num(&fields, "span")?),
+        },
+        "span_dead_lettered" => TelemetryEvent::SpanDeadLettered {
+            time: num(&fields, "time")?,
+            span: SpanId(num(&fields, "span")?),
+        },
+        "timer_fired" => TelemetryEvent::TimerFired {
+            time: num(&fields, "time")?,
+            node: node(&fields, "node")?,
+            tag: num(&fields, "tag")?,
+        },
+        "prop_sent" => TelemetryEvent::Node {
+            time: num(&fields, "time")?,
+            node: node(&fields, "node")?,
+            event: NodeEvent::PropSent { to: node(&fields, "to")? },
+        },
+        "rej_sent" => TelemetryEvent::Node {
+            time: num(&fields, "time")?,
+            node: node(&fields, "node")?,
+            event: NodeEvent::RejSent { to: node(&fields, "to")? },
+        },
+        "retransmit" => TelemetryEvent::Node {
+            time: num(&fields, "time")?,
+            node: node(&fields, "node")?,
+            event: NodeEvent::Retransmit { to: node(&fields, "to")? },
+        },
+        "edge_locked" => TelemetryEvent::Node {
+            time: num(&fields, "time")?,
+            node: node(&fields, "node")?,
+            event: NodeEvent::EdgeLocked { peer: node(&fields, "peer")? },
+        },
+        "node_terminated" => TelemetryEvent::Node {
+            time: num(&fields, "time")?,
+            node: node(&fields, "node")?,
+            event: NodeEvent::NodeTerminated,
+        },
+        "lic_edge_selected" => TelemetryEvent::LicEdgeSelected {
+            step: num32(&fields, "step")?,
+            edge: EdgeId(num32(&fields, "edge")?),
+            a: node(&fields, "a")?,
+            b: node(&fields, "b")?,
+        },
+        "lic_node_saturated" => TelemetryEvent::LicNodeSaturated {
+            step: num32(&fields, "step")?,
+            node: node(&fields, "node")?,
+            discarded: num32(&fields, "discarded")?,
+        },
+        "lic_cursor_advanced" => TelemetryEvent::LicCursorAdvanced {
+            node: node(&fields, "node")?,
+            skipped: num32(&fields, "skipped")?,
+        },
+        "engine_batch_applied" => TelemetryEvent::EngineBatchApplied {
+            epoch: num(&fields, "epoch")?,
+            events: num32(&fields, "events")?,
+            evaluated: num32(&fields, "evaluated")?,
+            added: num32(&fields, "added")?,
+            removed: num32(&fields, "removed")?,
+        },
+        "engine_edge_added" => TelemetryEvent::EngineEdgeAdded {
+            epoch: num(&fields, "epoch")?,
+            edge: EdgeId(num32(&fields, "edge")?),
+        },
+        "engine_edge_removed" => TelemetryEvent::EngineEdgeRemoved {
+            epoch: num(&fields, "epoch")?,
+            edge: EdgeId(num32(&fields, "edge")?),
+        },
+        "engine_reranked" => TelemetryEvent::EngineReranked {
+            epoch: num(&fields, "epoch")?,
+            edges: num32(&fields, "edges")?,
+        },
+        other => return Err(format!("unknown event tag {other:?}")),
+    };
+    Ok(ev)
 }
 
 impl Recorder for EventLog {
@@ -200,6 +419,60 @@ mod tests {
         assert_eq!(log.deliveries().count(), 1);
         assert_eq!(log.with_tag("edge_locked").count(), 1);
         assert_eq!(log.to_jsonl().lines().count(), 3);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        use crate::event::SpanId;
+        use owp_graph::EdgeId;
+        let mut log = EventLog::enabled();
+        for ev in [
+            TelemetryEvent::Sent { time: 0, from: NodeId(1), to: NodeId(2), kind: MessageKind::Prop },
+            TelemetryEvent::SpanSent {
+                time: 0,
+                span: SpanId(0),
+                parent: None,
+                from: NodeId(1),
+                to: NodeId(2),
+                kind: MessageKind::Prop,
+            },
+            TelemetryEvent::Delivered { time: 1, from: NodeId(1), to: NodeId(2), kind: MessageKind::Prop },
+            TelemetryEvent::SpanDelivered { time: 1, span: SpanId(0) },
+            TelemetryEvent::Sent { time: 1, from: NodeId(2), to: NodeId(1), kind: MessageKind::Rej },
+            TelemetryEvent::SpanSent {
+                time: 1,
+                span: SpanId(1),
+                parent: Some(SpanId(0)),
+                from: NodeId(2),
+                to: NodeId(1),
+                kind: MessageKind::Other("TOKEN"),
+            },
+            TelemetryEvent::SpanDropped { time: 2, span: SpanId(1) },
+            TelemetryEvent::Dropped { time: 2, from: NodeId(2), to: NodeId(1), kind: MessageKind::Rej },
+            TelemetryEvent::DeadLettered { time: 3, from: NodeId(0), to: NodeId(4), kind: MessageKind::Ack },
+            TelemetryEvent::SpanDeadLettered { time: 3, span: SpanId(2) },
+            TelemetryEvent::TimerFired { time: 4, node: NodeId(3), tag: 11 },
+            TelemetryEvent::Node { time: 4, node: NodeId(3), event: NodeEvent::PropSent { to: NodeId(5) } },
+            TelemetryEvent::Node { time: 4, node: NodeId(3), event: NodeEvent::RejSent { to: NodeId(6) } },
+            TelemetryEvent::Node { time: 4, node: NodeId(3), event: NodeEvent::EdgeLocked { peer: NodeId(5) } },
+            TelemetryEvent::Node { time: 5, node: NodeId(3), event: NodeEvent::NodeTerminated },
+            TelemetryEvent::Node { time: 5, node: NodeId(3), event: NodeEvent::Retransmit { to: NodeId(5) } },
+            TelemetryEvent::LicEdgeSelected { step: 0, edge: EdgeId(7), a: NodeId(1), b: NodeId(2) },
+            TelemetryEvent::LicNodeSaturated { step: 1, node: NodeId(2), discarded: 3 },
+            TelemetryEvent::LicCursorAdvanced { node: NodeId(2), skipped: 2 },
+            TelemetryEvent::EngineBatchApplied { epoch: 9, events: 2, evaluated: 10, added: 1, removed: 0 },
+            TelemetryEvent::EngineEdgeAdded { epoch: 9, edge: EdgeId(4) },
+            TelemetryEvent::EngineEdgeRemoved { epoch: 10, edge: EdgeId(4) },
+            TelemetryEvent::EngineReranked { epoch: 10, edges: 6 },
+        ] {
+            log.record(ev);
+        }
+        let parsed = EventLog::parse_jsonl(&log.to_jsonl()).expect("round trip parses");
+        assert_eq!(parsed.events(), log.events());
+        // Blank lines are tolerated; garbage is a structured error.
+        assert!(EventLog::parse_jsonl("\n\n").expect("blank ok").is_empty());
+        let err = EventLog::parse_jsonl("{\"ev\":\"nope\"}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
     }
 
     #[test]

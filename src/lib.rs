@@ -18,7 +18,10 @@
 //! * [`owp_core`] — the LID protocol and the overlay-construction API;
 //! * [`owp_metrics`] — lock-free metrics registry (counters, gauges, log₂
 //!   histograms), Prometheus/JSON exporters, and the online invariant
-//!   auditor that scores live runs against the paper's guarantees.
+//!   auditor that scores live runs against the paper's guarantees;
+//! * [`owp_telemetry`] — structured tracing (event log, convergence
+//!   series, causal span records) and the happens-before DAG analysis
+//!   behind the empirical Lemma 5 certificate.
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -33,6 +36,7 @@ pub use owp_graph;
 pub use owp_matching;
 pub use owp_metrics;
 pub use owp_simnet;
+pub use owp_telemetry;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
@@ -42,8 +46,8 @@ pub mod prelude {
     };
     pub use owp_core::overlay::{Overlay, OverlayBuilder, OverlayNetwork};
     pub use owp_core::{
-        replay_lid_trace, run_lid, run_lid_sync, run_lid_sync_series, run_lid_traced, ChurnSim,
-        DisclosureReport, LidResult,
+        replay_lid_trace, run_lid, run_lid_causal, run_lid_sync, run_lid_sync_series,
+        run_lid_traced, ChurnSim, DisclosureReport, LidResult,
     };
     pub use owp_engine::{DeltaReport, DynamicProblem, Engine, EngineError, EngineEvent, Epoch};
     pub use owp_graph::{Graph, GraphBuilder, NodeId, PreferenceTable, Quotas};
@@ -55,4 +59,5 @@ pub mod prelude {
         MetricsSnapshot,
     };
     pub use owp_simnet::{EventLog, FaultPlan, LatencyModel, MessageKind, SimConfig};
+    pub use owp_telemetry::{CausalDag, CriticalPath, SpanId};
 }

@@ -124,6 +124,85 @@ fn tampered_weights_yield_symmetry_violation() {
     assert!(!auditor.is_clean());
 }
 
+/// Acceptance: a seeded LID run over an n = 5000 Barabási–Albert overlay
+/// yields an acyclic happens-before DAG — the causal audit certifies it
+/// clean and publishes the critical path through the
+/// `lid_critical_path_len` / `lid_critical_path_latency` gauges.
+#[test]
+fn causal_certificate_at_scale_sets_the_gauges() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = overlays_preferences::owp_graph::generators::barabasi_albert(5000, 4, &mut rng);
+    let p = Problem::random_over(g, 3, 5);
+    let cfg = SimConfig::with_seed(5).latency(LatencyModel::Uniform { lo: 1, hi: 20 });
+    let (r, _log, dag) = run_lid_causal(&p, cfg);
+    assert!(r.terminated);
+    assert_eq!(dag.len() as u64, r.stats.sent);
+
+    let reg = MetricsRegistry::new();
+    let mut auditor = Auditor::new(&reg);
+    assert_eq!(auditor.audit_causal(&dag), 0, "{:?}", dag.verify());
+    assert!(auditor.is_clean());
+
+    let len = reg.gauge("lid_critical_path_len").get();
+    let latency = reg.gauge("lid_critical_path_latency").get();
+    assert!(len >= 1.0, "critical path must be non-empty, gauge = {len}");
+    assert_eq!(len, dag.critical_path_len() as f64);
+    assert_eq!(latency, dag.critical_path().total_latency() as f64);
+    assert!(latency as u64 <= r.end_time);
+}
+
+/// An injected cycle in a tampered trace is detected as a structured
+/// `CausalAcyclicity` auditor violation — never a panic — and the dirty
+/// pass leaves the critical-path gauges in degraded mode.
+#[test]
+fn tampered_causal_trace_yields_cycle_violation() {
+    let p = Problem::random_gnp(30, 0.25, 2, 77);
+    let cfg = SimConfig::with_seed(77).latency(LatencyModel::Uniform { lo: 1, hi: 9 });
+    let (r, log, dag) = run_lid_causal(&p, cfg);
+    assert!(r.terminated);
+    assert!(dag.is_certified());
+
+    // Tamper with the serialized trace: pick a root that caused at least
+    // one child and rewrite its parent to that child, closing a 2-cycle.
+    let (root, child) = dag
+        .spans()
+        .iter()
+        .filter_map(|s| s.parent.map(|pid| (pid, s.span)))
+        .find(|(pid, _)| dag.span(*pid).is_some_and(|ps| ps.parent.is_none()))
+        .expect("a root span with a child");
+    let doc = log.to_jsonl();
+    let needle = format!("\"span\":{},\"parent\":null", root.0);
+    let patched = format!("\"span\":{},\"parent\":{}", root.0, child.0);
+    let tampered = doc.replacen(&needle, &patched, 1);
+    assert_ne!(tampered, doc, "the root's span_sent line must exist");
+
+    let bad_log = EventLog::parse_jsonl(&tampered).expect("tampered trace still parses");
+    let bad_dag = CausalDag::from_log(&bad_log); // reconstruction never panics
+    assert!(!bad_dag.is_certified());
+
+    let reg = MetricsRegistry::new();
+    let mut auditor = Auditor::new(&reg);
+    let added = auditor.audit_causal(&bad_dag);
+    assert!(added > 0);
+    assert!(auditor
+        .report()
+        .iter()
+        .all(|v| v.kind == InvariantKind::CausalAcyclicity));
+    assert!(
+        auditor.report().iter().any(|v| v.detail.contains("cycle_detected")),
+        "{}",
+        auditor.to_jsonl()
+    );
+    assert_eq!(reg.counter("audit_violations_total").get(), added as u64);
+    // Degraded mode: no critical path published from an uncertified DAG.
+    assert_eq!(reg.gauge("lid_critical_path_len").get(), 0.0);
+    for line in auditor.to_jsonl().lines() {
+        assert!(line.contains("\"kind\":\"causal_acyclicity\""), "{line}");
+    }
+}
+
 /// The `MetricsRecorder`'s message counters are exactly the simulator's
 /// `NetStats`, and send→deliver pairings fill the latency histogram with
 /// one sample per delivery.

@@ -105,6 +105,40 @@ fn typed_counters_match_the_trace() {
     );
 }
 
+/// Causal determinism: a causally-annotated trace round-trips through its
+/// JSONL serialization, the replayed matching equals the live one, and the
+/// reconstructed happens-before DAG is identical on both sides — same
+/// spans, same parents, same critical path.
+#[test]
+fn causal_trace_round_trips_and_replays_deterministically() {
+    for seed in 0..4u64 {
+        let p = Problem::random_gnp(35, 0.2, 3, 40 + seed);
+        let cfg = SimConfig::with_seed(seed).latency(LatencyModel::Uniform { lo: 1, hi: 15 });
+        let (r, log, dag) = run_lid_causal(&p, cfg);
+        assert!(r.terminated);
+        assert!(dag.is_certified(), "live trace must certify (Lemma 5)");
+
+        // JSONL round-trip: every event (span records included) survives.
+        let reparsed = EventLog::parse_jsonl(&log.to_jsonl()).expect("parses");
+        assert_eq!(reparsed.events(), log.events());
+
+        // Replay of the round-tripped trace reconstructs the same matching…
+        let replayed = replay_lid_trace(&p, &reparsed);
+        assert!(replayed.same_edges(&r.matching), "seed {seed}");
+
+        // …and the same DAG: span-for-span identical parents and outcomes,
+        // hence the same critical path.
+        let dag2 = CausalDag::from_log(&reparsed);
+        assert_eq!(dag2.spans(), dag.spans(), "seed {seed}: DAG diverged");
+        let (p1, p2) = (dag.critical_path(), dag2.critical_path());
+        assert_eq!(p1.end_time, p2.end_time);
+        assert_eq!(
+            p1.hops.iter().map(|h| h.span).collect::<Vec<_>>(),
+            p2.hops.iter().map(|h| h.span).collect::<Vec<_>>()
+        );
+    }
+}
+
 /// With the `telemetry` feature compiled in, traced runs also carry the
 /// per-node protocol transitions; the lock events count both endpoints of
 /// every matched edge and every node announces termination exactly once.
