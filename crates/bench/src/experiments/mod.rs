@@ -24,6 +24,7 @@ pub mod e17_ratio_at_scale;
 pub mod e18_convergence_trace;
 pub mod e19_dynamic;
 pub mod e20_critical_path;
+pub mod e21_sharded;
 
 use crate::Table;
 use owp_metrics::MetricsRegistry;
@@ -31,7 +32,7 @@ use owp_telemetry::{ConvergenceSeries, EventLog};
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// The experiments that record a raw trace artifact — i.e. that honor
@@ -44,7 +45,7 @@ pub const TRACED: &[&str] = &["e18", "e20"];
 /// The experiments with a metrics-instrumented variant — i.e. that
 /// populate a [`MetricsRegistry`] under `--metrics-out`/`--watch`. The
 /// rest run un-instrumented even when a registry is supplied.
-pub const INSTRUMENTED: &[&str] = &["e5", "e18", "e19", "e20"];
+pub const INSTRUMENTED: &[&str] = &["e5", "e18", "e19", "e20", "e21"];
 
 /// The raw artifact a traced experiment attaches to its tables; what
 /// `--trace-out` serializes (each variant has its own JSONL schema).
@@ -118,6 +119,7 @@ pub fn run_instrumented(
         match id {
             "e5" => return Some((vec![e05_convergence::run_with_metrics(quick, reg)], None)),
             "e19" => return Some((e19_dynamic::run_with_metrics(quick, reg), None)),
+            "e21" => return Some((e21_sharded::run_with_metrics(quick, reg), None)),
             _ => {}
         }
     }
@@ -140,6 +142,7 @@ pub fn run_instrumented(
         "e16" => e16_stability::run(quick),
         "e17" => vec![e17_ratio_at_scale::run(quick)],
         "e19" => e19_dynamic::run(quick),
+        "e21" => e21_sharded::run(quick),
         _ => return None,
     };
     Some((tables, None))
@@ -194,7 +197,7 @@ mod tests {
         for id in ALL {
             assert!(seen.insert(*id), "duplicate id {id}");
         }
-        assert_eq!(ALL.len(), 20);
+        assert_eq!(ALL.len(), 21);
     }
 
     /// E18 carries a convergence series, E20 a raw event log; the others

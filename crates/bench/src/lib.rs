@@ -17,6 +17,7 @@
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
+pub mod alloc_shim;
 pub mod experiments;
 pub mod table;
 

@@ -11,15 +11,37 @@
 //!
 //! * it is seeded with every edge an event directly perturbs (see the
 //!   per-variant notes on [`EngineEvent`] handling below);
-//! * popping is monotone non-decreasing in rank, and when an edge's
-//!   status *flips*, only the strictly lighter edges at its two endpoints
-//!   whose status the flip can actually move are pushed: a flip **on**
-//!   tightens the endpoints, so only lighter *selected* edges (at most
-//!   `b` per node) can turn off; a flip **off** relaxes them, so only
-//!   lighter *unselected* alive edges can turn on;
-//! * each edge enters the heap at most once per batch (a `queued` bitmap;
-//!   re-evaluation is never needed because everything heavier is already
-//!   final when an edge is popped).
+//! * when an edge's status *flips*, only the strictly lighter edges at
+//!   its two endpoints whose status the flip can actually move are
+//!   pushed: a flip **on** tightens the endpoints, so only lighter
+//!   *selected* edges (at most `b` per node) can turn off; a flip **off**
+//!   relaxes them, so only lighter *unselected* alive edges can turn on;
+//! * the `queued` bitmap is an *in-heap* marker (set on push, cleared on
+//!   pop), so an edge whose heavier context changes again later in the
+//!   batch re-enters the frontier and is re-evaluated. With a single
+//!   shard pops are monotone in rank and each edge is evaluated exactly
+//!   once, recovering the classic once-per-batch behaviour; with several
+//!   shards the re-evaluation is what makes the two-phase rounds below
+//!   converge to the same unique fixpoint.
+//!
+//! ## Sharded two-phase repair (DESIGN.md §11)
+//!
+//! Under a [`ShardMap`] the batch repair runs in rounds until quiescent:
+//!
+//! * **Phase 1 (parallel):** every shard with pending seeds repairs its
+//!   *interior* edges with the heap above, reading boundary-edge statuses
+//!   as frozen; any lighter boundary edge a flip would push is recorded
+//!   as a rank-ordered *proposal* instead.
+//! * **Phase 2 (sequential, deterministic):** all proposals plus any
+//!   event-seeded boundary edges merge into one global frontier ordered
+//!   by `EdgeOrder` rank. Boundary flips cascade to lighter boundary
+//!   edges in-phase and re-seed the owning shard for lighter interior
+//!   edges, starting the next round.
+//!
+//! Each round's frontier only ever moves to strictly lighter ranks, so by
+//! induction on rank the statuses stabilize at the canonical fixpoint —
+//! the same matching `lic()` computes from scratch, bit for bit, for any
+//! shard count and any thread count ([`Engine::certify`] checks it).
 //!
 //! Dirty-set seeding per event:
 //!
@@ -37,30 +59,46 @@
 //! During repair a node can transiently exceed its quota (a heavier edge
 //! is selected before the displaced lighter one is popped), which is why
 //! the engine writes through `BMatching::insert_unchecked`; the canonical
-//! definition guarantees quotas hold again when the heap drains.
+//! definition guarantees quotas hold again when the repair converges.
+//!
+//! All repair state lives in reusable arenas ([`crate::scratch`]): after
+//! warm-up a batch of structural events performs no heap allocation.
 
 use crate::dynamic::DynamicProblem;
 use crate::event::{EngineError, EngineEvent};
 use crate::report::{DeltaReport, Epoch};
-use owp_graph::{EdgeId, NodeId};
+use crate::scratch::{EngineScratch, ShardState};
+use crate::shard::{Partitioner, RangePartitioner, ShardMap, BOUNDARY};
+use owp_graph::{EdgeId, Graph, NodeId};
 use owp_matching::satisfaction::node_satisfaction;
-use owp_matching::{lic, BMatching, EdgeRank, Problem, SelectionPolicy};
+use owp_matching::{lic, BMatching, EdgeOrder, EdgeRank, Problem, SelectionPolicy};
 use owp_telemetry::{NullRecorder, Recorder, TelemetryEvent};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// The event-driven engine: owns a [`DynamicProblem`] and keeps the exact
 /// locally-heaviest matching of its alive sub-instance through every
 /// applied batch ([`Engine::certify`] checks the invariant on demand).
+///
+/// [`Engine::new`] runs single-sharded (the sequential fast path);
+/// [`Engine::builder`] configures shard count, thread count and the
+/// partitioner for the two-phase parallel mode.
 #[derive(Clone, Debug)]
 pub struct Engine {
     dp: DynamicProblem,
     matching: BMatching,
-    /// Selected edge ids per node, mirroring `matching.connections` — the
-    /// repair loop needs edge ids (for O(1) rank lookups) where
-    /// [`BMatching`] stores matched neighbours, and resolving them through
-    /// an adjacency scan is ruinous at scale-free hubs.
-    sel: Vec<Vec<EdgeId>>,
+    /// Frozen partition of the universe graph (k=1 when unsharded).
+    shard_map: ShardMap,
+    /// Per-shard repair state: interior selected/queued bitmaps and the
+    /// per-node selected-edge mirror (`FixedCsr` rows of global edge
+    /// ids), which the repair needs for O(1) rank lookups where
+    /// [`BMatching`] stores matched neighbours.
+    shards: Vec<ShardState>,
+    /// Engine-global arenas: boundary state, delta journal, validation
+    /// scratch, touched tracking.
+    scratch: EngineScratch,
+    /// Worker budget for phase 1 (only meaningful with the `parallel`
+    /// feature; clamped to the shard count).
+    threads: usize,
     /// Per-node satisfaction under the universe convention; 0 while
     /// inactive. Only nodes a batch touches are recomputed.
     sat: Vec<f64>,
@@ -68,31 +106,405 @@ pub struct Engine {
     epoch: Epoch,
 }
 
-/// Selected edges at `x` strictly heavier than rank `r` — the canonical
-/// definition's per-endpoint counter (at most `b_x` candidates).
+/// Configures an [`Engine`] before construction: shard count, thread
+/// count, partitioner. Defaults: 1 shard, threads from `OWP_THREADS` or
+/// the machine's available parallelism (clamped to the shard count),
+/// [`RangePartitioner`].
+pub struct EngineBuilder {
+    problem: Problem,
+    shards: usize,
+    threads: Option<usize>,
+    partitioner: Box<dyn Partitioner>,
+}
+
+impl EngineBuilder {
+    /// Number of shards `k ≥ 1` the universe graph is partitioned into.
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
+        self
+    }
+
+    /// Phase-1 worker budget. An explicit value beats the `OWP_THREADS`
+    /// environment variable, which beats the machine's available
+    /// parallelism; all three are clamped to the shard count. Without
+    /// the `parallel` feature the engine always repairs sequentially
+    /// (the result is bit-identical either way).
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = Some(t.max(1));
+        self
+    }
+
+    /// Node-partitioning strategy (default: contiguous id ranges).
+    pub fn partitioner(mut self, p: Box<dyn Partitioner>) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// Builds the engine (computes the canonical matching from scratch).
+    pub fn build(self) -> Engine {
+        let threads = self
+            .threads
+            .unwrap_or_else(default_threads)
+            .clamp(1, self.shards);
+        Engine::with_layout(self.problem, self.shards, threads, self.partitioner.as_ref())
+    }
+}
+
+/// `OWP_THREADS` if set and parseable, else available parallelism.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("OWP_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            return t.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Selected edges in mirror row `row` strictly heavier than rank `r` —
+/// the canonical definition's per-endpoint counter (at most `b_x`
+/// candidates, since rows hold only selected edges).
 #[inline]
-fn heavier_selected(order: &owp_matching::EdgeOrder, sel: &[Vec<EdgeId>], x: NodeId, r: EdgeRank) -> u32 {
-    sel[x.index()].iter().filter(|&&f| order.rank(f) < r).count() as u32
+fn heavier_selected(order: &EdgeOrder, row: &[u32], r: EdgeRank) -> u32 {
+    row.iter().filter(|&&f| order.rank(EdgeId(f)) < r).count() as u32
+}
+
+/// Routes an event seed to its owner: interior edges to the shard's seed
+/// list, boundary edges to the global phase-2 seed list.
+#[inline]
+fn route_seed(
+    map: &ShardMap,
+    shards: &mut [ShardState],
+    scratch: &mut EngineScratch,
+    e: EdgeId,
+) {
+    match map.edge_shard_raw(e) {
+        BOUNDARY => scratch.bseeds.push(e),
+        s => shards[s as usize].seeds.push(e),
+    }
+}
+
+/// The 2-hop dirty seed of a weight-changing event at `i`: edges
+/// incident to `i` and to each of `i`'s neighbours.
+fn seed_two_hop(
+    g: &Graph,
+    map: &ShardMap,
+    shards: &mut [ShardState],
+    scratch: &mut EngineScratch,
+    i: NodeId,
+) {
+    for &(j, e) in g.neighbors(i) {
+        route_seed(map, shards, scratch, e);
+        for &(_, f) in g.neighbors(j) {
+            route_seed(map, shards, scratch, f);
+        }
+    }
+}
+
+/// Phase 1: repair the interior of every shard with pending seeds —
+/// in parallel when the `parallel` feature is on and `threads > 1`.
+fn run_phase1(
+    dp: &DynamicProblem,
+    map: &ShardMap,
+    bsel: &[bool],
+    shards: &mut [ShardState],
+    threads: usize,
+) {
+    #[cfg(feature = "parallel")]
+    if threads > 1 && shards.len() > 1 {
+        par_phase1(dp, map, bsel, shards, threads);
+        return;
+    }
+    let _ = threads;
+    for st in shards.iter_mut() {
+        if !st.seeds.is_empty() {
+            repair_shard(dp, map, bsel, st);
+        }
+    }
+}
+
+/// Recursive binary fork over the shard slice: `threads` is the worker
+/// budget, halved at each split, so thread count is controllable and
+/// runs are reproducible (the split tree is deterministic; shard results
+/// are independent, so scheduling cannot change the outcome).
+#[cfg(feature = "parallel")]
+fn par_phase1(
+    dp: &DynamicProblem,
+    map: &ShardMap,
+    bsel: &[bool],
+    shards: &mut [ShardState],
+    threads: usize,
+) {
+    if threads <= 1 || shards.len() <= 1 {
+        for st in shards.iter_mut() {
+            if !st.seeds.is_empty() {
+                repair_shard(dp, map, bsel, st);
+            }
+        }
+        return;
+    }
+    let mid = shards.len() / 2;
+    let (lo, hi) = shards.split_at_mut(mid);
+    let t_hi = threads / 2;
+    rayon::join(
+        || par_phase1(dp, map, bsel, lo, threads - t_hi),
+        || par_phase1(dp, map, bsel, hi, t_hi),
+    );
+}
+
+/// Drains one shard's seed list through its rank-ordered heap, flipping
+/// interior edges and recording rank-ordered proposals for any boundary
+/// edge a flip would otherwise push. Boundary statuses (`bsel`) are
+/// frozen for the whole phase — shards only read them, which is what
+/// makes the phase race-free without locks.
+fn repair_shard(dp: &DynamicProblem, map: &ShardMap, bsel: &[bool], st: &mut ShardState) {
+    let g = dp.graph();
+    let order = dp.order();
+    let quotas = dp.quotas();
+
+    for idx in 0..st.seeds.len() {
+        let e = st.seeds[idx];
+        let le = map.local_edge(e);
+        if !st.queued[le] {
+            st.queued[le] = true;
+            st.heap.push(Reverse((order.rank(e), e.0)));
+        }
+    }
+    st.seeds.clear();
+
+    while let Some(Reverse((r, eid))) = st.heap.pop() {
+        let e = EdgeId(eid);
+        let le = map.local_edge(e);
+        st.queued[le] = false;
+        st.evaluated += 1;
+        let (u, v) = g.endpoints(e);
+        let (lu, lv) = (map.local_node(u), map.local_node(v));
+        let desired = dp.is_alive(e)
+            && heavier_selected(order, st.sel.row(lu), r) < quotas.get(u)
+            && heavier_selected(order, st.sel.row(lv), r) < quotas.get(v);
+        if desired == st.selected[le] {
+            continue;
+        }
+        for lx in [lu, lv] {
+            if !st.touched[lx] {
+                st.touched[lx] = true;
+                st.touched_nodes.push(lx as u32);
+            }
+        }
+        if desired {
+            // Turning `e` on tightens both endpoints: only strictly
+            // lighter *selected* edges there (≤ b each) can flip off.
+            for lx in [lu, lv] {
+                for i in 0..st.sel.len(lx) {
+                    let f = EdgeId(st.sel.row(lx)[i]);
+                    let rf = order.rank(f);
+                    if rf <= r {
+                        continue;
+                    }
+                    if map.edge_shard_raw(f) == BOUNDARY {
+                        st.proposals.push((rf, f.0));
+                    } else {
+                        let lf = map.local_edge(f);
+                        if !st.queued[lf] {
+                            st.queued[lf] = true;
+                            st.heap.push(Reverse((rf, f.0)));
+                        }
+                    }
+                }
+            }
+            st.selected[le] = true;
+            st.sel.push(lu, e.0);
+            st.sel.push(lv, e.0);
+            st.flips.push((e.0, true));
+        } else {
+            st.selected[le] = false;
+            st.sel.remove(lu, e.0);
+            st.sel.remove(lv, e.0);
+            st.flips.push((e.0, false));
+            // Turning `e` off relaxes both endpoints: only strictly
+            // lighter *unselected* alive edges there can flip on.
+            for x in [u, v] {
+                for &(_, f) in g.neighbors(x) {
+                    let rf = order.rank(f);
+                    if rf <= r || !dp.is_alive(f) {
+                        continue;
+                    }
+                    if map.edge_shard_raw(f) == BOUNDARY {
+                        if !bsel[map.local_edge(f)] {
+                            st.proposals.push((rf, f.0));
+                        }
+                    } else {
+                        let lf = map.local_edge(f);
+                        if !st.selected[lf] && !st.queued[lf] {
+                            st.queued[lf] = true;
+                            st.heap.push(Reverse((rf, f.0)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase 2: merges every shard's boundary proposals (plus event-seeded
+/// boundary edges) into one global rank-ordered frontier and resolves
+/// them sequentially — the deterministic commit. Lighter boundary
+/// cascades stay in this frontier; lighter interior cascades re-seed the
+/// owning shard for the next round.
+fn merge_boundary(
+    dp: &DynamicProblem,
+    map: &ShardMap,
+    shards: &mut [ShardState],
+    scratch: &mut EngineScratch,
+) {
+    let g = dp.graph();
+    let order = dp.order();
+    let quotas = dp.quotas();
+
+    for s in 0..shards.len() {
+        for idx in 0..shards[s].proposals.len() {
+            let (rf, f) = shards[s].proposals[idx];
+            let b = map.local_edge(EdgeId(f));
+            if !scratch.bqueued[b] {
+                scratch.bqueued[b] = true;
+                scratch.bheap.push(Reverse((rf, f)));
+            }
+        }
+        shards[s].proposals.clear();
+    }
+    for idx in 0..scratch.bseeds.len() {
+        let e = scratch.bseeds[idx];
+        let b = map.local_edge(e);
+        if !scratch.bqueued[b] {
+            scratch.bqueued[b] = true;
+            scratch.bheap.push(Reverse((order.rank(e), e.0)));
+        }
+    }
+    scratch.bseeds.clear();
+
+    while let Some(Reverse((r, eid))) = scratch.bheap.pop() {
+        let e = EdgeId(eid);
+        let be = map.local_edge(e);
+        scratch.bqueued[be] = false;
+        scratch.evaluated += 1;
+        let (u, v) = g.endpoints(e);
+        let (su, sv) = (map.shard_of_node(u), map.shard_of_node(v));
+        let (lu, lv) = (map.local_node(u), map.local_node(v));
+        let desired = dp.is_alive(e)
+            && heavier_selected(order, shards[su].sel.row(lu), r) < quotas.get(u)
+            && heavier_selected(order, shards[sv].sel.row(lv), r) < quotas.get(v);
+        if desired == scratch.bselected[be] {
+            continue;
+        }
+        scratch.touch(u);
+        scratch.touch(v);
+        if desired {
+            for (sx, lx) in [(su, lu), (sv, lv)] {
+                for i in 0..shards[sx].sel.len(lx) {
+                    let f = EdgeId(shards[sx].sel.row(lx)[i]);
+                    let rf = order.rank(f);
+                    if rf <= r {
+                        continue;
+                    }
+                    match map.edge_shard_raw(f) {
+                        BOUNDARY => {
+                            let bf = map.local_edge(f);
+                            if !scratch.bqueued[bf] {
+                                scratch.bqueued[bf] = true;
+                                scratch.bheap.push(Reverse((rf, f.0)));
+                            }
+                        }
+                        sf => shards[sf as usize].seeds.push(f),
+                    }
+                }
+            }
+            scratch.bselected[be] = true;
+            shards[su].sel.push(lu, e.0);
+            shards[sv].sel.push(lv, e.0);
+            scratch.flips.push((e.0, true));
+        } else {
+            scratch.bselected[be] = false;
+            shards[su].sel.remove(lu, e.0);
+            shards[sv].sel.remove(lv, e.0);
+            scratch.flips.push((e.0, false));
+            for x in [u, v] {
+                for &(_, f) in g.neighbors(x) {
+                    let rf = order.rank(f);
+                    if rf <= r || !dp.is_alive(f) {
+                        continue;
+                    }
+                    match map.edge_shard_raw(f) {
+                        BOUNDARY => {
+                            let bf = map.local_edge(f);
+                            if !scratch.bselected[bf] && !scratch.bqueued[bf] {
+                                scratch.bqueued[bf] = true;
+                                scratch.bheap.push(Reverse((rf, f.0)));
+                            }
+                        }
+                        sf => {
+                            let sf = sf as usize;
+                            if !shards[sf].selected[map.local_edge(f)] {
+                                shards[sf].seeds.push(f);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Engine {
     /// Starts the engine over `problem` with every node active and every
     /// edge present, computing the canonical matching from scratch (epoch
-    /// 0).
+    /// 0). Single shard — the sequential fast path; use
+    /// [`Engine::builder`] for the sharded parallel mode.
     pub fn new(problem: Problem) -> Self {
+        Self::with_layout(problem, 1, 1, &RangePartitioner)
+    }
+
+    /// A configurable constructor: shard count, thread count,
+    /// partitioner. See [`EngineBuilder`].
+    pub fn builder(problem: Problem) -> EngineBuilder {
+        EngineBuilder {
+            problem,
+            shards: 1,
+            threads: None,
+            partitioner: Box::new(RangePartitioner),
+        }
+    }
+
+    fn with_layout(
+        problem: Problem,
+        k: usize,
+        threads: usize,
+        partitioner: &dyn Partitioner,
+    ) -> Self {
         let dp = DynamicProblem::new(problem);
         let g = dp.graph();
+        let shard_map = ShardMap::new(g, k, partitioner);
+        let mut shards: Vec<ShardState> =
+            (0..k).map(|s| ShardState::new(g, &shard_map, s)).collect();
+        let mut scratch =
+            EngineScratch::new(g.node_count(), g.edge_count(), shard_map.boundary_count());
         let mut matching = BMatching::empty(g);
-        let mut sel: Vec<Vec<EdgeId>> = vec![Vec::new(); g.node_count()];
         let mut slots: Vec<u32> = g.nodes().map(|i| dp.quotas().get(i)).collect();
         for &e in dp.order().heaviest_first() {
             let (u, v) = g.endpoints(e);
             if slots[u.index()] > 0 && slots[v.index()] > 0 {
                 matching.insert_unchecked(g, e);
-                sel[u.index()].push(e);
-                sel[v.index()].push(e);
                 slots[u.index()] -= 1;
                 slots[v.index()] -= 1;
+                let le = shard_map.local_edge(e);
+                match shard_map.edge_shard_raw(e) {
+                    BOUNDARY => scratch.bselected[le] = true,
+                    s => shards[s as usize].selected[le] = true,
+                }
+                shards[shard_map.shard_of_node(u)]
+                    .sel
+                    .push(shard_map.local_node(u), e.0);
+                shards[shard_map.shard_of_node(v)]
+                    .sel
+                    .push(shard_map.local_node(v), e.0);
             }
         }
         let sat: Vec<f64> = g
@@ -103,7 +515,10 @@ impl Engine {
         Engine {
             dp,
             matching,
-            sel,
+            shard_map,
+            shards,
+            scratch,
+            threads: threads.max(1),
             sat,
             total_sat,
             epoch: Epoch(0),
@@ -118,6 +533,32 @@ impl Engine {
     /// The maintained matching (edge ids are universe ids).
     pub fn matching(&self) -> &BMatching {
         &self.matching
+    }
+
+    /// The frozen shard partition (one shard when unsharded).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard_map
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shard_map.shard_count()
+    }
+
+    /// Phase-1 worker budget (1 = sequential).
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Interior edges shard `s` evaluated in the last applied batch.
+    pub fn shard_evaluated(&self, s: usize) -> u64 {
+        self.shards[s].evaluated
+    }
+
+    /// Boundary edges the phase-2 merge evaluated in the last applied
+    /// batch.
+    pub fn boundary_evaluated(&self) -> u64 {
+        self.scratch.evaluated
     }
 
     /// The current epoch (one tick per applied batch, including empty
@@ -148,7 +589,21 @@ impl Engine {
     /// events take effect together and **one** bounded repair restores
     /// the canonical matching.
     pub fn apply_batch(&mut self, events: &[EngineEvent]) -> Result<DeltaReport, EngineError> {
-        self.apply_batch_traced(events, &mut NullRecorder)
+        let mut report = DeltaReport::default();
+        self.apply_batch_traced_into(events, &mut NullRecorder, &mut report)?;
+        Ok(report)
+    }
+
+    /// [`Engine::apply_batch`] writing into a caller-owned report, so the
+    /// delta `Vec`s are reused across batches instead of reallocated —
+    /// the steady-state zero-allocation entry point. The report's
+    /// previous contents are overwritten (untouched on `Err`).
+    pub fn apply_batch_into(
+        &mut self,
+        events: &[EngineEvent],
+        report: &mut DeltaReport,
+    ) -> Result<(), EngineError> {
+        self.apply_batch_traced_into(events, &mut NullRecorder, report)
     }
 
     /// [`Engine::apply_batch`] that also emits the `Engine*` telemetry
@@ -160,160 +615,188 @@ impl Engine {
         events: &[EngineEvent],
         rec: &mut R,
     ) -> Result<DeltaReport, EngineError> {
+        let mut report = DeltaReport::default();
+        self.apply_batch_traced_into(events, rec, &mut report)?;
+        Ok(report)
+    }
+
+    /// The full entry point: traced **and** report-reusing. Everything
+    /// else delegates here.
+    pub fn apply_batch_traced_into<R: Recorder>(
+        &mut self,
+        events: &[EngineEvent],
+        rec: &mut R,
+        out: &mut DeltaReport,
+    ) -> Result<(), EngineError> {
         self.validate(events)?;
         let epoch = Epoch(self.epoch.0 + 1);
-        let n = self.dp.graph().node_count();
-        let m = self.dp.graph().edge_count();
+        out.epoch = epoch;
+        out.events = events.len();
+        out.edges_added.clear();
+        out.edges_removed.clear();
 
-        // ---- apply all events, collecting seeds (heap built afterwards,
-        // once ranks are final) and the nodes whose satisfaction inputs
-        // changed.
-        let mut seeds: Vec<EdgeId> = Vec::new();
-        let mut touched = vec![false; n];
-        let mut touched_nodes: Vec<NodeId> = Vec::new();
-        let touch = |i: NodeId, touched: &mut Vec<bool>, list: &mut Vec<NodeId>| {
-            if !touched[i.index()] {
-                touched[i.index()] = true;
-                list.push(i);
-            }
-        };
+        self.scratch.evaluated = 0;
+        for st in &mut self.shards {
+            st.evaluated = 0;
+        }
+
+        // ---- apply all events, routing seeds to their owners (heaps are
+        // built afterwards, once ranks are final) and marking the nodes
+        // whose satisfaction inputs changed.
         let mut reranked = 0usize;
-        let mut rerank_list: Vec<EdgeId> = Vec::new();
-        for ev in events {
-            match ev {
-                EngineEvent::NodeJoin { node } => {
-                    self.dp.set_active(*node, true);
-                    seeds.extend(self.dp.graph().neighbors(*node).iter().map(|&(_, e)| e));
-                    touch(*node, &mut touched, &mut touched_nodes);
-                }
-                EngineEvent::NodeLeave { node } => {
-                    self.dp.set_active(*node, false);
-                    seeds.extend(self.dp.graph().neighbors(*node).iter().map(|&(_, e)| e));
-                    touch(*node, &mut touched, &mut touched_nodes);
-                }
-                EngineEvent::EdgeAdd { u, v } => {
-                    let e = self.dp.graph().edge_between(*u, *v).expect("validated");
-                    self.dp.set_present(e, true);
-                    seeds.push(e);
-                }
-                EngineEvent::EdgeRemove { u, v } => {
-                    let e = self.dp.graph().edge_between(*u, *v).expect("validated");
-                    self.dp.set_present(e, false);
-                    seeds.push(e);
-                }
-                EngineEvent::QuotaChange { node, quota } => {
-                    let changed = self.dp.apply_quota(*node, *quota);
-                    reranked += changed.len();
-                    if rec.is_enabled() {
-                        rec.record(TelemetryEvent::EngineReranked {
-                            epoch: epoch.0,
-                            edges: changed.len() as u32,
-                        });
+        {
+            let dp = &mut self.dp;
+            let map = &self.shard_map;
+            let shards = &mut self.shards[..];
+            let scratch = &mut self.scratch;
+            for ev in events {
+                match ev {
+                    EngineEvent::NodeJoin { node } => {
+                        dp.set_active(*node, true);
+                        for &(_, e) in dp.graph().neighbors(*node) {
+                            route_seed(map, shards, scratch, e);
+                        }
+                        scratch.touch(*node);
                     }
-                    rerank_list.extend(changed);
-                    self.seed_two_hop(*node, &mut seeds);
-                    touch(*node, &mut touched, &mut touched_nodes);
-                }
-                EngineEvent::PreferenceUpdate { node, list } => {
-                    let changed = self.dp.apply_prefs(*node, list.clone());
-                    reranked += changed.len();
-                    if rec.is_enabled() {
-                        rec.record(TelemetryEvent::EngineReranked {
-                            epoch: epoch.0,
-                            edges: changed.len() as u32,
-                        });
+                    EngineEvent::NodeLeave { node } => {
+                        dp.set_active(*node, false);
+                        for &(_, e) in dp.graph().neighbors(*node) {
+                            route_seed(map, shards, scratch, e);
+                        }
+                        scratch.touch(*node);
                     }
-                    rerank_list.extend(changed);
-                    self.seed_two_hop(*node, &mut seeds);
-                    touch(*node, &mut touched, &mut touched_nodes);
+                    EngineEvent::EdgeAdd { u, v } => {
+                        let e = dp.graph().edge_between(*u, *v).expect("validated");
+                        dp.set_present(e, true);
+                        route_seed(map, shards, scratch, e);
+                    }
+                    EngineEvent::EdgeRemove { u, v } => {
+                        let e = dp.graph().edge_between(*u, *v).expect("validated");
+                        dp.set_present(e, false);
+                        route_seed(map, shards, scratch, e);
+                    }
+                    EngineEvent::QuotaChange { node, quota } => {
+                        let changed = dp.apply_quota(*node, *quota);
+                        reranked += changed.len();
+                        if rec.is_enabled() {
+                            rec.record(TelemetryEvent::EngineReranked {
+                                epoch: epoch.0,
+                                edges: changed.len() as u32,
+                            });
+                        }
+                        scratch.rerank_list.extend(changed);
+                        seed_two_hop(dp.graph(), map, shards, scratch, *node);
+                        scratch.touch(*node);
+                    }
+                    EngineEvent::PreferenceUpdate { node, list } => {
+                        let changed = dp.apply_prefs(*node, list.clone());
+                        reranked += changed.len();
+                        if rec.is_enabled() {
+                            rec.record(TelemetryEvent::EngineReranked {
+                                epoch: epoch.0,
+                                edges: changed.len() as u32,
+                            });
+                        }
+                        scratch.rerank_list.extend(changed);
+                        seed_two_hop(dp.graph(), map, shards, scratch, *node);
+                        scratch.touch(*node);
+                    }
                 }
+            }
+            // One splice for the whole batch: `update_keys` recomputes
+            // the moved keys from the *final* weights, so folding every
+            // event's changed set into a single call is exact (and turns
+            // k weight events from k O(m) splices into one).
+            dp.rerank(&scratch.rerank_list);
+            scratch.rerank_list.clear();
+        }
+
+        // ---- two-phase repair rounds until quiescent. With one shard
+        // this is a single phase-1 pass and an empty merge.
+        loop {
+            run_phase1(
+                &self.dp,
+                &self.shard_map,
+                &self.scratch.bselected,
+                &mut self.shards,
+                self.threads,
+            );
+            merge_boundary(&self.dp, &self.shard_map, &mut self.shards, &mut self.scratch);
+            if self.shards.iter().all(|s| s.seeds.is_empty()) {
+                break;
             }
         }
-        // One splice for the whole batch: `update_keys` recomputes the
-        // moved keys from the *final* weights, so folding every event's
-        // changed set into a single call is exact (and turns k weight
-        // events from k O(m) splices into one).
-        self.dp.rerank(&rerank_list);
 
-        // ---- bounded repair over the dirty region, heaviest first.
-        let mut queued = vec![false; m];
-        let mut heap: BinaryHeap<Reverse<(EdgeRank, u32)>> = BinaryHeap::new();
+        // ---- fold the flip journals into the public BMatching mirror
+        // and the net-delta journal. An edge's flips live in exactly one
+        // journal (its shard's, or the boundary one), in chronological
+        // order, so per-edge insert/remove pairing is preserved.
+        {
+            let g = self.dp.graph();
+            let matching = &mut self.matching;
+            for st in &mut self.shards {
+                for idx in 0..st.flips.len() {
+                    let (eid, on) = st.flips[idx];
+                    apply_flip(g, matching, &mut self.scratch, eid, on);
+                }
+                st.flips.clear();
+            }
+            let flips = std::mem::take(&mut self.scratch.flips);
+            for &(eid, on) in &flips {
+                apply_flip(g, matching, &mut self.scratch, eid, on);
+            }
+            self.scratch.flips = flips;
+            self.scratch.flips.clear();
+        }
+
+        // ---- compact the delta journal into the report: net state per
+        // touched edge, emitted heaviest-first.
         {
             let order = self.dp.order();
-            for e in seeds {
-                if !queued[e.index()] {
-                    queued[e.index()] = true;
-                    heap.push(Reverse((order.rank(e), e.0)));
+            let scratch = &mut self.scratch;
+            for idx in 0..scratch.delta_edges.len() {
+                let e = scratch.delta_edges[idx];
+                let ds = scratch.delta_state[e.index()];
+                scratch.delta_state[e.index()] = 0;
+                match ds & 3 {
+                    1 => out.edges_added.push(e),
+                    2 => out.edges_removed.push(e),
+                    _ => {}
                 }
+            }
+            scratch.delta_edges.clear();
+            out.edges_added.sort_unstable_by_key(|&e| order.rank(e));
+            out.edges_removed.sort_unstable_by_key(|&e| order.rank(e));
+        }
+        if rec.is_enabled() {
+            for &e in &out.edges_added {
+                rec.record(TelemetryEvent::EngineEdgeAdded { epoch: epoch.0, edge: e });
+            }
+            for &e in &out.edges_removed {
+                rec.record(TelemetryEvent::EngineEdgeRemoved { epoch: epoch.0, edge: e });
             }
         }
 
-        let mut evaluated = 0usize;
-        let mut edges_added: Vec<EdgeId> = Vec::new();
-        let mut edges_removed: Vec<EdgeId> = Vec::new();
-        let dp = &self.dp;
-        let matching = &mut self.matching;
-        let sel = &mut self.sel;
-        let g = dp.graph();
-        let order = dp.order();
-        while let Some(Reverse((r, eid))) = heap.pop() {
-            let e = EdgeId(eid);
-            evaluated += 1;
-            let (u, v) = g.endpoints(e);
-            let desired = dp.is_alive(e)
-                && heavier_selected(order, sel, u, r) < dp.quotas().get(u)
-                && heavier_selected(order, sel, v, r) < dp.quotas().get(v);
-            if desired == matching.contains(e) {
-                continue;
+        // ---- merge per-shard touched nodes into the global set.
+        for s in 0..self.shards.len() {
+            for idx in 0..self.shards[s].touched_nodes.len() {
+                let lx = self.shards[s].touched_nodes[idx] as usize;
+                let i = self.shard_map.nodes(s)[lx];
+                self.scratch.touch(i);
             }
-            touch(u, &mut touched, &mut touched_nodes);
-            touch(v, &mut touched, &mut touched_nodes);
-            if desired {
-                // Turning `e` on tightens both endpoints: only strictly
-                // lighter *selected* edges there (≤ b each) can flip off.
-                for x in [u, v] {
-                    for &f in &sel[x.index()] {
-                        let rf = order.rank(f);
-                        if rf > r && !queued[f.index()] {
-                            queued[f.index()] = true;
-                            heap.push(Reverse((rf, f.0)));
-                        }
-                    }
-                }
-                matching.insert_unchecked(g, e);
-                sel[u.index()].push(e);
-                sel[v.index()].push(e);
-                edges_added.push(e);
-                if rec.is_enabled() {
-                    rec.record(TelemetryEvent::EngineEdgeAdded { epoch: epoch.0, edge: e });
-                }
-            } else {
-                matching.remove(g, e);
-                sel[u.index()].retain(|&f| f != e);
-                sel[v.index()].retain(|&f| f != e);
-                edges_removed.push(e);
-                if rec.is_enabled() {
-                    rec.record(TelemetryEvent::EngineEdgeRemoved { epoch: epoch.0, edge: e });
-                }
-                // Turning `e` off relaxes both endpoints: only strictly
-                // lighter *unselected* alive edges there can flip on.
-                for x in [u, v] {
-                    for &(_, f) in g.neighbors(x) {
-                        if !queued[f.index()] && !matching.contains(f) {
-                            let rf = order.rank(f);
-                            if rf > r && dp.is_alive(f) {
-                                queued[f.index()] = true;
-                                heap.push(Reverse((rf, f.0)));
-                            }
-                        }
-                    }
-                }
+            let st = &mut self.shards[s];
+            for idx in 0..st.touched_nodes.len() {
+                let lx = st.touched_nodes[idx] as usize;
+                st.touched[lx] = false;
             }
+            st.touched_nodes.clear();
         }
 
         // ---- refresh satisfaction of exactly the touched nodes.
         let old_total = self.total_sat;
-        for &i in &touched_nodes {
+        for idx in 0..self.scratch.touched_nodes.len() {
+            let i = self.scratch.touched_nodes[idx];
+            self.scratch.touched[i.index()] = false;
             let new = if self.dp.is_active(i) {
                 node_satisfaction(
                     self.dp.prefs(),
@@ -327,47 +810,40 @@ impl Engine {
             self.total_sat += new - self.sat[i.index()];
             self.sat[i.index()] = new;
         }
+        self.scratch.touched_nodes.clear();
 
+        let evaluated = self.scratch.evaluated
+            + self.shards.iter().map(|s| s.evaluated).sum::<u64>();
         self.epoch = epoch;
         if rec.is_enabled() {
             rec.record(TelemetryEvent::EngineBatchApplied {
                 epoch: epoch.0,
                 events: events.len() as u32,
                 evaluated: evaluated as u32,
-                added: edges_added.len() as u32,
-                removed: edges_removed.len() as u32,
+                added: out.edges_added.len() as u32,
+                removed: out.edges_removed.len() as u32,
             });
         }
-        Ok(DeltaReport {
-            epoch,
-            events: events.len(),
-            edges_added,
-            edges_removed,
-            evaluated,
-            reranked,
-            delta_satisfaction: self.total_sat - old_total,
-            total_satisfaction: self.total_sat,
-            matching_size: self.matching.size(),
-        })
-    }
-
-    /// The 2-hop dirty seed of a weight-changing event at `i`: edges
-    /// incident to `i` and to each of `i`'s neighbours.
-    fn seed_two_hop(&self, i: NodeId, seeds: &mut Vec<EdgeId>) {
-        let g = self.dp.graph();
-        for &(j, e) in g.neighbors(i) {
-            seeds.push(e);
-            seeds.extend(g.neighbors(j).iter().map(|&(_, f)| f));
-        }
+        out.evaluated = evaluated as usize;
+        out.reranked = reranked;
+        out.delta_satisfaction = self.total_sat - old_total;
+        out.total_satisfaction = self.total_sat;
+        out.matching_size = self.matching.size();
+        Ok(())
     }
 
     /// Whole-batch validation against scratch membership flags; `Err`
     /// means nothing was (or will be) applied.
-    fn validate(&self, events: &[EngineEvent]) -> Result<(), EngineError> {
+    fn validate(&mut self, events: &[EngineEvent]) -> Result<(), EngineError> {
         let g = self.dp.graph();
         let n = g.node_count();
-        let mut active = self.dp.active_flags().to_vec();
-        let mut present = self.dp.present_flags().to_vec();
+        let scratch = &mut self.scratch;
+        scratch.val_active.clear();
+        scratch.val_active.extend_from_slice(self.dp.active_flags());
+        scratch.val_present.clear();
+        scratch.val_present.extend_from_slice(self.dp.present_flags());
+        let active = &mut scratch.val_active;
+        let present = &mut scratch.val_present;
         let check_node = |i: NodeId| {
             if i.index() < n {
                 Ok(())
@@ -460,12 +936,50 @@ impl Engine {
     }
 }
 
+/// Syncs one journal flip into the [`BMatching`] mirror and the net-delta
+/// journal. `delta_state` per edge: bits 0–1 hold the net state (0 none,
+/// 1 added, 2 removed), bit 2 marks membership in `delta_edges` so an
+/// edge that flips repeatedly is listed once.
+fn apply_flip(
+    g: &Graph,
+    matching: &mut BMatching,
+    scratch: &mut EngineScratch,
+    eid: u32,
+    on: bool,
+) {
+    let e = EdgeId(eid);
+    if on {
+        matching.insert_unchecked(g, e);
+    } else {
+        matching.remove(g, e);
+    }
+    let ds = &mut scratch.delta_state[e.index()];
+    if *ds & 4 == 0 {
+        *ds |= 4;
+        scratch.delta_edges.push(e);
+    }
+    let state = match (*ds & 3, on) {
+        (0, true) => 1,
+        (0, false) => 2,
+        (1, false) | (2, true) => 0,
+        (s, _) => s, // same-direction double flip cannot happen
+    };
+    *ds = 4 | state;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn engine(seed: u64) -> Engine {
         Engine::new(Problem::random_gnp(24, 0.3, 2, seed))
+    }
+
+    fn sharded(seed: u64, k: usize) -> Engine {
+        Engine::builder(Problem::random_gnp(24, 0.3, 2, seed))
+            .shards(k)
+            .threads(1)
+            .build()
     }
 
     #[test]
@@ -661,5 +1175,142 @@ mod tests {
         assert_eq!(r.net_edges(), 0);
         assert_eq!(r.evaluated, 0);
         assert_eq!(e.epoch(), Epoch(1));
+    }
+
+    #[test]
+    fn sharded_build_matches_unsharded() {
+        for k in [1, 2, 4, 8] {
+            let s = sharded(12, k);
+            let reference = engine(12);
+            assert!(
+                s.matching().same_edges(reference.matching()),
+                "k={k} initial matching diverges"
+            );
+            s.certify().expect("sharded epoch 0");
+        }
+    }
+
+    #[test]
+    fn sharded_engines_stay_bit_identical_through_events() {
+        let events = [
+            EngineEvent::NodeLeave { node: NodeId(3) },
+            EngineEvent::NodeLeave { node: NodeId(17) },
+            EngineEvent::QuotaChange { node: NodeId(8), quota: 1 },
+            EngineEvent::NodeJoin { node: NodeId(3) },
+        ];
+        let mut reference = engine(13);
+        let mut engines: Vec<Engine> =
+            [2, 4, 8].iter().map(|&k| sharded(13, k)).collect();
+        for ev in events {
+            let r0 = reference.apply(ev.clone()).unwrap();
+            for e in &mut engines {
+                let r = e.apply(ev.clone()).unwrap();
+                assert!(e.matching().same_edges(reference.matching()));
+                assert_eq!(r.edges_added, r0.edges_added);
+                assert_eq!(r.edges_removed, r0.edges_removed);
+                assert_eq!(r.matching_size, r0.matching_size);
+                assert!((r.total_satisfaction - r0.total_satisfaction).abs() < 1e-9);
+                e.certify().expect("sharded batch");
+            }
+        }
+    }
+
+    /// A path instance with quota 1 everywhere and id-order preferences —
+    /// deterministic, so the cross-shard cascades below are hand-checkable.
+    fn path_problem(n: u32) -> Problem {
+        use owp_graph::{GraphBuilder, PreferenceTable, Quotas};
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let g = b.build();
+        let prefs = PreferenceTable::by_node_id(&g);
+        let quotas = Quotas::uniform(&g, 1);
+        Problem::new(g, prefs, quotas)
+    }
+
+    /// Hand-built cross-shard conflict: a 4-node path split 2|2, quota 1
+    /// everywhere, so removing/re-adding the heaviest interior edge makes
+    /// selection flip across the boundary edge in both directions.
+    #[test]
+    fn two_phase_merge_resolves_path_conflicts() {
+        let problem = path_problem(4);
+        let mut e = Engine::builder(problem).shards(2).threads(1).build();
+        assert_eq!(e.shard_map().boundary_count(), 1, "edge (1,2) crosses");
+        e.certify().expect("initial");
+        let pairs = [
+            (NodeId(0), NodeId(1)),
+            (NodeId(2), NodeId(3)),
+            (NodeId(1), NodeId(2)),
+        ];
+        for (u, v) in pairs {
+            e.apply(EngineEvent::EdgeRemove { u, v }).unwrap();
+            e.certify().expect("after cross-shard remove");
+            e.apply(EngineEvent::EdgeAdd { u, v }).unwrap();
+            e.certify().expect("after cross-shard re-add");
+        }
+    }
+
+    /// A boundary flip must re-seed interior repair in *other* shards
+    /// (the round loop), not just cascade along the boundary.
+    #[test]
+    fn boundary_flip_reseeds_interior_regions() {
+        // Path 0—1—2—3—4—5 over three shards of two nodes; quota 1.
+        let problem = path_problem(6);
+        let mut e = Engine::builder(problem.clone()).shards(3).threads(1).build();
+        let mut reference = Engine::new(problem);
+        assert_eq!(e.shard_map().boundary_count(), 2);
+        // Leaving and rejoining interior nodes forces alternating
+        // selection waves across both boundary edges.
+        for node in [NodeId(1), NodeId(4), NodeId(2)] {
+            for ev in [
+                EngineEvent::NodeLeave { node },
+                EngineEvent::NodeJoin { node },
+            ] {
+                e.apply(ev.clone()).unwrap();
+                reference.apply(ev).unwrap();
+                assert!(e.matching().same_edges(reference.matching()));
+                e.certify().expect("wave step");
+            }
+        }
+    }
+
+    #[test]
+    fn reused_report_is_overwritten_each_batch() {
+        let mut e = engine(16);
+        let mut report = DeltaReport::default();
+        e.apply_batch_into(&[EngineEvent::NodeLeave { node: NodeId(2) }], &mut report)
+            .unwrap();
+        let first_removed = report.edges_removed.clone();
+        assert_eq!(report.epoch, Epoch(1));
+        e.apply_batch_into(&[EngineEvent::NodeJoin { node: NodeId(2) }], &mut report)
+            .unwrap();
+        assert_eq!(report.epoch, Epoch(2));
+        assert_eq!(report.edges_added, first_removed, "rejoin restores exactly");
+        // Failed batches leave the report untouched.
+        let before = report.clone();
+        let err = e.apply_batch_into(
+            &[EngineEvent::NodeJoin { node: NodeId(2) }],
+            &mut report,
+        );
+        assert!(err.is_err());
+        assert_eq!(report, before);
+    }
+
+    #[test]
+    fn builder_knobs_are_observable() {
+        let e = Engine::builder(Problem::random_gnp(12, 0.3, 2, 17))
+            .shards(4)
+            .threads(2)
+            .build();
+        assert_eq!(e.shard_count(), 4);
+        assert_eq!(e.thread_count(), 2);
+        // Per-shard instrumentation: the last batch's evaluated counts
+        // decompose over shards plus the boundary merge.
+        let mut e = e;
+        let r = e.apply(EngineEvent::NodeLeave { node: NodeId(5) }).unwrap();
+        let parts: u64 = (0..4).map(|s| e.shard_evaluated(s)).sum::<u64>()
+            + e.boundary_evaluated();
+        assert_eq!(parts as usize, r.evaluated);
     }
 }

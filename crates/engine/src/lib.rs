@@ -49,8 +49,11 @@ pub mod dynamic;
 pub mod engine;
 pub mod event;
 pub mod report;
+pub mod scratch;
+pub mod shard;
 
 pub use dynamic::DynamicProblem;
-pub use engine::Engine;
+pub use engine::{Engine, EngineBuilder};
 pub use event::{EngineError, EngineEvent};
 pub use report::{DeltaReport, Epoch};
+pub use shard::{Partitioner, RangePartitioner, ShardMap, BOUNDARY};

@@ -16,7 +16,12 @@ impl std::fmt::Display for Epoch {
 /// What one batch changed: the matching delta, the size of the dirty
 /// region the repair actually evaluated, and the satisfaction movement.
 /// Edge ids refer to the **universe** graph.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Reports are reusable: `Engine::apply_batch_into` overwrites one in
+/// place (clearing, not reallocating, the delta `Vec`s), so a long-lived
+/// caller-owned report keeps the steady-state batch path allocation-free.
+/// `Default` gives the natural starting value for that pattern.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DeltaReport {
     /// The epoch this batch produced.
     pub epoch: Epoch,

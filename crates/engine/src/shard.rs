@@ -1,0 +1,281 @@
+//! Graph sharding for parallel repair: [`Partitioner`], [`ShardMap`].
+//!
+//! The universe graph is partitioned into `k` shards by assigning every
+//! **node** to exactly one shard; an edge is *interior* to shard `s` when
+//! both endpoints live in `s`, and a *boundary* edge otherwise. Interior
+//! edges of different shards are disjoint and the repair of one never
+//! reads or writes another shard's state, so interior repair can run
+//! shard-parallel without synchronization; boundary edges are reconciled
+//! by a sequential, deterministic merge (see `engine.rs` and DESIGN.md
+//! §11). E15's flat messages-per-node curve and Lemma 4's per-edge
+//! locally-heaviest certificate are what make this sound: an edge's
+//! canonical status depends only on strictly heavier edges at its own two
+//! endpoints, so a shard boundary matters exactly where an edge crosses
+//! it — nowhere else.
+//!
+//! The map also fixes a *shard-local numbering* of nodes and interior
+//! edges, so per-shard state (selected bitmaps, queued bitmaps, the
+//! selected-edge CSR mirror) lives in dense local arrays instead of
+//! sparse global ones.
+
+use owp_graph::{EdgeId, Graph, NodeId};
+
+/// Shard id of boundary edges in [`ShardMap::edge_shard`] — they belong
+/// to no single shard and are merged sequentially.
+pub const BOUNDARY: u32 = u32::MAX;
+
+/// A node-partitioning strategy. `assign` must return one shard id in
+/// `0..k` per node.
+///
+/// The trait exists so smarter partitioners (BFS growing, METIS-style
+/// refinement, geometry-aware striping) can slot in without touching the
+/// engine; [`RangePartitioner`] is the contiguous-id-range default.
+pub trait Partitioner {
+    /// Shard id in `0..k` for every node of `g`, indexed by node id.
+    fn assign(&self, g: &Graph, k: usize) -> Vec<u32>;
+}
+
+/// Contiguous id-range partitioning: shard `s` owns nodes
+/// `[s·⌈n/k⌉, (s+1)·⌈n/k⌉)`. For generators that embed locality in the id
+/// space (geometric graphs sorted by position, grid-ish overlays) this
+/// keeps the boundary fraction low; for id-scrambled topologies it is the
+/// neutral baseline smarter partitioners are measured against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    fn assign(&self, g: &Graph, k: usize) -> Vec<u32> {
+        let n = g.node_count();
+        let span = n.div_ceil(k.max(1)).max(1);
+        (0..n).map(|i| ((i / span) as u32).min(k as u32 - 1)).collect()
+    }
+}
+
+/// The frozen outcome of partitioning one universe graph into `k` shards:
+/// node → shard, edge → shard-or-boundary, and dense shard-local
+/// numberings for nodes and interior edges.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    k: usize,
+    /// Shard of each node.
+    node_shard: Vec<u32>,
+    /// Index of each node within its shard's node list.
+    node_local: Vec<u32>,
+    /// Shard of each edge, or [`BOUNDARY`].
+    edge_shard: Vec<u32>,
+    /// Interior edges: index within the shard's interior-edge list.
+    /// Boundary edges: index within [`ShardMap::boundary_edges`].
+    edge_local: Vec<u32>,
+    /// Nodes per shard, in ascending id order.
+    nodes: Vec<Vec<NodeId>>,
+    /// Interior edges per shard, in ascending id order.
+    interior: Vec<Vec<EdgeId>>,
+    /// All boundary edges, in ascending id order.
+    boundary: Vec<EdgeId>,
+}
+
+impl ShardMap {
+    /// Partitions `g` into `k ≥ 1` shards with the given partitioner.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the partitioner emits a shard id `≥ k`.
+    pub fn new(g: &Graph, k: usize, partitioner: &dyn Partitioner) -> Self {
+        assert!(k >= 1, "at least one shard");
+        let node_shard = partitioner.assign(g, k);
+        assert_eq!(node_shard.len(), g.node_count(), "one shard per node");
+
+        let mut nodes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        let mut node_local = vec![0u32; g.node_count()];
+        for i in g.nodes() {
+            let s = node_shard[i.index()] as usize;
+            assert!(s < k, "partitioner emitted shard {s} for k={k}");
+            node_local[i.index()] = nodes[s].len() as u32;
+            nodes[s].push(i);
+        }
+
+        let mut interior: Vec<Vec<EdgeId>> = vec![Vec::new(); k];
+        let mut boundary = Vec::new();
+        let mut edge_shard = vec![0u32; g.edge_count()];
+        let mut edge_local = vec![0u32; g.edge_count()];
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            let su = node_shard[u.index()];
+            if su == node_shard[v.index()] {
+                edge_shard[e.index()] = su;
+                edge_local[e.index()] = interior[su as usize].len() as u32;
+                interior[su as usize].push(e);
+            } else {
+                edge_shard[e.index()] = BOUNDARY;
+                edge_local[e.index()] = boundary.len() as u32;
+                boundary.push(e);
+            }
+        }
+
+        ShardMap {
+            k,
+            node_shard,
+            node_local,
+            edge_shard,
+            edge_local,
+            nodes,
+            interior,
+            boundary,
+        }
+    }
+
+    /// Number of shards `k`.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.k
+    }
+
+    /// Shard owning node `i`.
+    #[inline]
+    pub fn shard_of_node(&self, i: NodeId) -> usize {
+        self.node_shard[i.index()] as usize
+    }
+
+    /// Index of node `i` within its shard.
+    #[inline]
+    pub fn local_node(&self, i: NodeId) -> usize {
+        self.node_local[i.index()] as usize
+    }
+
+    /// Shard owning edge `e`, or `None` for a boundary edge.
+    #[inline]
+    pub fn shard_of_edge(&self, e: EdgeId) -> Option<usize> {
+        let s = self.edge_shard[e.index()];
+        (s != BOUNDARY).then_some(s as usize)
+    }
+
+    /// Raw shard id of edge `e` ([`BOUNDARY`] for boundary edges) — the
+    /// branch-free form the repair hot path uses.
+    #[inline]
+    pub fn edge_shard_raw(&self, e: EdgeId) -> u32 {
+        self.edge_shard[e.index()]
+    }
+
+    /// Shard-local index of interior edge `e`, or boundary-list index of
+    /// boundary edge `e`.
+    #[inline]
+    pub fn local_edge(&self, e: EdgeId) -> usize {
+        self.edge_local[e.index()] as usize
+    }
+
+    /// Nodes of shard `s`, ascending.
+    #[inline]
+    pub fn nodes(&self, s: usize) -> &[NodeId] {
+        &self.nodes[s]
+    }
+
+    /// Interior edges of shard `s`, ascending.
+    #[inline]
+    pub fn interior_edges(&self, s: usize) -> &[EdgeId] {
+        &self.interior[s]
+    }
+
+    /// All boundary edges, ascending.
+    #[inline]
+    pub fn boundary_edges(&self) -> &[EdgeId] {
+        &self.boundary
+    }
+
+    /// Number of boundary edges.
+    #[inline]
+    pub fn boundary_count(&self) -> usize {
+        self.boundary.len()
+    }
+
+    /// Fraction of edges that are boundary (0 for an edgeless graph).
+    pub fn boundary_fraction(&self) -> f64 {
+        let m = self.edge_shard.len();
+        if m == 0 {
+            0.0
+        } else {
+            self.boundary.len() as f64 / m as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owp_graph::GraphBuilder;
+
+    /// A 6-node path 0—1—2—3—4—5.
+    fn path6() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn range_partitioner_splits_contiguously() {
+        let g = path6();
+        let map = ShardMap::new(&g, 3, &RangePartitioner);
+        assert_eq!(map.shard_count(), 3);
+        assert_eq!(map.nodes(0), &[NodeId(0), NodeId(1)]);
+        assert_eq!(map.nodes(1), &[NodeId(2), NodeId(3)]);
+        assert_eq!(map.nodes(2), &[NodeId(4), NodeId(5)]);
+        // Interior: (0,1), (2,3), (4,5); boundary: (1,2), (3,4).
+        assert_eq!(map.boundary_count(), 2);
+        for s in 0..3 {
+            assert_eq!(map.interior_edges(s).len(), 1);
+        }
+        let e12 = g.edge_between(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(map.shard_of_edge(e12), None);
+        assert_eq!(map.edge_shard_raw(e12), BOUNDARY);
+        let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(map.shard_of_edge(e01), Some(0));
+        assert!((map.boundary_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_shard_has_no_boundary() {
+        let g = path6();
+        let map = ShardMap::new(&g, 1, &RangePartitioner);
+        assert_eq!(map.shard_count(), 1);
+        assert_eq!(map.boundary_count(), 0);
+        assert_eq!(map.interior_edges(0).len(), g.edge_count());
+        for i in g.nodes() {
+            assert_eq!(map.shard_of_node(i), 0);
+            assert_eq!(map.local_node(i), i.index());
+        }
+        for e in g.edges() {
+            assert_eq!(map.local_edge(e), e.index());
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes_degenerates_gracefully() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        let map = ShardMap::new(&g, 8, &RangePartitioner);
+        // Each node lands in its own shard; the lone edge is boundary.
+        assert_eq!(map.boundary_count(), 1);
+        assert_ne!(map.shard_of_node(NodeId(0)), map.shard_of_node(NodeId(1)));
+    }
+
+    #[test]
+    fn local_numberings_are_dense_permutations() {
+        let g = path6();
+        let map = ShardMap::new(&g, 2, &RangePartitioner);
+        for s in 0..2 {
+            for (li, &i) in map.nodes(s).iter().enumerate() {
+                assert_eq!(map.shard_of_node(i), s);
+                assert_eq!(map.local_node(i), li);
+            }
+            for (le, &e) in map.interior_edges(s).iter().enumerate() {
+                assert_eq!(map.shard_of_edge(e), Some(s));
+                assert_eq!(map.local_edge(e), le);
+            }
+        }
+        for (bi, &e) in map.boundary_edges().iter().enumerate() {
+            assert_eq!(map.shard_of_edge(e), None);
+            assert_eq!(map.local_edge(e), bi);
+        }
+    }
+}

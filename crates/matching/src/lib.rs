@@ -39,6 +39,7 @@ pub mod baselines;
 pub mod bmatching;
 pub mod blossom;
 pub mod bounds;
+pub mod csr;
 pub mod exact;
 pub mod flow;
 pub mod lic;
@@ -52,6 +53,7 @@ pub mod verify;
 pub mod weights;
 
 pub use bmatching::BMatching;
+pub use csr::FixedCsr;
 pub use lic::{lic, lic_profiled, lic_traced, SelectionPolicy};
 pub use metrics::{matching_totals, MatchingReport};
 pub use numeric::Rational;

@@ -23,6 +23,9 @@
 //!   repair consistency and epoch monotonicity, reported as structured
 //!   [`AuditViolation`]s (never panics) alongside ε-blocking-edge and
 //!   satisfaction-ratio gauges.
+//! * [`alloc`](mod@alloc) — allocation accounting for the engine's
+//!   zero-allocation batch contract (the `engine_allocations_per_batch`
+//!   gauge) plus the per-shard repair gauges of the sharded engine.
 //!
 //! The crate is intentionally *passive*: nothing here hooks itself into the
 //! simulator or engine. Call sites opt in by handing a recorder or auditor
@@ -34,11 +37,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod audit;
 pub mod recorder;
 pub mod registry;
 pub mod snapshot;
 
+pub use alloc::{
+    allocation_count, allocations_since, publish_allocations_per_batch, publish_shard_gauges,
+    ALLOCATIONS_PER_BATCH, ALLOC_COUNT,
+};
 pub use audit::{
     epsilon_blocking_count, weight_upper_bound, AuditViolation, Auditor, InvariantKind,
 };

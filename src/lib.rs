@@ -49,7 +49,10 @@ pub mod prelude {
         replay_lid_trace, run_lid, run_lid_causal, run_lid_sync, run_lid_sync_series,
         run_lid_traced, ChurnSim, DisclosureReport, LidResult,
     };
-    pub use owp_engine::{DeltaReport, DynamicProblem, Engine, EngineError, EngineEvent, Epoch};
+    pub use owp_engine::{
+        DeltaReport, DynamicProblem, Engine, EngineBuilder, EngineError, EngineEvent, Epoch,
+        Partitioner, RangePartitioner, ShardMap,
+    };
     pub use owp_graph::{Graph, GraphBuilder, NodeId, PreferenceTable, Quotas};
     pub use owp_matching::{
         lic, BMatching, MatchingReport, Problem, SelectionPolicy,

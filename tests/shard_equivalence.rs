@@ -1,0 +1,223 @@
+//! Shard-boundary correctness: the sharded two-phase engine must be a
+//! *bit-identical* drop-in for the sequential engine — same matching,
+//! same delta reports, same satisfaction — for every shard count, after
+//! every batch of every stream. The canonical matching is unique (the
+//! paper's Lemmas 3–6 confluence), so any divergence is a bug in the
+//! phase-1 freeze or the phase-2 merge, and `certify()` (from-scratch
+//! LIC) arbitrates against both.
+//!
+//! ≥200 seeded mixed event streams run through k ∈ {1, 2, 4, 8} shards
+//! in lockstep with an unsharded reference (ISSUE 6 satellite); the
+//! instances are small enough that most edges are boundary edges at
+//! k = 8 — the adversarial regime for the merge.
+
+use owp_engine::{DeltaReport, Engine, EngineEvent};
+use owp_graph::{EdgeId, Graph, NodeId};
+use owp_matching::Problem;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Seeded streams for the lockstep test — the ISSUE floor is 200.
+const STREAMS: u64 = 210;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One random universe instance: G(n, 0.4) with n ∈ [2, 20], random
+/// preference permutations, uniform quotas b ∈ [1, 4] — the same
+/// distribution as `engine_equivalence.rs`, so the two suites disagree
+/// only if sharding itself does.
+fn universe(meta: &mut StdRng) -> Problem {
+    let n = meta.gen_range(2usize..=20);
+    let b = meta.gen_range(1u32..=4);
+    Problem::random_gnp(n, 0.4, b, meta.gen_range(0..=u64::MAX))
+}
+
+/// Draws the next valid event given mirrors of the membership flags,
+/// keeping the mirrors in sync so whole batches stay valid.
+fn next_event(
+    rng: &mut StdRng,
+    g: &Graph,
+    active: &mut [bool],
+    present: &mut [bool],
+) -> EngineEvent {
+    let n = g.node_count() as u32;
+    let m = g.edge_count() as u32;
+    loop {
+        match rng.gen_range(0u32..100) {
+            0..=24 => {
+                let i = NodeId(rng.gen_range(0..n));
+                if active[i.index()] {
+                    active[i.index()] = false;
+                    return EngineEvent::NodeLeave { node: i };
+                }
+            }
+            25..=49 => {
+                let i = NodeId(rng.gen_range(0..n));
+                if !active[i.index()] {
+                    active[i.index()] = true;
+                    return EngineEvent::NodeJoin { node: i };
+                }
+            }
+            50..=61 if m > 0 => {
+                let e = EdgeId(rng.gen_range(0..m));
+                if present[e.index()] {
+                    present[e.index()] = false;
+                    let (u, v) = g.endpoints(e);
+                    return EngineEvent::EdgeRemove { u, v };
+                }
+            }
+            62..=73 if m > 0 => {
+                let e = EdgeId(rng.gen_range(0..m));
+                if !present[e.index()] {
+                    present[e.index()] = true;
+                    let (u, v) = g.endpoints(e);
+                    return EngineEvent::EdgeAdd { u, v };
+                }
+            }
+            74..=86 => {
+                let i = NodeId(rng.gen_range(0..n));
+                return EngineEvent::QuotaChange { node: i, quota: rng.gen_range(0..=5) };
+            }
+            87.. => {
+                let i = NodeId(rng.gen_range(0..n));
+                let mut list: Vec<NodeId> = g.neighbor_ids(i).collect();
+                list.shuffle(rng);
+                return EngineEvent::PreferenceUpdate { node: i, list };
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Certify after **every batch at every shard count**, and assert every
+/// observable of the sharded engines is bit-identical to the reference.
+#[test]
+fn every_shard_count_is_bit_identical_on_every_stream() {
+    for seed in 0..STREAMS {
+        let mut meta = StdRng::seed_from_u64(0x5AAD ^ seed);
+        let p = universe(&mut meta);
+        let g = p.graph.clone();
+        let mut active = vec![true; g.node_count()];
+        let mut present = vec![true; g.edge_count()];
+        let mut reference = Engine::new(p.clone());
+        let mut sharded: Vec<Engine> = SHARD_COUNTS
+            .iter()
+            .map(|&k| Engine::builder(p.clone()).shards(k).threads(1).build())
+            .collect();
+        let mut reports: Vec<DeltaReport> =
+            SHARD_COUNTS.iter().map(|_| DeltaReport::default()).collect();
+        for batch_no in 0..5 {
+            let len = meta.gen_range(1usize..=10);
+            let batch: Vec<EngineEvent> = (0..len)
+                .map(|_| next_event(&mut meta, &g, &mut active, &mut present))
+                .collect();
+            let r0 = reference.apply_batch(&batch).unwrap_or_else(|e| {
+                panic!("stream {seed} batch {batch_no}: reference rejected: {e}")
+            });
+            for (slot, engine) in sharded.iter_mut().enumerate() {
+                let k = SHARD_COUNTS[slot];
+                let report = &mut reports[slot];
+                engine.apply_batch_into(&batch, report).unwrap_or_else(|e| {
+                    panic!("stream {seed} batch {batch_no} k={k}: rejected: {e}")
+                });
+                assert!(
+                    engine.matching().same_edges(reference.matching()),
+                    "stream {seed} batch {batch_no} k={k}: matching diverged"
+                );
+                assert_eq!(
+                    report.edges_added, r0.edges_added,
+                    "stream {seed} batch {batch_no} k={k}: added-delta diverged"
+                );
+                assert_eq!(
+                    report.edges_removed, r0.edges_removed,
+                    "stream {seed} batch {batch_no} k={k}: removed-delta diverged"
+                );
+                assert_eq!(report.matching_size, r0.matching_size);
+                assert_eq!(report.epoch, r0.epoch);
+                assert!(
+                    (report.total_satisfaction - r0.total_satisfaction).abs() < 1e-9,
+                    "stream {seed} batch {batch_no} k={k}: ΣS diverged"
+                );
+                engine.certify().unwrap_or_else(|err| {
+                    panic!("stream {seed} batch {batch_no} k={k}: {err}")
+                });
+            }
+        }
+    }
+}
+
+/// The partitioner trait is engine-facing API: a custom partitioner must
+/// be honoured and still converge to the canonical matching.
+#[test]
+fn custom_partitioners_still_certify() {
+    use owp_engine::Partitioner;
+
+    /// Worst-case locality: round-robin striping puts *every* edge on a
+    /// boundary for k ≥ 2 — the merge does all the work.
+    struct Stripe;
+    impl Partitioner for Stripe {
+        fn assign(&self, g: &Graph, k: usize) -> Vec<u32> {
+            (0..g.node_count()).map(|i| (i % k) as u32).collect()
+        }
+    }
+
+    for seed in 0..25 {
+        let mut meta = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+        let p = universe(&mut meta);
+        let g = p.graph.clone();
+        let mut active = vec![true; g.node_count()];
+        let mut present = vec![true; g.edge_count()];
+        let mut reference = Engine::new(p.clone());
+        let mut striped = Engine::builder(p)
+            .shards(4)
+            .threads(1)
+            .partitioner(Box::new(Stripe))
+            .build();
+        for batch_no in 0..6 {
+            let batch = vec![next_event(&mut meta, &g, &mut active, &mut present)];
+            reference.apply_batch(&batch).unwrap();
+            striped.apply_batch(&batch).unwrap();
+            assert!(
+                striped.matching().same_edges(reference.matching()),
+                "stream {seed} batch {batch_no}: striped partition diverged"
+            );
+            striped.certify().unwrap_or_else(|err| {
+                panic!("stream {seed} batch {batch_no}: {err}")
+            });
+        }
+    }
+}
+
+/// `OWP_THREADS` only controls the worker budget, never the result: with
+/// the `parallel` feature off this is a pure pass-through check of the
+/// builder's env plumbing; with it on, it exercises the fork tree.
+#[test]
+fn thread_budget_never_changes_the_result() {
+    for seed in 0..25 {
+        let mut meta = StdRng::seed_from_u64(0x7EAD ^ seed);
+        let p = universe(&mut meta);
+        let g = p.graph.clone();
+        let mut active = vec![true; g.node_count()];
+        let mut present = vec![true; g.edge_count()];
+        let mut engines: Vec<Engine> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&t| Engine::builder(p.clone()).shards(8).threads(t).build())
+            .collect();
+        assert_eq!(engines[2].thread_count(), 4.min(8));
+        for _batch_no in 0..5 {
+            let batch = vec![next_event(&mut meta, &g, &mut active, &mut present)];
+            let mut first: Option<DeltaReport> = None;
+            for engine in &mut engines {
+                let r = engine.apply_batch(&batch).unwrap();
+                match &first {
+                    None => first = Some(r),
+                    Some(r0) => {
+                        assert_eq!(&r, r0, "thread budget changed an observable");
+                    }
+                }
+            }
+            engines[0].certify().unwrap();
+        }
+    }
+}
