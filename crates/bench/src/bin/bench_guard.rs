@@ -3,7 +3,7 @@
 //! against the committed `BENCH_<id>.json` baselines.
 //!
 //! ```text
-//! bench_guard [e15|e19|e21|e20|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
+//! bench_guard [e15|e19|e21|e20|e22|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
 //! ```
 //!
 //! Guarded experiments:
@@ -19,7 +19,12 @@
 //!   latency and sync round count per size (`BENCH_e20.json`). These are
 //!   *deterministic structure*, not wall times, so the guard demands
 //!   **exact** equality — any drift means the causal layer changed
-//!   semantics, which is a correctness signal, not jitter.
+//!   semantics, which is a correctness signal, not jitter;
+//! * `e22` — forensic recorder: churn wall time with the flight + history
+//!   rings on vs off (`BENCH_e22.json`), plus an **absolute** ceiling of
+//!   10% on the overhead column — the always-on black box's budget is a
+//!   design contract, not a baseline, so it is checked against the
+//!   constant rather than a committed measurement.
 //!
 //! Flags:
 //!
@@ -38,7 +43,9 @@
 //! overhead must stay at zero, so the guard doubles as the regression check
 //! for the "telemetry off costs nothing" claim.
 
-use owp_bench::experiments::{e15_scale, e19_dynamic, e20_critical_path, e21_sharded, tables_to_json};
+use owp_bench::experiments::{
+    e15_scale, e19_dynamic, e20_critical_path, e21_sharded, e22_forensics, tables_to_json,
+};
 use owp_bench::Table;
 use std::time::Instant;
 
@@ -55,6 +62,11 @@ struct Guard {
     /// deterministic structural values, checked for exact equality
     /// (tolerance/slack are ignored).
     exact: bool,
+    /// Absolute ceiling on one column of every *fresh* row, checked
+    /// independently of the baseline: `(label, column, ceiling)`. Used
+    /// for ratio columns whose budget is a design contract rather than a
+    /// committed measurement (E22 caps recording overhead at 10%).
+    cap: Option<(&'static str, usize, f64)>,
 }
 
 const GUARDS: &[Guard] = &[
@@ -66,6 +78,7 @@ const GUARDS: &[Guard] = &[
         cols: &[("build ms", 2), ("LID ms", 3)],
         run: e15_scale::run,
         exact: false,
+        cap: None,
     },
     Guard {
         id: "e19",
@@ -75,6 +88,7 @@ const GUARDS: &[Guard] = &[
         cols: &[("repair ms", 2), ("rebuild ms", 3)],
         run: e19_dynamic::run,
         exact: false,
+        cap: None,
     },
     Guard {
         id: "e21",
@@ -84,6 +98,7 @@ const GUARDS: &[Guard] = &[
         cols: &[("build ms", 2), ("repair ms", 3)],
         run: e21_sharded::run,
         exact: false,
+        cap: None,
     },
     Guard {
         id: "e20",
@@ -93,6 +108,17 @@ const GUARDS: &[Guard] = &[
         cols: &[("spans", 2), ("crit len", 5), ("crit latency", 6), ("sync rounds", 8)],
         run: e20_critical_path::run,
         exact: true,
+        cap: None,
+    },
+    Guard {
+        id: "e22",
+        what: "E22 recorder overhead (full size, E19 churn model)",
+        key_col: 0,
+        key_label: "ring",
+        cols: &[("ms", 3)],
+        run: e22_forensics::run,
+        exact: false,
+        cap: Some(("overhead %", 4, 10.0)),
     },
 ];
 
@@ -129,7 +155,7 @@ fn main() {
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag: {a}");
                 eprintln!(
-                    "usage: bench_guard [e15|e19|e21|e20|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]"
+                    "usage: bench_guard [e15|e19|e21|e20|e22|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]"
                 );
                 std::process::exit(2);
             }
@@ -206,6 +232,18 @@ fn main() {
                 );
                 continue;
             };
+            if let Some((label, col, ceiling)) = g.cap {
+                let now: f64 = fresh.cell(fresh_row, col).parse().expect("numeric cell");
+                compared += 1;
+                let verdict = if now <= ceiling { "ok" } else { "OVER BUDGET" };
+                println!(
+                    "  [{}] {}={key:>8} {label:>10}: {now:.1} (ceiling {ceiling:.1}, absolute) {verdict}",
+                    g.id, g.key_label
+                );
+                if now > ceiling {
+                    failures += 1;
+                }
+            }
             for &(label, col) in g.cols {
                 let base = base_row[col];
                 let now: f64 = fresh.cell(fresh_row, col).parse().expect("numeric cell");

@@ -1,8 +1,8 @@
 //! Experiment runner: regenerates every table/figure of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! experiments <e1|e2|...|e21|all> [--quick] [--json] [--trace-out <path>]
-//!             [--metrics-out <path>] [--watch]
+//! experiments <e1|e2|...|e22|all> [--quick] [--json] [--trace-out <path>]
+//!             [--metrics-out <path>] [--forensics-out <path>] [--watch]
 //! ```
 //!
 //! With `--json`, each experiment additionally writes its tables to
@@ -23,6 +23,12 @@
 //! invariant audit — and the final snapshot is written to `path`:
 //! Prometheus text format if the path ends in `.prom`, JSON otherwise.
 //! Any audit violation makes the run exit non-zero.
+//!
+//! With `--forensics-out <path>`, a forensic experiment (see
+//! `experiments::FORENSIC`: e22) writes the first post-mortem bundle its
+//! injected-corruption sweep captured as JSON — the input of
+//! `owp-inspect forensics`. Experiments without a bundle warn and ignore
+//! the flag; selecting *only* non-forensic experiments is an error.
 //!
 //! With `--watch`, a background thread prints a compact metrics table to
 //! stderr every 2 seconds while experiments run (implies collecting
@@ -62,6 +68,7 @@ fn main() {
     let mut watch = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut forensics_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -84,6 +91,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--forensics-out" => match args.next() {
+                Some(path) => forensics_out = Some(path),
+                None => {
+                    eprintln!("--forensics-out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag: {a}");
                 std::process::exit(2);
@@ -94,8 +108,8 @@ fn main() {
 
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <e1..e21|all> [--quick] [--json] [--trace-out <path>] \
-             [--metrics-out <path>] [--watch]"
+            "usage: experiments <e1..e22|all> [--quick] [--json] [--trace-out <path>] \
+             [--metrics-out <path>] [--forensics-out <path>] [--watch]"
         );
         eprintln!("known experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
@@ -124,6 +138,7 @@ fn main() {
     });
 
     let mut trace_written = false;
+    let mut forensics_written = false;
     for id in selected {
         if trace_out.is_some() && !experiments::TRACED.contains(&id) {
             eprintln!(
@@ -132,9 +147,25 @@ fn main() {
                 experiments::TRACED.join(", ")
             );
         }
+        if forensics_out.is_some() && !experiments::FORENSIC.contains(&id) {
+            eprintln!(
+                "warning: {id} captures no forensic bundle, --forensics-out ignored for it \
+                 (forensic experiments: {})",
+                experiments::FORENSIC.join(", ")
+            );
+        }
         let start = Instant::now();
-        match experiments::run_instrumented(id, quick, registry.as_deref()) {
-            Some((tables, series)) => {
+        // Forensic capture and metrics instrumentation are disjoint today
+        // (e22 is not in INSTRUMENTED), so the two dispatch paths never
+        // compete for the same experiment.
+        let outcome = if forensics_out.is_some() && experiments::FORENSIC.contains(&id) {
+            experiments::run_with_forensics(id, quick).map(|(t, b)| (t, None, b))
+        } else {
+            experiments::run_instrumented(id, quick, registry.as_deref())
+                .map(|(t, s)| (t, s, None))
+        };
+        match outcome {
+            Some((tables, series, bundle)) => {
                 for t in &tables {
                     println!();
                     t.print();
@@ -156,6 +187,23 @@ fn main() {
                         Ok(()) => {
                             println!("[{id}: wrote {} trace rows to {path}]", artifact.len());
                             trace_written = true;
+                        }
+                        Err(e) => {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if let (Some(path), Some(b)) = (forensics_out.as_deref(), bundle.as_ref()) {
+                    match std::fs::write(path, b.to_json()) {
+                        Ok(()) => {
+                            println!(
+                                "[{id}: wrote forensic bundle ({} recorded step(s), \
+                                 reproducer {}) to {path}]",
+                                b.steps.len(),
+                                b.reproducer().len()
+                            );
+                            forensics_written = true;
                         }
                         Err(e) => {
                             eprintln!("cannot write {path}: {e}");
@@ -212,6 +260,13 @@ fn main() {
         eprintln!(
             "--trace-out given but no selected experiment records a trace artifact (use {})",
             experiments::TRACED.join(", ")
+        );
+        std::process::exit(2);
+    }
+    if forensics_out.is_some() && !forensics_written {
+        eprintln!(
+            "--forensics-out given but no selected experiment captured a forensic bundle (use {})",
+            experiments::FORENSIC.join(", ")
         );
         std::process::exit(2);
     }

@@ -5,7 +5,19 @@
 //! owp-inspect metrics <snapshot.json|.prom>     metrics summary + audit report
 //! owp-inspect causal <events.jsonl> [--top <k>] [--dot <path>]
 //!                                               happens-before DAG summary
+//! owp-inspect forensics <bundle.json>           post-mortem bundle: summarize,
+//!                                               re-execute, verify
 //! ```
+//!
+//! **Exit-code contract, uniform across every subcommand:**
+//!
+//! * `0` — the artifact is clean (no violations, certificate holds,
+//!   reproducer does not fail);
+//! * `1` — the artifact records or reproduces a failure (audit
+//!   violations, a failed Lemma 5 certificate, a forensic reproducer
+//!   that still diverges);
+//! * `2` — usage error: unknown flags/paths, unreadable or unparseable
+//!   input, a bundle that cannot be re-executed.
 //!
 //! `trace` consumes the convergence series written by
 //! `experiments e18 --trace-out <path>` (JSONL schema of
@@ -27,6 +39,14 @@
 //! the per-kind causation fan-out and the edge-lifecycle tally. With
 //! `--dot <path>` a Graphviz digraph of the critical paths is written.
 //! Exit status 1 if the certificate fails, 0 otherwise.
+//!
+//! `forensics` consumes a post-mortem bundle written by the engine's
+//! forensic capture (`owp_engine::ForensicBundle`, e.g. via
+//! `experiments e22 --forensics-out <dir>`): prints the provenance,
+//! trigger, membership and flight-ring summary plus the shrunk
+//! reproducer, then restores the bundled checkpoint and **re-executes**
+//! the reproducer against a fresh engine. Exit status 1 iff the
+//! reproducer still fails certification.
 //!
 //! Reports are accumulated and written in one shot with write errors
 //! ignored, so piping into `head` never aborts the tool.
@@ -164,7 +184,10 @@ fn inspect_metrics(path: &str) {
     let gauge = |key: &str| {
         snap.gauges.iter().find(|(name, _)| name == key).map(|&(_, v)| v)
     };
-    if gauge("engine_shards").is_some() || gauge(owp_metrics::ALLOCATIONS_PER_BATCH).is_some() {
+    if gauge("engine_shards").is_some()
+        || gauge(owp_metrics::ALLOCATIONS_PER_BATCH).is_some()
+        || gauge(owp_metrics::PHASE2_ROUNDS).is_some()
+    {
         out.push_str("engine:\n");
         if let Some(shards) = gauge("engine_shards") {
             let _ = writeln!(
@@ -174,6 +197,19 @@ fn inspect_metrics(path: &str) {
                 gauge("engine_boundary_edges").unwrap_or(0.0),
                 100.0 * gauge("engine_boundary_fraction").unwrap_or(0.0),
                 gauge("engine_boundary_evaluated").unwrap_or(0.0),
+            );
+        }
+        if let Some(rounds) = gauge(owp_metrics::PHASE2_ROUNDS) {
+            let _ = writeln!(
+                out,
+                "  two-phase repair quiesced in {rounds:.0} round(s) last batch"
+            );
+        }
+        if let Some(dropped) = gauge(owp_metrics::RECORDER_DROPPED) {
+            let _ = writeln!(
+                out,
+                "  flight recorder {:.0}% full, {dropped:.0} event(s) overwritten",
+                100.0 * gauge(owp_metrics::RECORDER_OCCUPANCY).unwrap_or(0.0),
             );
         }
         match gauge(owp_metrics::ALLOCATIONS_PER_BATCH) {
@@ -333,11 +369,98 @@ fn inspect_causal(path: &str, top: usize, dot: Option<&str>) {
     }
 }
 
+fn inspect_forensics(path: &str) {
+    use owp_engine::{normalize_violation, ForensicBundle};
+
+    let doc = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let bundle = ForensicBundle::parse(&doc)
+        .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: forensic bundle — trigger {:?} at epoch {}",
+        bundle.trigger, bundle.epoch
+    );
+    let _ = writeln!(out, "  reason: {}", bundle.reason);
+    let _ = writeln!(
+        out,
+        "  provenance: {} | {}{}",
+        if bundle.rustc.is_empty() { "unknown rustc" } else { &bundle.rustc },
+        bundle.config,
+        match bundle.seed {
+            Some(s) => format!(" | seed {s}"),
+            None => String::new(),
+        },
+    );
+    let active = bundle.cur_active.bytes().filter(|&b| b == b'1').count();
+    let present = bundle.cur_present.bytes().filter(|&b| b == b'1').count();
+    let _ = writeln!(
+        out,
+        "  membership at capture: {active}/{} nodes active, {present}/{} edges present",
+        bundle.cur_active.len(),
+        bundle.cur_present.len(),
+    );
+    let _ = writeln!(
+        out,
+        "  flight ring: {}/{} events held, {} overwritten, {} watermark(s)",
+        bundle.ring_jsonl.lines().count(),
+        bundle.ring_capacity,
+        bundle.ring_dropped,
+        bundle.watermarks.len(),
+    );
+    let _ = writeln!(
+        out,
+        "  history: {} step(s) from checkpoint epoch {} (last good: {})",
+        bundle.steps.len(),
+        bundle.origin_epoch,
+        bundle.last_good_epoch,
+    );
+    match &bundle.shrunk {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                "  shrunk reproducer: steps {}..={} ({} of {}; {} replay(s) spent)",
+                s.start,
+                s.end,
+                s.end - s.start + 1,
+                bundle.steps.len(),
+                s.replays,
+            );
+        }
+        None => out.push_str("  no shrunk reproducer (window did not reproduce the failure)\n"),
+    }
+
+    // Re-execute: restore the checkpoint, replay the reproducer, certify.
+    match bundle.verify() {
+        Err(e) => {
+            emit(&out);
+            fail(&format!("bundle cannot be re-executed: {e}"));
+        }
+        Ok(None) => {
+            out.push_str("  re-execution: reproducer replays CLEAN — failure not reproduced\n");
+            emit(&out);
+        }
+        Ok(Some(violation)) => {
+            let matches = normalize_violation(&violation) == normalize_violation(&bundle.reason);
+            let _ = writeln!(
+                out,
+                "  re-execution: reproducer STILL FAILS ({} recorded violation)\n    {violation}",
+                if matches { "same as" } else { "DIFFERENT from" },
+            );
+            emit(&out);
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [cmd, path] if cmd == "trace" => inspect_trace(path),
         [cmd, path] if cmd == "metrics" => inspect_metrics(path),
+        [cmd, path] if cmd == "forensics" => inspect_forensics(path),
         [cmd, rest @ ..] if cmd == "causal" && !rest.is_empty() => {
             let mut path: Option<&str> = None;
             let mut top = 1usize;
@@ -364,11 +487,15 @@ fn main() {
             }
         }
         _ => {
-            eprintln!("usage: owp-inspect <trace|metrics|causal> <path>");
-            eprintln!("  trace   <series.jsonl|.csv>   per-phase convergence summary");
-            eprintln!("  metrics <snapshot.json|.prom> metrics summary + audit report");
-            eprintln!("  causal  <events.jsonl> [--top <k>] [--dot <path>]");
-            eprintln!("                                happens-before DAG + critical paths");
+            eprintln!("usage: owp-inspect <trace|metrics|causal|forensics> <path>");
+            eprintln!("  trace     <series.jsonl|.csv>   per-phase convergence summary");
+            eprintln!("  metrics   <snapshot.json|.prom> metrics summary + audit report");
+            eprintln!("  causal    <events.jsonl> [--top <k>] [--dot <path>]");
+            eprintln!("                                  happens-before DAG + critical paths");
+            eprintln!("  forensics <bundle.json>         summarize + re-execute a post-mortem");
+            eprintln!("                                  bundle (exit 1 iff it still fails)");
+            eprintln!("exit codes: 0 clean, 1 violation/failed certificate/live reproducer,");
+            eprintln!("            2 usage or unreadable input");
             std::process::exit(2);
         }
     }

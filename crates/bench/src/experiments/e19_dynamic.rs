@@ -160,8 +160,9 @@ fn sweep(
 }
 
 /// Generates valid mixed event batches against a mirror of the engine's
-/// membership state (so batches validate even mid-sequence).
-struct EventGen {
+/// membership state (so batches validate even mid-sequence). Shared with
+/// E22, which replays the same churn model through recording engines.
+pub(crate) struct EventGen {
     rng: StdRng,
     active: Vec<bool>,
     inactive: Vec<NodeId>,
@@ -172,7 +173,7 @@ struct EventGen {
 }
 
 impl EventGen {
-    fn new(g: &Graph, seed: u64) -> Self {
+    pub(crate) fn new(g: &Graph, seed: u64) -> Self {
         EventGen {
             rng: StdRng::seed_from_u64(seed),
             active: vec![true; g.node_count()],
@@ -184,7 +185,7 @@ impl EventGen {
         }
     }
 
-    fn batch(&mut self, len: usize) -> Vec<EngineEvent> {
+    pub(crate) fn batch(&mut self, len: usize) -> Vec<EngineEvent> {
         (0..len).map(|_| self.next_event()).collect()
     }
 

@@ -25,6 +25,7 @@ pub mod e18_convergence_trace;
 pub mod e19_dynamic;
 pub mod e20_critical_path;
 pub mod e21_sharded;
+pub mod e22_forensics;
 
 use crate::Table;
 use owp_metrics::MetricsRegistry;
@@ -32,7 +33,7 @@ use owp_telemetry::{ConvergenceSeries, EventLog};
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
 ];
 
 /// The experiments that record a raw trace artifact — i.e. that honor
@@ -46,6 +47,12 @@ pub const TRACED: &[&str] = &["e18", "e20"];
 /// populate a [`MetricsRegistry`] under `--metrics-out`/`--watch`. The
 /// rest run un-instrumented even when a registry is supplied.
 pub const INSTRUMENTED: &[&str] = &["e5", "e18", "e19", "e20", "e21"];
+
+/// The experiments that capture a [`owp_engine::ForensicBundle`] — i.e.
+/// that honor `--forensics-out`. `e22` surfaces the first post-mortem
+/// bundle its injected-corruption sweep produced (the input format of
+/// `owp-inspect forensics`).
+pub const FORENSIC: &[&str] = &["e22"];
 
 /// The raw artifact a traced experiment attaches to its tables; what
 /// `--trace-out` serializes (each variant has its own JSONL schema).
@@ -143,9 +150,25 @@ pub fn run_instrumented(
         "e17" => vec![e17_ratio_at_scale::run(quick)],
         "e19" => e19_dynamic::run(quick),
         "e21" => e21_sharded::run(quick),
+        "e22" => e22_forensics::run(quick),
         _ => return None,
     };
     Some((tables, None))
+}
+
+/// Like [`run`], but for experiments in [`FORENSIC`] also returns the
+/// captured post-mortem bundle so the binary can honor `--forensics-out`
+/// without running the sweep twice. Non-forensic ids return `None` for
+/// the bundle.
+pub fn run_with_forensics(
+    id: &str,
+    quick: bool,
+) -> Option<(Vec<Table>, Option<owp_engine::ForensicBundle>)> {
+    if id == "e22" {
+        let (tables, bundle) = e22_forensics::run_with_bundle(quick);
+        return Some((tables, bundle));
+    }
+    run(id, quick).map(|tables| (tables, None))
 }
 
 /// Serializes an experiment's tables as the `BENCH_<id>.json` document:
@@ -197,7 +220,7 @@ mod tests {
         for id in ALL {
             assert!(seen.insert(*id), "duplicate id {id}");
         }
-        assert_eq!(ALL.len(), 21);
+        assert_eq!(ALL.len(), 22);
     }
 
     /// E18 carries a convergence series, E20 a raw event log; the others
@@ -238,7 +261,7 @@ mod tests {
     /// the binary's warnings lie).
     #[test]
     fn capability_lists_are_consistent() {
-        for id in TRACED.iter().chain(INSTRUMENTED) {
+        for id in TRACED.iter().chain(INSTRUMENTED).chain(FORENSIC) {
             assert!(ALL.contains(id), "{id} not in ALL");
         }
         assert!(TRACED.iter().all(|id| INSTRUMENTED.contains(id)),

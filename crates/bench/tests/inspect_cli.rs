@@ -1,0 +1,257 @@
+//! The `owp-inspect` exit-code contract, pinned per subcommand:
+//!
+//! * `0` — artifact is clean;
+//! * `1` — artifact records or reproduces a failure;
+//! * `2` — usage error / unreadable input / non-re-executable bundle.
+//!
+//! Each test drives the real binary (`CARGO_BIN_EXE_owp-inspect`) against
+//! a fixture written to a per-test temp directory, so the contract is
+//! verified end to end — argument parsing, file IO, parsers, and the
+//! final `exit` all included.
+
+use owp_engine::{Engine, EngineEvent, InjectedFault};
+use owp_graph::NodeId;
+use owp_matching::Problem;
+use owp_metrics::MetricsRegistry;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Per-test scratch directory under the target dir; recreated fresh.
+fn scratch(test: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(test);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs `owp-inspect <args>` and returns (exit code, stdout, stderr).
+fn inspect(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_owp-inspect"))
+        .args(args)
+        .output()
+        .expect("spawn owp-inspect");
+    (
+        out.status.code().expect("no exit code (signal?)"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn write(dir: &std::path::Path, name: &str, contents: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write fixture");
+    path.to_string_lossy().into_owned()
+}
+
+// ---------------------------------------------------------------- usage
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let (code, _, err) = inspect(&[]);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage:"), "usage text on stderr: {err}");
+    assert!(err.contains("exit codes:"), "contract documented in usage: {err}");
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let (code, _, _) = inspect(&["frobnicate", "x.json"]);
+    assert_eq!(code, 2);
+}
+
+// ---------------------------------------------------------------- trace
+
+#[test]
+fn trace_clean_series_exits_zero() {
+    let dir = scratch("trace_clean");
+    let series = "\
+{\"round\":0,\"matched_edges\":0,\"total_weight\":0.0,\"satisfaction_total\":0.0,\"messages_sent\":0,\"in_flight\":0,\"terminated_fraction\":0.0}
+{\"round\":4,\"matched_edges\":3,\"total_weight\":2.5,\"satisfaction_total\":1.5,\"messages_sent\":40,\"in_flight\":2,\"terminated_fraction\":0.5}
+{\"round\":9,\"matched_edges\":3,\"total_weight\":2.5,\"satisfaction_total\":1.5,\"messages_sent\":55,\"in_flight\":0,\"terminated_fraction\":1.0}
+";
+    let path = write(&dir, "series.jsonl", series);
+    let (code, out, _) = inspect(&["trace", &path]);
+    assert_eq!(code, 0, "clean series: {out}");
+    assert!(out.contains("matching growth"), "phase split printed: {out}");
+}
+
+#[test]
+fn trace_unparseable_input_exits_two() {
+    let dir = scratch("trace_bad");
+    let path = write(&dir, "series.jsonl", "this is not a series\n");
+    let (code, _, err) = inspect(&["trace", &path]);
+    assert_eq!(code, 2, "parse failure is a usage error: {err}");
+}
+
+#[test]
+fn trace_missing_file_exits_two() {
+    let (code, _, _) = inspect(&["trace", "/nonexistent/owp/series.jsonl"]);
+    assert_eq!(code, 2);
+}
+
+// -------------------------------------------------------------- metrics
+
+#[test]
+fn metrics_clean_audit_exits_zero() {
+    let dir = scratch("metrics_clean");
+    let reg = MetricsRegistry::new();
+    reg.counter("audit_checks_total").add(12);
+    reg.counter("audit_violations_total"); // registered, still 0
+    let path = write(&dir, "snap.json", &reg.snapshot().to_json());
+    let (code, out, _) = inspect(&["metrics", &path]);
+    assert_eq!(code, 0, "zero violations: {out}");
+    assert!(out.contains("clean — 0 violations"), "{out}");
+}
+
+#[test]
+fn metrics_recorded_violations_exit_one() {
+    let dir = scratch("metrics_dirty");
+    let reg = MetricsRegistry::new();
+    reg.counter("audit_violations_total").add(2);
+    let path = write(&dir, "snap.json", &reg.snapshot().to_json());
+    let (code, out, _) = inspect(&["metrics", &path]);
+    assert_eq!(code, 1, "recorded violations must exit 1: {out}");
+    assert!(out.contains("FAILED"), "{out}");
+}
+
+#[test]
+fn metrics_unparseable_input_exits_two() {
+    let dir = scratch("metrics_bad");
+    let path = write(&dir, "snap.json", "{not json");
+    let (code, _, _) = inspect(&["metrics", &path]);
+    assert_eq!(code, 2);
+}
+
+// --------------------------------------------------------------- causal
+
+#[test]
+fn causal_consistent_trace_exits_zero() {
+    let dir = scratch("causal_clean");
+    let trace = "\
+{\"ev\":\"span_sent\",\"time\":0,\"span\":0,\"parent\":null,\"from\":3,\"to\":7,\"kind\":\"PROP\"}
+{\"ev\":\"span_delivered\",\"time\":1,\"span\":0}
+{\"ev\":\"span_sent\",\"time\":2,\"span\":1,\"parent\":0,\"from\":7,\"to\":3,\"kind\":\"ACC\"}
+{\"ev\":\"span_delivered\",\"time\":3,\"span\":1}
+";
+    let path = write(&dir, "events.jsonl", trace);
+    let (code, out, _) = inspect(&["causal", &path]);
+    assert_eq!(code, 0, "consistent DAG: {out}");
+    assert!(out.contains("Lemma 5 holds"), "{out}");
+}
+
+#[test]
+fn causal_violated_certificate_exits_one() {
+    let dir = scratch("causal_dirty");
+    // Span 1 claims parent 99, which has no span_sent record — a
+    // broken happens-before edge the certificate must reject.
+    let trace = "\
+{\"ev\":\"span_sent\",\"time\":0,\"span\":0,\"parent\":null,\"from\":3,\"to\":7,\"kind\":\"PROP\"}
+{\"ev\":\"span_delivered\",\"time\":1,\"span\":0}
+{\"ev\":\"span_sent\",\"time\":2,\"span\":1,\"parent\":99,\"from\":7,\"to\":3,\"kind\":\"ACC\"}
+";
+    let path = write(&dir, "events.jsonl", trace);
+    let (code, out, _) = inspect(&["causal", &path]);
+    assert_eq!(code, 1, "broken certificate must exit 1: {out}");
+    assert!(out.contains("FAILED"), "{out}");
+}
+
+#[test]
+fn causal_unknown_flag_exits_two() {
+    let (code, _, err) = inspect(&["causal", "x.jsonl", "--frob"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown flag"), "{err}");
+}
+
+// ------------------------------------------------------------ forensics
+
+/// A warmed engine with recording on, plus a structural batch cycle.
+fn recording_engine() -> (Engine, Vec<Vec<EngineEvent>>) {
+    let mut e = Engine::builder(Problem::random_gnp(24, 0.3, 2, 97))
+        .flight_capacity(256)
+        .history_capacity(16)
+        .build();
+    let n = e.dynamic().graph().node_count() as u32;
+    let mut batches = Vec::new();
+    for i in 0..6u32 {
+        let node = NodeId((i * 3) % n);
+        batches.push(vec![EngineEvent::NodeLeave { node }]);
+        batches.push(vec![EngineEvent::NodeJoin { node }]);
+    }
+    for b in &batches {
+        e.apply_batch(b).unwrap();
+    }
+    (e, batches)
+}
+
+#[test]
+fn forensics_live_reproducer_exits_one() {
+    let dir = scratch("forensics_live");
+    let (mut e, _) = recording_engine();
+    let edge = {
+        let dp = e.dynamic();
+        dp.graph()
+            .edges()
+            .find(|&ed| dp.is_alive(ed) && !e.matching().contains(ed))
+            .expect("an unselected alive edge exists")
+    };
+    e.inject_fault(InjectedFault::PhantomEdge { edge });
+    let bundle = e
+        .certify_with_forensics(Some(97), None)
+        .expect_err("phantom edge must fail certification");
+    let path = write(&dir, "bundle.json", &bundle.to_json());
+    let (code, out, _) = inspect(&["forensics", &path]);
+    assert_eq!(code, 1, "live reproducer must exit 1: {out}");
+    assert!(out.contains("STILL FAILS"), "{out}");
+    assert!(out.contains("same as recorded violation"), "{out}");
+    assert!(out.contains("shrunk reproducer"), "{out}");
+}
+
+#[test]
+fn forensics_clean_replay_exits_zero() {
+    let dir = scratch("forensics_clean");
+    // A manual capture of a *healthy* engine: the recorded window
+    // replays without divergence, so the bundle is informational only.
+    let (e, _) = recording_engine();
+    e.certify().expect("healthy engine certifies");
+    let bundle = e.capture_bundle("manual", "operator snapshot", Some(97), None);
+    let path = write(&dir, "bundle.json", &bundle.to_json());
+    let (code, out, _) = inspect(&["forensics", &path]);
+    assert_eq!(code, 0, "clean replay: {out}");
+    assert!(out.contains("replays CLEAN"), "{out}");
+}
+
+#[test]
+fn forensics_unparseable_bundle_exits_two() {
+    let dir = scratch("forensics_bad");
+    let path = write(&dir, "bundle.json", "{\"format\":99}");
+    let (code, _, err) = inspect(&["forensics", &path]);
+    assert_eq!(code, 2, "unparseable bundle is a usage error: {err}");
+}
+
+#[test]
+fn forensics_unreplayable_bundle_exits_two() {
+    let dir = scratch("forensics_norun");
+    // Recording explicitly disabled (capacity 0): the bundle has no
+    // checkpoint, so the reproducer cannot be re-executed — a
+    // non-re-executable artifact.
+    let mut e = Engine::builder(Problem::random_gnp(24, 0.3, 2, 97))
+        .flight_capacity(0)
+        .history_capacity(0)
+        .build();
+    e.apply(EngineEvent::NodeLeave { node: NodeId(2) }).unwrap();
+    let edge = {
+        let dp = e.dynamic();
+        dp.graph()
+            .edges()
+            .find(|&ed| dp.is_alive(ed) && !e.matching().contains(ed))
+            .expect("an unselected alive edge exists")
+    };
+    e.inject_fault(InjectedFault::PhantomEdge { edge });
+    let bundle = e
+        .certify_with_forensics(None, None)
+        .expect_err("phantom edge must fail certification");
+    let path = write(&dir, "bundle.json", &bundle.to_json());
+    let (code, _, err) = inspect(&["forensics", &path]);
+    assert_eq!(code, 2, "non-re-executable bundle exits 2: {err}");
+    assert!(err.contains("cannot be re-executed"), "{err}");
+}

@@ -1,0 +1,20 @@
+//! Stamps the compiling rustc's version into `OWP_RUSTC_VERSION` so
+//! forensic bundles carry compiler provenance.
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    if !version.is_empty() {
+        println!("cargo:rustc-env=OWP_RUSTC_VERSION={version}");
+    }
+    println!("cargo:rerun-if-changed=build.rs");
+}

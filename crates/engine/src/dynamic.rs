@@ -47,6 +47,23 @@ impl DynamicProblem {
         }
     }
 
+    /// Rewraps a universe instance with explicit membership flags — how a
+    /// deserialized forensic bundle restores the checkpoint state
+    /// (`crate::forensics`). Flag lengths must match the instance.
+    pub(crate) fn from_parts(problem: Problem, active: Vec<bool>, present: Vec<bool>) -> Self {
+        assert_eq!(active.len(), problem.node_count(), "active flag length");
+        assert_eq!(present.len(), problem.edge_count(), "present flag length");
+        let active_nodes = active.iter().filter(|&&a| a).count();
+        let present_edges = present.iter().filter(|&&p| p).count();
+        DynamicProblem {
+            problem,
+            active,
+            present,
+            active_nodes,
+            present_edges,
+        }
+    }
+
     /// The universe graph (fixed for the engine's lifetime).
     #[inline]
     pub fn graph(&self) -> &Graph {

@@ -66,14 +66,24 @@
 
 use crate::dynamic::DynamicProblem;
 use crate::event::{EngineError, EngineEvent};
+use crate::forensics::{self, InjectedFault, StepRing};
 use crate::report::{DeltaReport, Epoch};
 use crate::scratch::{EngineScratch, ShardState};
 use crate::shard::{Partitioner, RangePartitioner, ShardMap, BOUNDARY};
 use owp_graph::{EdgeId, Graph, NodeId};
 use owp_matching::satisfaction::node_satisfaction;
 use owp_matching::{lic, BMatching, EdgeOrder, EdgeRank, Problem, SelectionPolicy};
-use owp_telemetry::{NullRecorder, Recorder, TelemetryEvent};
+use owp_telemetry::{FlightRecorder, NullRecorder, Recorder, Tee, TelemetryEvent};
 use std::cmp::Reverse;
+
+/// Default flight-recorder capacity, in telemetry events. Sized so the
+/// black box holds the last few hundred batches of structural churn
+/// (~40 KiB) — "always-on" means the default build records.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// Default black-box history depth, in batches. Bounds both the memory
+/// held by recorded batches and the worst-case shrinker window.
+pub const DEFAULT_HISTORY_CAPACITY: usize = 32;
 
 /// The event-driven engine: owns a [`DynamicProblem`] and keeps the exact
 /// locally-heaviest matching of its alive sub-instance through every
@@ -104,6 +114,19 @@ pub struct Engine {
     sat: Vec<f64>,
     total_sat: f64,
     epoch: Epoch,
+    /// Always-on flight ring: every `Engine*` telemetry event of every
+    /// applied batch, bounded, drop-counted (capacity 0 disables).
+    flight: FlightRecorder,
+    /// Black-box history of applied batches and injected faults.
+    history: StepRing,
+    /// Shadow membership state just *before* the oldest retained history
+    /// step — the origin forensic replay starts from. Advanced lazily as
+    /// the history ring evicts. `None` when history is disabled.
+    checkpoint: Option<DynamicProblem>,
+    /// Epoch the checkpoint corresponds to.
+    checkpoint_epoch: Epoch,
+    /// Boundary-merge rounds the last batch ran until quiescent.
+    phase2_rounds: u64,
 }
 
 /// Configures an [`Engine`] before construction: shard count, thread
@@ -115,6 +138,8 @@ pub struct EngineBuilder {
     shards: usize,
     threads: Option<usize>,
     partitioner: Box<dyn Partitioner>,
+    flight: usize,
+    history: usize,
 }
 
 impl EngineBuilder {
@@ -140,13 +165,35 @@ impl EngineBuilder {
         self
     }
 
+    /// Flight-recorder capacity in telemetry events
+    /// ([`DEFAULT_FLIGHT_CAPACITY`] by default); 0 disables the ring.
+    pub fn flight_capacity(mut self, events: usize) -> Self {
+        self.flight = events;
+        self
+    }
+
+    /// Black-box history depth in batches ([`DEFAULT_HISTORY_CAPACITY`]
+    /// by default); 0 disables history, the shadow checkpoint and
+    /// forensic replay.
+    pub fn history_capacity(mut self, batches: usize) -> Self {
+        self.history = batches;
+        self
+    }
+
     /// Builds the engine (computes the canonical matching from scratch).
     pub fn build(self) -> Engine {
         let threads = self
             .threads
             .unwrap_or_else(default_threads)
             .clamp(1, self.shards);
-        Engine::with_layout(self.problem, self.shards, threads, self.partitioner.as_ref())
+        Engine::layout(
+            DynamicProblem::new(self.problem),
+            self.shards,
+            threads,
+            self.partitioner.as_ref(),
+            self.flight,
+            self.history,
+        )
     }
 }
 
@@ -459,27 +506,46 @@ impl Engine {
     /// 0). Single shard — the sequential fast path; use
     /// [`Engine::builder`] for the sharded parallel mode.
     pub fn new(problem: Problem) -> Self {
-        Self::with_layout(problem, 1, 1, &RangePartitioner)
+        Self::layout(
+            DynamicProblem::new(problem),
+            1,
+            1,
+            &RangePartitioner,
+            DEFAULT_FLIGHT_CAPACITY,
+            DEFAULT_HISTORY_CAPACITY,
+        )
     }
 
     /// A configurable constructor: shard count, thread count,
-    /// partitioner. See [`EngineBuilder`].
+    /// partitioner, forensic ring capacities. See [`EngineBuilder`].
     pub fn builder(problem: Problem) -> EngineBuilder {
         EngineBuilder {
             problem,
             shards: 1,
             threads: None,
             partitioner: Box::new(RangePartitioner),
+            flight: DEFAULT_FLIGHT_CAPACITY,
+            history: DEFAULT_HISTORY_CAPACITY,
         }
     }
 
-    fn with_layout(
-        problem: Problem,
+    /// Starts an engine over an existing dynamic instance, membership
+    /// flags and all — how forensic replay rebuilds the engine a recorded
+    /// window ran against. Single shard, sequential, forensic rings
+    /// disabled (a replay engine must not record itself).
+    pub fn from_dynamic(dp: DynamicProblem) -> Self {
+        Self::layout(dp, 1, 1, &RangePartitioner, 0, 0)
+    }
+
+    fn layout(
+        dp: DynamicProblem,
         k: usize,
         threads: usize,
         partitioner: &dyn Partitioner,
+        flight_cap: usize,
+        history_cap: usize,
     ) -> Self {
-        let dp = DynamicProblem::new(problem);
+        let checkpoint = (history_cap > 0).then(|| dp.clone());
         let g = dp.graph();
         let shard_map = ShardMap::new(g, k, partitioner);
         let mut shards: Vec<ShardState> =
@@ -489,6 +555,9 @@ impl Engine {
         let mut matching = BMatching::empty(g);
         let mut slots: Vec<u32> = g.nodes().map(|i| dp.quotas().get(i)).collect();
         for &e in dp.order().heaviest_first() {
+            if !dp.is_alive(e) {
+                continue;
+            }
             let (u, v) = g.endpoints(e);
             if slots[u.index()] > 0 && slots[v.index()] > 0 {
                 matching.insert_unchecked(g, e);
@@ -509,7 +578,13 @@ impl Engine {
         }
         let sat: Vec<f64> = g
             .nodes()
-            .map(|i| node_satisfaction(dp.prefs(), dp.quotas(), i, matching.connections(i)))
+            .map(|i| {
+                if dp.is_active(i) {
+                    node_satisfaction(dp.prefs(), dp.quotas(), i, matching.connections(i))
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let total_sat = sat.iter().sum();
         Engine {
@@ -522,6 +597,11 @@ impl Engine {
             sat,
             total_sat,
             epoch: Epoch(0),
+            flight: FlightRecorder::new(flight_cap),
+            history: StepRing::new(history_cap),
+            checkpoint,
+            checkpoint_epoch: Epoch(0),
+            phase2_rounds: 0,
         }
     }
 
@@ -559,6 +639,35 @@ impl Engine {
     /// batch.
     pub fn boundary_evaluated(&self) -> u64 {
         self.scratch.evaluated
+    }
+
+    /// Two-phase repair rounds the last applied batch ran until quiescent
+    /// (1 when a single phase-1 pass settled everything; always 1
+    /// unsharded).
+    pub fn phase2_rounds(&self) -> u64 {
+        self.phase2_rounds
+    }
+
+    /// The always-on flight ring (the telemetry black box).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The black-box history of recent batches and injected faults.
+    pub fn history(&self) -> &StepRing {
+        &self.history
+    }
+
+    /// The shadow membership checkpoint the retained history replays
+    /// from; `None` when history is disabled.
+    pub fn checkpoint(&self) -> Option<&DynamicProblem> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Epoch the checkpoint corresponds to — the state just before the
+    /// oldest retained history step.
+    pub fn checkpoint_epoch(&self) -> Epoch {
+        self.checkpoint_epoch
     }
 
     /// The current epoch (one tick per applied batch, including empty
@@ -621,8 +730,75 @@ impl Engine {
     }
 
     /// The full entry point: traced **and** report-reusing. Everything
-    /// else delegates here.
+    /// else delegates here. The caller's recorder is teed with the
+    /// engine's own flight ring, and every successful batch is appended
+    /// to the black-box history — both allocation-free once warm.
     pub fn apply_batch_traced_into<R: Recorder>(
+        &mut self,
+        events: &[EngineEvent],
+        rec: &mut R,
+        out: &mut DeltaReport,
+    ) -> Result<(), EngineError> {
+        // The flight ring is moved out for the duration of the batch so
+        // the tee can borrow it alongside `&mut self` (`take` swaps in a
+        // capacity-0 ring: no allocation).
+        let mut flight = std::mem::take(&mut self.flight);
+        let res = {
+            let mut tee = Tee::new(&mut flight, rec);
+            self.apply_core(events, &mut tee, out)
+        };
+        if res.is_ok() {
+            flight.stamp(self.epoch.0);
+            self.record_step(events, None);
+        }
+        self.flight = flight;
+        res
+    }
+
+    /// Deliberately corrupts the engine — the chaos hook the forensic
+    /// pipeline is proved against (experiment E22). The fault is applied
+    /// *and* recorded as a history step, so a forensic replay reproduces
+    /// it at the same point in the stream. The epoch does not tick:
+    /// faults are not legitimate batches.
+    pub fn inject_fault(&mut self, fault: InjectedFault) {
+        self.apply_fault(&fault);
+        self.record_step(&[], Some(fault));
+    }
+
+    /// Applies a fault's corruption without recording it (replay path).
+    pub(crate) fn apply_fault(&mut self, fault: &InjectedFault) {
+        match fault {
+            // Force the edge into the matching behind the repair
+            // machinery's back: mirrors and satisfaction are left stale
+            // on purpose — this models external state corruption.
+            InjectedFault::PhantomEdge { edge } => {
+                self.matching.insert_unchecked(self.dp.graph(), *edge);
+            }
+            // Move the weights/ranks but skip the repair the engine
+            // would normally run: the matching goes stale against eq. 9.
+            InjectedFault::SkippedRepair { node, list } => {
+                let changed = self.dp.apply_prefs(*node, list.clone());
+                self.dp.rerank(&changed);
+            }
+        }
+    }
+
+    /// Appends one step to the black-box history, first advancing the
+    /// shadow checkpoint past whatever the ring evicts.
+    fn record_step(&mut self, events: &[EngineEvent], fault: Option<InjectedFault>) {
+        if self.history.capacity() == 0 {
+            return;
+        }
+        if let Some(step) = self.history.evicting() {
+            if let Some(ck) = self.checkpoint.as_mut() {
+                forensics::advance_membership(ck, &step.events, step.fault.as_ref());
+                self.checkpoint_epoch = Epoch(step.epoch);
+            }
+        }
+        self.history.push_step(self.epoch.0, events, fault);
+    }
+
+    fn apply_core<R: Recorder>(
         &mut self,
         events: &[EngineEvent],
         rec: &mut R,
@@ -713,7 +889,9 @@ impl Engine {
 
         // ---- two-phase repair rounds until quiescent. With one shard
         // this is a single phase-1 pass and an empty merge.
+        let mut rounds = 0u64;
         loop {
+            rounds += 1;
             run_phase1(
                 &self.dp,
                 &self.shard_map,
@@ -726,6 +904,7 @@ impl Engine {
                 break;
             }
         }
+        self.phase2_rounds = rounds;
 
         // ---- fold the flip journals into the public BMatching mirror
         // and the net-delta journal. An edge's flips live in exactly one

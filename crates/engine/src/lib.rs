@@ -41,6 +41,15 @@
 //! added/removed, dirty-region size, ΔΣS) and can emit the `Engine*`
 //! branch of the `owp-telemetry` event taxonomy through any
 //! `Recorder` ([`Engine::apply_batch_traced`]).
+//!
+//! ## The black box: divergence forensics
+//!
+//! The engine also flies with two always-on, bounded recorders — a
+//! telemetry flight ring and a batch-history ring backed by a shadow
+//! membership checkpoint — so a certification failure or auditor
+//! violation can be frozen into a self-contained, re-executable
+//! [`ForensicBundle`] with a delta-debugged minimal reproducer
+//! ([`forensics`], DESIGN.md §12).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,12 +57,17 @@
 pub mod dynamic;
 pub mod engine;
 pub mod event;
+pub mod forensics;
 pub mod report;
 pub mod scratch;
 pub mod shard;
 
 pub use dynamic::DynamicProblem;
-pub use engine::{Engine, EngineBuilder};
+pub use engine::{Engine, EngineBuilder, DEFAULT_FLIGHT_CAPACITY, DEFAULT_HISTORY_CAPACITY};
 pub use event::{EngineError, EngineEvent};
+pub use forensics::{
+    normalize_violation, replay, shrink, ForensicBundle, InjectedFault, OriginSnapshot,
+    RecordedStep, ShrinkResult, StepRing,
+};
 pub use report::{DeltaReport, Epoch};
 pub use shard::{Partitioner, RangePartitioner, ShardMap, BOUNDARY};

@@ -90,6 +90,28 @@ impl FixedCsr {
         self.lens[r] = len + 1;
     }
 
+    /// `true` iff row `r` contains `v` (linear scan — rows are at most a
+    /// node's degree, and the mirror rows the engine keeps are at most a
+    /// quota deep).
+    #[inline]
+    pub fn contains(&self, r: usize, v: u32) -> bool {
+        self.row(r).contains(&v)
+    }
+
+    /// Appends `v` to row `r` unless the row already contains it.
+    /// Returns `true` iff the item was inserted. Same capacity panic as
+    /// [`FixedCsr::push`]; not used on the repair hot path (which relies
+    /// on flip discipline, not dedup) — this is for cold-path callers
+    /// that aggregate unordered edge sets.
+    #[inline]
+    pub fn push_unique(&mut self, r: usize, v: u32) -> bool {
+        if self.contains(r, v) {
+            return false;
+        }
+        self.push(r, v);
+        true
+    }
+
     /// Removes the first occurrence of `v` from row `r` by swapping the
     /// last item into its slot (order not preserved). Returns `true` iff
     /// `v` was present.
@@ -183,5 +205,58 @@ mod tests {
         let c = FixedCsr::with_capacities(std::iter::empty());
         assert_eq!(c.rows(), 0);
         assert_eq!(c.total_len(), 0);
+    }
+
+    #[test]
+    fn at_capacity_insert_fills_exactly() {
+        let mut c = FixedCsr::with_capacities([3]);
+        for v in [10, 20, 30] {
+            c.push(0, v);
+        }
+        assert_eq!(c.len(0), c.capacity(0), "row filled to the brim");
+        assert_eq!(c.row(0), &[10, 20, 30]);
+        // A full row still supports remove + re-push at capacity.
+        assert!(c.remove(0, 20));
+        c.push(0, 40);
+        assert_eq!(c.len(0), 3);
+        assert!(c.contains(0, 40));
+    }
+
+    #[test]
+    fn duplicate_edges_are_rejected_by_push_unique() {
+        let mut c = FixedCsr::with_capacities([2, 2]);
+        assert!(c.push_unique(0, 7));
+        assert!(!c.push_unique(0, 7), "duplicate rejected");
+        assert_eq!(c.len(0), 1, "rejection leaves the row unchanged");
+        assert!(c.push_unique(1, 7), "rows are independent");
+        assert!(c.push_unique(0, 8));
+        assert!(!c.push_unique(0, 8));
+        assert_eq!(c.row(0), &[7, 8]);
+        // Rejection must not consume capacity: the row is now full, and
+        // a duplicate still answers false instead of panicking.
+        assert!(!c.push_unique(0, 7));
+    }
+
+    #[test]
+    fn clear_then_reuse_preserves_layout() {
+        let mut c = FixedCsr::with_capacities([2, 1, 3]);
+        c.push(0, 1);
+        c.push(1, 2);
+        c.push(2, 3);
+        c.push(2, 4);
+        let (rows, caps): (usize, Vec<usize>) =
+            (c.rows(), (0..c.rows()).map(|r| c.capacity(r)).collect());
+        c.clear();
+        assert_eq!(c.rows(), rows);
+        assert_eq!((0..c.rows()).map(|r| c.capacity(r)).collect::<Vec<_>>(), caps);
+        assert!((0..c.rows()).all(|r| c.is_empty(r)));
+        // Full reuse after clear: every row refills to capacity.
+        for r in 0..c.rows() {
+            for v in 0..c.capacity(r) as u32 {
+                c.push(r, 100 + v);
+            }
+            assert_eq!(c.len(r), c.capacity(r));
+        }
+        assert_eq!(c.total_len(), 6);
     }
 }

@@ -38,6 +38,19 @@ pub static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 /// path (allocations per applied batch, measured after warm-up).
 pub const ALLOCATIONS_PER_BATCH: &str = "engine_allocations_per_batch";
 
+/// Gauge key for the two-phase repair rounds the last batch ran until
+/// quiescent (1 = a single phase-1 pass settled everything).
+pub const PHASE2_ROUNDS: &str = "engine_phase2_rounds";
+
+/// Gauge key for telemetry events the engine's flight ring has
+/// overwritten since construction (0 = the black box still holds the
+/// whole run).
+pub const RECORDER_DROPPED: &str = "recorder_dropped_events";
+
+/// Gauge key for the flight ring's fill fraction in `[0, 1]` (1 = full,
+/// i.e. every further event evicts the oldest).
+pub const RECORDER_OCCUPANCY: &str = "recorder_ring_occupancy";
+
 /// Allocations observed so far in this process (0 if no shim installed).
 pub fn allocation_count() -> u64 {
     ALLOC_COUNT.load(Ordering::Relaxed)
@@ -75,7 +88,12 @@ fn shard_key(prefix: &'static str, s: usize) -> &'static str {
 /// * `engine_shard_evaluated_<s>` — interior edges shard `s` evaluated in
 ///   the last applied batch (the phase-1 load balance);
 /// * `engine_boundary_evaluated` — edges the phase-2 merge evaluated (the
-///   sequential fraction the two-phase commit pays).
+///   sequential fraction the two-phase commit pays);
+/// * [`PHASE2_ROUNDS`] — boundary-merge rounds the last batch needed to
+///   reach quiescence (the cross-shard cascade depth);
+/// * [`RECORDER_DROPPED`] / [`RECORDER_OCCUPANCY`] — the flight ring's
+///   drop count and fill fraction, so a post-mortem knows how much of the
+///   stream the black box still held.
 pub fn publish_shard_gauges(reg: &MetricsRegistry, engine: &Engine) {
     let map = engine.shard_map();
     reg.gauge("engine_shards").set(map.shard_count() as f64);
@@ -87,6 +105,9 @@ pub fn publish_shard_gauges(reg: &MetricsRegistry, engine: &Engine) {
         reg.gauge(shard_key("engine_shard_evaluated", s))
             .set(engine.shard_evaluated(s) as f64);
     }
+    reg.gauge(PHASE2_ROUNDS).set(engine.phase2_rounds() as f64);
+    reg.gauge(RECORDER_DROPPED).set(engine.flight().dropped() as f64);
+    reg.gauge(RECORDER_OCCUPANCY).set(engine.flight().occupancy());
 }
 
 #[cfg(test)]
@@ -115,6 +136,23 @@ mod tests {
         let total: f64 = (0..4).map(|s| e.shard_evaluated(s) as f64).sum::<f64>()
             + e.boundary_evaluated() as f64;
         assert!(total > 0.0, "a leave evaluates something");
+    }
+
+    #[test]
+    fn forensic_gauges_reflect_the_engine() {
+        let mut e = owp_engine::Engine::builder(Problem::random_gnp(24, 0.3, 2, 42))
+            .flight_capacity(8)
+            .build();
+        for node in [NodeId(1), NodeId(2), NodeId(3)] {
+            e.apply(EngineEvent::NodeLeave { node }).unwrap();
+        }
+        let reg = MetricsRegistry::new();
+        publish_shard_gauges(&reg, &e);
+        assert_eq!(reg.gauge(PHASE2_ROUNDS).get(), e.phase2_rounds() as f64);
+        assert!(reg.gauge(PHASE2_ROUNDS).get() >= 1.0, "at least one round ran");
+        assert_eq!(reg.gauge(RECORDER_DROPPED).get(), e.flight().dropped() as f64);
+        let occ = reg.gauge(RECORDER_OCCUPANCY).get();
+        assert!(occ > 0.0 && occ <= 1.0, "tiny ring fills fast: {occ}");
     }
 
     #[test]

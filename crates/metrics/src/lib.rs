@@ -45,7 +45,7 @@ pub mod snapshot;
 
 pub use alloc::{
     allocation_count, allocations_since, publish_allocations_per_batch, publish_shard_gauges,
-    ALLOCATIONS_PER_BATCH, ALLOC_COUNT,
+    ALLOCATIONS_PER_BATCH, ALLOC_COUNT, PHASE2_ROUNDS, RECORDER_DROPPED, RECORDER_OCCUPANCY,
 };
 pub use audit::{
     epsilon_blocking_count, weight_upper_bound, AuditViolation, Auditor, InvariantKind,

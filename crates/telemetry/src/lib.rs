@@ -14,7 +14,11 @@
 //!   are instrumented generically ([`recorder::NullRecorder`]
 //!   monomorphizes every call site away) or through the enum-dispatched
 //!   [`recorder::EventLog`] (one branch per event, no `dyn`, no
-//!   allocation while disabled).
+//!   allocation while disabled). The bounded-memory
+//!   [`recorder::FlightRecorder`] ring (always-on black box; overwrites
+//!   oldest, counts drops, stamps epoch watermarks, never allocates after
+//!   construction) and the [`recorder::Tee`] combinator feed the engine's
+//!   post-mortem forensics.
 //! * [`series`] — **per-round convergence time-series**: the
 //!   [`series::ConvergenceSeries`] collector samples matched-edge count,
 //!   total weight, total satisfaction, in-flight messages and the
@@ -54,5 +58,5 @@ pub use causal::{
 };
 pub use event::{MessageKind, NodeEvent, SpanId, TelemetryEvent};
 pub use profile::{PhaseProfile, PhaseToken};
-pub use recorder::{EventLog, NullRecorder, Recorder};
+pub use recorder::{EventLog, FlightRecorder, NullRecorder, Recorder, Tee};
 pub use series::{ConvergenceSample, ConvergenceSeries};

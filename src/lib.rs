@@ -14,7 +14,9 @@
 //!   exact solvers, stability machinery, verification, bounds;
 //! * [`owp_engine`] — the event-driven dynamic engine: certified bounded
 //!   repair of the locally-heaviest matching under joins, leaves, edge
-//!   churn and preference/quota updates;
+//!   churn and preference/quota updates, plus the always-on flight
+//!   recorder and divergence forensics (auto-shrunk reproducers,
+//!   post-mortem bundles);
 //! * [`owp_core`] — the LID protocol and the overlay-construction API;
 //! * [`owp_metrics`] — lock-free metrics registry (counters, gauges, log₂
 //!   histograms), Prometheus/JSON exporters, and the online invariant
@@ -51,7 +53,7 @@ pub mod prelude {
     };
     pub use owp_engine::{
         DeltaReport, DynamicProblem, Engine, EngineBuilder, EngineError, EngineEvent, Epoch,
-        Partitioner, RangePartitioner, ShardMap,
+        ForensicBundle, InjectedFault, Partitioner, RangePartitioner, ShardMap, ShrinkResult,
     };
     pub use owp_graph::{Graph, GraphBuilder, NodeId, PreferenceTable, Quotas};
     pub use owp_matching::{
