@@ -3,7 +3,7 @@
 //! against the committed `BENCH_<id>.json` baselines.
 //!
 //! ```text
-//! bench_guard [e15|e19|e21|e20|e22|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
+//! bench_guard [e15|e19|e21|e20|e22|e23|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
 //! ```
 //!
 //! Guarded experiments:
@@ -24,7 +24,12 @@
 //!   rings on vs off (`BENCH_e22.json`), plus an **absolute** ceiling of
 //!   10% on the overhead column — the always-on black box's budget is a
 //!   design contract, not a baseline, so it is checked against the
-//!   constant rather than a committed measurement.
+//!   constant rather than a committed measurement;
+//! * `e23` — matchd daemon: end-to-end ingest wall time and p99
+//!   submission round trip per linger setting over loopback TCP
+//!   (`BENCH_e23.json`; honors `OWP_E23_N`). Loopback scheduling is
+//!   noisier than an in-process loop, so CI checks it with a widened
+//!   tolerance.
 //!
 //! Flags:
 //!
@@ -44,7 +49,8 @@
 //! for the "telemetry off costs nothing" claim.
 
 use owp_bench::experiments::{
-    e15_scale, e19_dynamic, e20_critical_path, e21_sharded, e22_forensics, tables_to_json,
+    e15_scale, e19_dynamic, e20_critical_path, e21_sharded, e22_forensics, e23_matchd,
+    tables_to_json,
 };
 use owp_bench::Table;
 use std::time::Instant;
@@ -120,6 +126,16 @@ const GUARDS: &[Guard] = &[
         exact: false,
         cap: Some(("overhead %", 4, 10.0)),
     },
+    Guard {
+        id: "e23",
+        what: "E23 matchd ingest sweep (full size, loopback TCP)",
+        key_col: 0,
+        key_label: "linger us",
+        cols: &[("ingest ms", 4), ("p99 ms", 6)],
+        run: e23_matchd::run,
+        exact: false,
+        cap: None,
+    },
 ];
 
 fn main() {
@@ -155,7 +171,7 @@ fn main() {
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag: {a}");
                 eprintln!(
-                    "usage: bench_guard [e15|e19|e21|e20|e22|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]"
+                    "usage: bench_guard [e15|e19|e21|e20|e22|e23|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]"
                 );
                 std::process::exit(2);
             }

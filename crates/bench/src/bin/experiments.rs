@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table/figure of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! experiments <e1|e2|...|e22|all> [--quick] [--json] [--trace-out <path>]
+//! experiments <e1|e2|...|e23|all> [--quick] [--json] [--trace-out <path>]
 //!             [--metrics-out <path>] [--forensics-out <path>] [--watch]
 //! ```
 //!
@@ -18,7 +18,7 @@
 //! flag; selecting *only* untraced experiments is an error.
 //!
 //! With `--metrics-out <path>`, the instrumented experiments (see
-//! `experiments::INSTRUMENTED`: e5, e18, e19, e20, e21) run with a shared
+//! `experiments::INSTRUMENTED`: e5, e18, e19, e20, e21, e23) run with a shared
 //! `MetricsRegistry` — histograms, message counters and the online
 //! invariant audit — and the final snapshot is written to `path`:
 //! Prometheus text format if the path ends in `.prom`, JSON otherwise.
@@ -108,7 +108,7 @@ fn main() {
 
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <e1..e22|all> [--quick] [--json] [--trace-out <path>] \
+            "usage: experiments <e1..e23|all> [--quick] [--json] [--trace-out <path>] \
              [--metrics-out <path>] [--forensics-out <path>] [--watch]"
         );
         eprintln!("known experiments: {}", experiments::ALL.join(", "));

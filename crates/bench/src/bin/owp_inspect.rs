@@ -7,6 +7,9 @@
 //!                                               happens-before DAG summary
 //! owp-inspect forensics <bundle.json>           post-mortem bundle: summarize,
 //!                                               re-execute, verify
+//! owp-inspect wal <matchd.wal> [--snapshot <snapshot.bin>] [--universe <spec>]
+//!                                               matchd WAL: summarize, replay,
+//!                                               certify
 //! ```
 //!
 //! **Exit-code contract, uniform across every subcommand:**
@@ -47,6 +50,17 @@
 //! reproducer, then restores the bundled checkpoint and **re-executes**
 //! the reproducer against a fresh engine. Exit status 1 iff the
 //! reproducer still fails certification.
+//!
+//! `wal` consumes a matchd write-ahead log (`owp_matchd::wal` format):
+//! prints the record count, epoch range, per-record CRC verdict and any
+//! truncated torn-tail bytes. With `--snapshot` it restores the matching
+//! snapshot, replays every WAL record past the snapshot's epoch, and
+//! **certifies** the rebuilt engine (bit-identity with a from-scratch
+//! `lic()`) — the same recovery path the daemon itself runs before
+//! serving. `--universe <spec>` (e.g. `ba:2000,3,2,42`) replays from a
+//! fresh universe instead, for WALs that predate any snapshot. Exit
+//! status 1 if the log has torn/corrupt bytes or the replay fails to
+//! certify, 0 when clean.
 //!
 //! Reports are accumulated and written in one shot with write errors
 //! ignored, so piping into `head` never aborts the tool.
@@ -455,12 +469,135 @@ fn inspect_forensics(path: &str) {
     }
 }
 
+fn inspect_wal(path: &str, snapshot: Option<&str>, universe: Option<&str>) {
+    use owp_matchd::wal;
+
+    let (summary, records) = wal::scan(std::path::Path::new(path))
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} record(s), {} of {} bytes valid",
+        summary.records, summary.valid_bytes, summary.file_bytes
+    );
+    match (summary.first_epoch, summary.last_epoch) {
+        (Some(a), Some(b)) => {
+            let _ = writeln!(out, "  epochs {a}..={b}");
+        }
+        _ => out.push_str("  epochs: none (empty log)\n"),
+    }
+    if summary.is_clean() {
+        out.push_str("  integrity: clean — every record framed and CRC-verified\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "  integrity: TORN TAIL — {} trailing byte(s) unusable: {}",
+            summary.torn_bytes,
+            summary.torn_reason.as_deref().unwrap_or("unknown"),
+        );
+    }
+
+    // Replay-certify when a starting state is available.
+    let mut engine_and_floor = None;
+    match (snapshot, universe) {
+        (Some(snap_path), _) => {
+            let snap = owp_matchd::load_snapshot_file(std::path::Path::new(snap_path))
+                .unwrap_or_else(|e| fail(&e));
+            let _ = writeln!(
+                out,
+                "  snapshot {snap_path}: epoch {}, CRC-verified, restores bit-identically",
+                snap.epoch
+            );
+            let engine =
+                owp_engine::Engine::from_snapshot(&snap.origin, owp_engine::Epoch(snap.epoch))
+                    .unwrap_or_else(|e| fail(&format!("snapshot does not restore: {e}")));
+            engine_and_floor = Some((engine, snap.epoch));
+        }
+        (None, Some(spec)) => {
+            let problem = owp_matchd::from_spec(spec).unwrap_or_else(|e| fail(&e));
+            engine_and_floor = Some((owp_engine::Engine::new(problem), 0));
+        }
+        (None, None) => {
+            out.push_str("  (no --snapshot/--universe: integrity scan only, no replay)\n");
+        }
+    }
+    let mut replay_failed = false;
+    if let Some((mut engine, floor)) = engine_and_floor {
+        let mut replayed = 0usize;
+        let mut skipped = 0usize;
+        let mut error = None;
+        for rec in &records {
+            if rec.epoch <= floor {
+                skipped += 1;
+                continue;
+            }
+            if let Err(e) = engine.apply_batch(&rec.events) {
+                error = Some(format!("record at epoch {}: {e}", rec.epoch));
+                break;
+            }
+            replayed += 1;
+        }
+        match error {
+            Some(e) => {
+                let _ = writeln!(out, "  replay: FAILED — {e}");
+                replay_failed = true;
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  replay: {replayed} record(s) applied ({skipped} at or below the \
+                     snapshot epoch skipped), engine at epoch {}",
+                    engine.epoch().0
+                );
+                match engine.certify() {
+                    Ok(()) => out.push_str(
+                        "  certify: recovered matching bit-identical to a from-scratch lic()\n",
+                    ),
+                    Err(e) => {
+                        let _ = writeln!(out, "  certify: FAILED — {e}");
+                        replay_failed = true;
+                    }
+                }
+            }
+        }
+    }
+    emit(&out);
+    if !summary.is_clean() || replay_failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [cmd, path] if cmd == "trace" => inspect_trace(path),
         [cmd, path] if cmd == "metrics" => inspect_metrics(path),
         [cmd, path] if cmd == "forensics" => inspect_forensics(path),
+        [cmd, rest @ ..] if cmd == "wal" && !rest.is_empty() => {
+            let mut path: Option<&str> = None;
+            let mut snapshot: Option<&str> = None;
+            let mut universe: Option<&str> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--snapshot" => match it.next() {
+                        Some(p) => snapshot = Some(p.as_str()),
+                        None => fail("--snapshot requires a path argument"),
+                    },
+                    "--universe" => match it.next() {
+                        Some(s) => universe = Some(s.as_str()),
+                        None => fail("--universe requires a spec argument"),
+                    },
+                    _ if a.starts_with("--") => fail(&format!("unknown flag: {a}")),
+                    _ if path.is_none() => path = Some(a.as_str()),
+                    _ => fail("wal takes exactly one log path"),
+                }
+            }
+            match path {
+                Some(p) => inspect_wal(p, snapshot, universe),
+                None => fail("wal requires a log path"),
+            }
+        }
         [cmd, rest @ ..] if cmd == "causal" && !rest.is_empty() => {
             let mut path: Option<&str> = None;
             let mut top = 1usize;
@@ -487,13 +624,16 @@ fn main() {
             }
         }
         _ => {
-            eprintln!("usage: owp-inspect <trace|metrics|causal|forensics> <path>");
+            eprintln!("usage: owp-inspect <trace|metrics|causal|forensics|wal> <path>");
             eprintln!("  trace     <series.jsonl|.csv>   per-phase convergence summary");
             eprintln!("  metrics   <snapshot.json|.prom> metrics summary + audit report");
             eprintln!("  causal    <events.jsonl> [--top <k>] [--dot <path>]");
             eprintln!("                                  happens-before DAG + critical paths");
             eprintln!("  forensics <bundle.json>         summarize + re-execute a post-mortem");
             eprintln!("                                  bundle (exit 1 iff it still fails)");
+            eprintln!("  wal       <matchd.wal> [--snapshot <snapshot.bin>] [--universe <spec>]");
+            eprintln!("                                  summarize a matchd WAL; with a start");
+            eprintln!("                                  state, replay + certify the recovery");
             eprintln!("exit codes: 0 clean, 1 violation/failed certificate/live reproducer,");
             eprintln!("            2 usage or unreadable input");
             std::process::exit(2);

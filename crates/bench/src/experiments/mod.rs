@@ -26,6 +26,7 @@ pub mod e19_dynamic;
 pub mod e20_critical_path;
 pub mod e21_sharded;
 pub mod e22_forensics;
+pub mod e23_matchd;
 
 use crate::Table;
 use owp_metrics::MetricsRegistry;
@@ -33,7 +34,7 @@ use owp_telemetry::{ConvergenceSeries, EventLog};
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
 ];
 
 /// The experiments that record a raw trace artifact — i.e. that honor
@@ -46,7 +47,7 @@ pub const TRACED: &[&str] = &["e18", "e20"];
 /// The experiments with a metrics-instrumented variant — i.e. that
 /// populate a [`MetricsRegistry`] under `--metrics-out`/`--watch`. The
 /// rest run un-instrumented even when a registry is supplied.
-pub const INSTRUMENTED: &[&str] = &["e5", "e18", "e19", "e20", "e21"];
+pub const INSTRUMENTED: &[&str] = &["e5", "e18", "e19", "e20", "e21", "e23"];
 
 /// The experiments that capture a [`owp_engine::ForensicBundle`] — i.e.
 /// that honor `--forensics-out`. `e22` surfaces the first post-mortem
@@ -127,6 +128,7 @@ pub fn run_instrumented(
             "e5" => return Some((vec![e05_convergence::run_with_metrics(quick, reg)], None)),
             "e19" => return Some((e19_dynamic::run_with_metrics(quick, reg), None)),
             "e21" => return Some((e21_sharded::run_with_metrics(quick, reg), None)),
+            "e23" => return Some((e23_matchd::run_with_metrics(quick, reg), None)),
             _ => {}
         }
     }
@@ -151,6 +153,7 @@ pub fn run_instrumented(
         "e19" => e19_dynamic::run(quick),
         "e21" => e21_sharded::run(quick),
         "e22" => e22_forensics::run(quick),
+        "e23" => e23_matchd::run(quick),
         _ => return None,
     };
     Some((tables, None))
@@ -220,7 +223,7 @@ mod tests {
         for id in ALL {
             assert!(seen.insert(*id), "duplicate id {id}");
         }
-        assert_eq!(ALL.len(), 22);
+        assert_eq!(ALL.len(), 23);
     }
 
     /// E18 carries a convergence series, E20 a raw event log; the others

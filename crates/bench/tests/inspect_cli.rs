@@ -255,3 +255,94 @@ fn forensics_unreplayable_bundle_exits_two() {
     assert_eq!(code, 2, "non-re-executable bundle exits 2: {err}");
     assert!(err.contains("cannot be re-executed"), "{err}");
 }
+
+// ------------------------------------------------------------------ wal
+
+/// Builds a real WAL + snapshot pair by driving a matchd data dir the
+/// same way the daemon does: apply batches, append, snapshot, append
+/// more. Returns (wal path, snapshot path, spec, final epoch).
+fn matchd_fixture(dir: &std::path::Path) -> (String, String, &'static str, u64) {
+    use owp_matchd::{FsyncPolicy, SnapshotStore, Wal};
+    const SPEC: &str = "ring:40,2,9";
+    let problem = owp_matchd::from_spec(SPEC).expect("spec");
+    let mut engine = Engine::new(problem.clone());
+    let wal_path = dir.join("matchd.wal");
+    let (mut wal, _, _) = Wal::open(&wal_path, FsyncPolicy::Never).expect("open");
+    let stream = owp_matchd::client_stream(&problem, 0, 1, 60);
+    let mut chunks = stream.chunks(6);
+    // Three batches, then a snapshot, then the rest — so replay must
+    // skip the records the snapshot already covers.
+    for _ in 0..3 {
+        let chunk = chunks.next().expect("enough events");
+        engine.apply_batch(chunk).expect("valid");
+        wal.append(engine.epoch().0, chunk).expect("append");
+    }
+    let store = SnapshotStore::new(dir);
+    store
+        .save(engine.epoch().0, &owp_engine::OriginSnapshot::capture(engine.dynamic()))
+        .expect("snapshot");
+    for chunk in chunks {
+        engine.apply_batch(chunk).expect("valid");
+        wal.append(engine.epoch().0, chunk).expect("append");
+    }
+    (
+        wal_path.to_string_lossy().into_owned(),
+        store.path().to_string_lossy().into_owned(),
+        SPEC,
+        engine.epoch().0,
+    )
+}
+
+#[test]
+fn wal_clean_log_exits_zero() {
+    let dir = scratch("wal_clean");
+    let (wal, _, _, epoch) = matchd_fixture(&dir);
+    let (code, out, _) = inspect(&["wal", &wal]);
+    assert_eq!(code, 0, "clean log: {out}");
+    assert!(out.contains(&format!("epochs 1..={epoch}")), "{out}");
+    assert!(out.contains("integrity: clean"), "{out}");
+    assert!(out.contains("integrity scan only"), "no replay without a start state: {out}");
+}
+
+#[test]
+fn wal_replay_certifies_against_snapshot_and_universe() {
+    let dir = scratch("wal_replay");
+    let (wal, snap, spec, epoch) = matchd_fixture(&dir);
+    // Snapshot start: records at or below the snapshot epoch are skipped.
+    let (code, out, _) = inspect(&["wal", &wal, "--snapshot", &snap]);
+    assert_eq!(code, 0, "snapshot replay: {out}");
+    assert!(out.contains("3 at or below the snapshot epoch skipped"), "{out}");
+    assert!(out.contains(&format!("engine at epoch {epoch}")), "{out}");
+    assert!(out.contains("certify: recovered matching bit-identical"), "{out}");
+    // Universe start: the whole log replays from epoch 0.
+    let (code, out, _) = inspect(&["wal", &wal, "--universe", spec]);
+    assert_eq!(code, 0, "universe replay: {out}");
+    assert!(out.contains("0 at or below the snapshot epoch skipped"), "{out}");
+    assert!(out.contains("certify: recovered matching bit-identical"), "{out}");
+}
+
+#[test]
+fn wal_torn_tail_exits_one() {
+    let dir = scratch("wal_torn");
+    let (wal, snap, _, _) = matchd_fixture(&dir);
+    let mut bytes = std::fs::read(&wal).expect("read");
+    bytes.extend_from_slice(&[0xba, 0xad, 0xf0, 0x0d]);
+    std::fs::write(&wal, &bytes).expect("write");
+    let (code, out, _) = inspect(&["wal", &wal]);
+    assert_eq!(code, 1, "torn tail is a recorded failure: {out}");
+    assert!(out.contains("TORN TAIL — 4 trailing byte(s)"), "{out}");
+    // The valid prefix still replays and certifies — but the torn bytes
+    // keep the overall verdict at 1.
+    let (code, out, _) = inspect(&["wal", &wal, "--snapshot", &snap]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("certify: recovered matching bit-identical"), "{out}");
+}
+
+#[test]
+fn wal_missing_file_exits_two() {
+    let dir = scratch("wal_missing");
+    let path = dir.join("nope.wal");
+    let (code, _, err) = inspect(&["wal", &path.to_string_lossy()]);
+    assert_eq!(code, 2);
+    assert!(err.contains("cannot read"), "{err}");
+}

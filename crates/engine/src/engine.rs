@@ -537,6 +537,31 @@ impl Engine {
         Self::layout(dp, 1, 1, &RangePartitioner, 0, 0)
     }
 
+    /// Rebuilds an engine from a durability snapshot taken at `epoch` —
+    /// `matchd`'s crash-recovery path (DESIGN.md §13). The restored
+    /// engine resumes the original epoch sequence, so WAL replay after it
+    /// reproduces the pre-crash epochs exactly. Unlike
+    /// [`Engine::from_dynamic`], the forensic rings run at their default
+    /// capacities: a recovered daemon is a live engine, not a replay
+    /// harness.
+    pub fn from_snapshot(
+        snapshot: &crate::forensics::OriginSnapshot,
+        epoch: Epoch,
+    ) -> Result<Self, String> {
+        let dp = snapshot.restore()?;
+        let mut e = Self::layout(
+            dp,
+            1,
+            1,
+            &RangePartitioner,
+            DEFAULT_FLIGHT_CAPACITY,
+            DEFAULT_HISTORY_CAPACITY,
+        );
+        e.epoch = epoch;
+        e.checkpoint_epoch = epoch;
+        Ok(e)
+    }
+
     fn layout(
         dp: DynamicProblem,
         k: usize,

@@ -415,6 +415,88 @@ impl OriginSnapshot {
         let problem = Problem::new(g, prefs, quotas);
         Ok(DynamicProblem::from_parts(problem, active, present))
     }
+
+    /// Serializes the snapshot as one self-contained JSON object — the
+    /// same shape a [`ForensicBundle`]'s `origin` field embeds, and the
+    /// payload `matchd`'s durability snapshots persist (DESIGN.md §13).
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(1024);
+        let _ = write!(o, "{{\"n\":{}", self.n);
+        o.push_str(",\"edges\":[");
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "[{u},{v}]");
+        }
+        o.push_str("],\"quotas\":[");
+        for (i, q) in self.quotas.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "{q}");
+        }
+        o.push_str("],\"prefs\":[");
+        for (i, l) in self.prefs.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push('[');
+            for (j, p) in l.iter().enumerate() {
+                if j > 0 {
+                    o.push(',');
+                }
+                let _ = write!(o, "{p}");
+            }
+            o.push(']');
+        }
+        let _ = write!(o, "],\"active\":{}", jstr(&self.active));
+        let _ = write!(o, ",\"present\":{}}}", jstr(&self.present));
+        o
+    }
+
+    /// Parses a snapshot serialized by [`OriginSnapshot::to_json`].
+    pub fn parse(doc: &str) -> Result<OriginSnapshot, String> {
+        origin_from_json(&parse_json(doc)?)
+    }
+}
+
+fn origin_from_json(v: &Json) -> Result<OriginSnapshot, String> {
+    let or = as_obj(v, "origin")?;
+    let edges = as_arr(field(or, "edges")?, "origin.edges")?
+        .iter()
+        .map(|pair| {
+            let p = as_arr(pair, "origin edge")?;
+            if p.len() != 2 {
+                return Err("origin edge is not a pair".to_string());
+            }
+            Ok((
+                as_u64(&p[0], "edge endpoint")? as u32,
+                as_u64(&p[1], "edge endpoint")? as u32,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let quotas = as_arr(field(or, "quotas")?, "origin.quotas")?
+        .iter()
+        .map(|q| Ok(as_u64(q, "quota")? as u32))
+        .collect::<Result<Vec<_>, String>>()?;
+    let prefs = as_arr(field(or, "prefs")?, "origin.prefs")?
+        .iter()
+        .map(|l| {
+            as_arr(l, "preference list")?
+                .iter()
+                .map(|p| Ok(as_u64(p, "preference entry")? as u32))
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(OriginSnapshot {
+        n: as_u64(field(or, "n")?, "origin.n")? as usize,
+        edges,
+        quotas,
+        prefs,
+        active: as_str(field(or, "active")?, "origin.active")?.to_string(),
+        present: as_str(field(or, "present")?, "origin.present")?.to_string(),
+    })
 }
 
 /// The self-contained post-mortem dump: everything needed to understand
@@ -520,37 +602,8 @@ impl ForensicBundle {
         let _ = write!(o, ",\"origin_epoch\":{}", self.origin_epoch);
         match &self.origin {
             Some(or) => {
-                let _ = write!(o, ",\"origin\":{{\"n\":{}", or.n);
-                o.push_str(",\"edges\":[");
-                for (i, &(u, v)) in or.edges.iter().enumerate() {
-                    if i > 0 {
-                        o.push(',');
-                    }
-                    let _ = write!(o, "[{u},{v}]");
-                }
-                o.push_str("],\"quotas\":[");
-                for (i, q) in or.quotas.iter().enumerate() {
-                    if i > 0 {
-                        o.push(',');
-                    }
-                    let _ = write!(o, "{q}");
-                }
-                o.push_str("],\"prefs\":[");
-                for (i, l) in or.prefs.iter().enumerate() {
-                    if i > 0 {
-                        o.push(',');
-                    }
-                    o.push('[');
-                    for (j, p) in l.iter().enumerate() {
-                        if j > 0 {
-                            o.push(',');
-                        }
-                        let _ = write!(o, "{p}");
-                    }
-                    o.push(']');
-                }
-                let _ = write!(o, "],\"active\":{}", jstr(&or.active));
-                let _ = write!(o, ",\"present\":{}}}", jstr(&or.present));
+                o.push_str(",\"origin\":");
+                o.push_str(&or.to_json());
             }
             None => o.push_str(",\"origin\":null"),
         }
@@ -622,43 +675,7 @@ impl ForensicBundle {
         }
         let origin = match field(top, "origin")? {
             Json::Null => None,
-            v => {
-                let or = as_obj(v, "origin")?;
-                let edges = as_arr(field(or, "edges")?, "origin.edges")?
-                    .iter()
-                    .map(|pair| {
-                        let p = as_arr(pair, "origin edge")?;
-                        if p.len() != 2 {
-                            return Err("origin edge is not a pair".to_string());
-                        }
-                        Ok((
-                            as_u64(&p[0], "edge endpoint")? as u32,
-                            as_u64(&p[1], "edge endpoint")? as u32,
-                        ))
-                    })
-                    .collect::<Result<Vec<_>, String>>()?;
-                let quotas = as_arr(field(or, "quotas")?, "origin.quotas")?
-                    .iter()
-                    .map(|q| Ok(as_u64(q, "quota")? as u32))
-                    .collect::<Result<Vec<_>, String>>()?;
-                let prefs = as_arr(field(or, "prefs")?, "origin.prefs")?
-                    .iter()
-                    .map(|l| {
-                        as_arr(l, "preference list")?
-                            .iter()
-                            .map(|p| Ok(as_u64(p, "preference entry")? as u32))
-                            .collect::<Result<Vec<_>, String>>()
-                    })
-                    .collect::<Result<Vec<_>, String>>()?;
-                Some(OriginSnapshot {
-                    n: as_u64(field(or, "n")?, "origin.n")? as usize,
-                    edges,
-                    quotas,
-                    prefs,
-                    active: as_str(field(or, "active")?, "origin.active")?.to_string(),
-                    present: as_str(field(or, "present")?, "origin.present")?.to_string(),
-                })
-            }
+            v => Some(origin_from_json(v)?),
         };
         let steps = as_arr(field(top, "steps")?, "steps")?
             .iter()

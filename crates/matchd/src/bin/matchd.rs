@@ -1,0 +1,133 @@
+//! The matchd daemon binary.
+//!
+//! ```text
+//! matchd --addr 127.0.0.1:7311 --universe ba:2000,3,2,42 --data-dir /var/lib/matchd \
+//!        [--batch-max 256] [--linger-us 2000] [--queue-cap 1024] \
+//!        [--snapshot-every 256] [--fsync always|snapshot|never] \
+//!        [--port-file PATH] [--trace-out PATH]
+//! ```
+//!
+//! Recovers the data directory (certifying the result), then serves
+//! until a client sends SHUTDOWN. `--port-file` writes the bound port
+//! (useful with `--addr 127.0.0.1:0`) once the daemon is accepting, so
+//! scripts can wait on the file instead of racing the bind.
+//!
+//! Exit codes: 0 clean shutdown with certified final state; 1 certify
+//! failure at shutdown; 2 bad usage or startup failure.
+
+use owp_matchd::{Matchd, MatchdConfig};
+use owp_metrics::MetricsRegistry;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: matchd --addr HOST:PORT --universe SPEC --data-dir DIR\n\
+         \x20                [--batch-max N] [--linger-us N] [--queue-cap N]\n\
+         \x20                [--snapshot-every N] [--fsync always|snapshot|never]\n\
+         \x20                [--port-file PATH] [--trace-out PATH]\n\
+         universe specs: ba:n,m,b,seed | gnp:n,milli_p,b,seed | ring:n,b,seed"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut universe_spec = None;
+    let mut data_dir = None;
+    let mut batch_max = 256usize;
+    let mut linger_us = 2000u64;
+    let mut queue_cap = 1024usize;
+    let mut snapshot_every = 256u64;
+    let mut fsync = owp_matchd::FsyncPolicy::OnSnapshot;
+    let mut port_file: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = Some(value()),
+            "--universe" => universe_spec = Some(value()),
+            "--data-dir" => data_dir = Some(value()),
+            "--batch-max" => batch_max = value().parse().unwrap_or_else(|_| usage()),
+            "--linger-us" => linger_us = value().parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => queue_cap = value().parse().unwrap_or_else(|_| usage()),
+            "--snapshot-every" => snapshot_every = value().parse().unwrap_or_else(|_| usage()),
+            "--fsync" => {
+                fsync = owp_matchd::FsyncPolicy::parse(&value()).unwrap_or_else(|e| {
+                    eprintln!("matchd: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--port-file" => port_file = Some(value()),
+            "--trace-out" => trace_out = Some(value()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("matchd: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    let (addr, spec, dir) = match (addr, universe_spec, data_dir) {
+        (Some(a), Some(s), Some(d)) => (a, s, d),
+        _ => usage(),
+    };
+
+    let universe = owp_matchd::from_spec(&spec).unwrap_or_else(|e| {
+        eprintln!("matchd: {e}");
+        std::process::exit(2);
+    });
+    let mut config = MatchdConfig::new(&dir);
+    config.max_batch = batch_max;
+    config.max_linger = Duration::from_micros(linger_us);
+    config.queue_capacity = queue_cap;
+    config.snapshot_every = snapshot_every;
+    config.fsync = fsync;
+    config.trace = trace_out.is_some();
+
+    let registry = MetricsRegistry::new();
+    let daemon = match Matchd::start(addr.as_str(), &universe, config, registry) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("matchd: startup failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "matchd: recovered epoch {} ({} WAL records replayed, {} torn bytes truncated), certified",
+        daemon.recovered_epoch, daemon.replayed, daemon.torn_bytes
+    );
+    let local = daemon.local_addr();
+    if let Some(pf) = &port_file {
+        // Written only after the daemon certified and bound — scripts
+        // may treat the file's existence as "ready".
+        if let Err(e) = std::fs::write(pf, format!("{}\n", local.port())) {
+            eprintln!("matchd: cannot write port file {pf}: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!("matchd: serving {spec} on {local}");
+
+    let stats = daemon.wait();
+    println!(
+        "matchd: shutdown at epoch {} after {} batches, sigma_s {:.6}",
+        stats.epoch, stats.batches, stats.sigma_s
+    );
+    if let (Some(path), Some(log)) = (&trace_out, &stats.trace) {
+        match std::fs::write(path, log.to_jsonl()) {
+            Ok(()) => println!("matchd: wrote {} trace events to {path}", log.len()),
+            Err(e) => eprintln!("matchd: cannot write trace {path}: {e}"),
+        }
+    }
+    match stats.certify {
+        Ok(()) => {
+            println!("matchd: final state certified");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("matchd: FINAL STATE FAILED CERTIFICATION: {e}");
+            std::process::exit(1);
+        }
+    }
+}

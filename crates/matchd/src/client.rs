@@ -1,0 +1,149 @@
+//! A small blocking client for the matchd wire protocol.
+//!
+//! One `MatchdClient` wraps one TCP connection; the protocol is strict
+//! request/response, so a client is cheap and callers wanting
+//! concurrency open several. Used by `matchd_bench`, the E23
+//! experiment, and the integration tests.
+
+use crate::codec::{self, CodecError, Frame, PROTO_VERSION};
+use owp_engine::EngineEvent;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Result of a submission attempt, mirroring the three server answers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitOutcome {
+    /// Applied and WAL-durable at this epoch.
+    Accepted {
+        /// Epoch of the batch the submission landed in.
+        epoch: u64,
+    },
+    /// Admission control turned the submission away; retry later.
+    Busy {
+        /// Server's suggested backoff.
+        retry_after_ms: u32,
+    },
+    /// The engine refused the events (or the daemon is stopping).
+    Rejected {
+        /// Human-readable reason from the server.
+        error: String,
+    },
+}
+
+/// Snapshot of the daemon's published aggregate state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochInfo {
+    /// Engine epoch of the published view.
+    pub epoch: u64,
+    /// ΣS over active peers.
+    pub sigma_s: f64,
+    /// Active node count.
+    pub active: u32,
+    /// Matched edge count.
+    pub matched: u32,
+}
+
+/// A connected, handshaken client.
+pub struct MatchdClient {
+    stream: TcpStream,
+    /// Server epoch at handshake time.
+    pub hello_epoch: u64,
+    /// Universe size the server reported.
+    pub nodes: u32,
+}
+
+impl MatchdClient {
+    /// Connects and performs the `HELLO`/`WELCOME` handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<MatchdClient, String> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        codec::write_frame(&mut stream, &Frame::Hello { proto: PROTO_VERSION })
+            .map_err(|e| format!("handshake send failed: {e}"))?;
+        match codec::read_frame(&mut stream) {
+            Ok(Frame::Welcome { epoch, nodes, .. }) => {
+                Ok(MatchdClient { stream, hello_epoch: epoch, nodes })
+            }
+            Ok(Frame::Rejected { error }) => Err(format!("server rejected handshake: {error}")),
+            Ok(other) => Err(format!("unexpected {} frame in handshake", other.kind_label())),
+            Err(e) => Err(format!("handshake read failed: {e}")),
+        }
+    }
+
+    fn call(&mut self, frame: &Frame) -> Result<Frame, String> {
+        codec::write_frame(&mut self.stream, frame).map_err(|e| format!("send failed: {e}"))?;
+        match codec::read_frame(&mut self.stream) {
+            Ok(f) => Ok(f),
+            Err(CodecError::Eof) => Err("server closed the connection".into()),
+            Err(e) => Err(format!("read failed: {e}")),
+        }
+    }
+
+    /// Submits a batch of events; blocks until the server acknowledges.
+    pub fn submit(&mut self, events: &[EngineEvent]) -> Result<SubmitOutcome, String> {
+        match self.call(&Frame::Submit { events: events.to_vec() })? {
+            Frame::Accepted { epoch } => Ok(SubmitOutcome::Accepted { epoch }),
+            Frame::Busy { retry_after_ms } => Ok(SubmitOutcome::Busy { retry_after_ms }),
+            Frame::Rejected { error } => Ok(SubmitOutcome::Rejected { error }),
+            other => Err(format!("unexpected {} reply to SUBMIT", other.kind_label())),
+        }
+    }
+
+    /// Submits with bounded retry on `BUSY`, sleeping the server's hint.
+    pub fn submit_with_retry(
+        &mut self,
+        events: &[EngineEvent],
+        max_retries: usize,
+    ) -> Result<SubmitOutcome, String> {
+        let mut tries = 0;
+        loop {
+            match self.submit(events)? {
+                SubmitOutcome::Busy { retry_after_ms } if tries < max_retries => {
+                    tries += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(retry_after_ms as u64));
+                }
+                outcome => return Ok(outcome),
+            }
+        }
+    }
+
+    /// The node's matched peers from the published view.
+    pub fn my_matches(&mut self, node: u32) -> Result<(u64, Vec<u32>), String> {
+        match self.call(&Frame::QueryMatches { node })? {
+            Frame::Matches { epoch, peers } => Ok((epoch, peers)),
+            other => Err(format!("unexpected {} reply to QUERY_MATCHES", other.kind_label())),
+        }
+    }
+
+    /// The node's satisfaction from the published view.
+    pub fn satisfaction(&mut self, node: u32) -> Result<(u64, f64), String> {
+        match self.call(&Frame::QuerySatisfaction { node })? {
+            Frame::Satisfaction { epoch, value } => Ok((epoch, value)),
+            other => Err(format!("unexpected {} reply to QUERY_SAT", other.kind_label())),
+        }
+    }
+
+    /// Epoch + aggregate stats of the published view.
+    pub fn epoch(&mut self) -> Result<EpochInfo, String> {
+        match self.call(&Frame::QueryEpoch)? {
+            Frame::EpochInfo { epoch, sigma_s, active, matched } => {
+                Ok(EpochInfo { epoch, sigma_s, active, matched })
+            }
+            other => Err(format!("unexpected {} reply to QUERY_EPOCH", other.kind_label())),
+        }
+    }
+
+    /// The daemon's metrics registry as a JSON document.
+    pub fn metrics_json(&mut self) -> Result<String, String> {
+        match self.call(&Frame::QueryMetrics)? {
+            Frame::Metrics { json } => Ok(json),
+            other => Err(format!("unexpected {} reply to QUERY_METRICS", other.kind_label())),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully; returns its final epoch.
+    pub fn shutdown(&mut self) -> Result<u64, String> {
+        match self.call(&Frame::Shutdown)? {
+            Frame::Bye { epoch } => Ok(epoch),
+            other => Err(format!("unexpected {} reply to SHUTDOWN", other.kind_label())),
+        }
+    }
+}

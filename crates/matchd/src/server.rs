@@ -1,0 +1,623 @@
+//! The daemon: acceptor → bounded queue → engine owner → published view.
+//!
+//! Thread layout (DESIGN.md §13):
+//!
+//! * one **acceptor** thread polls a non-blocking listener and spawns a
+//!   handler thread per connection (`std::net`, no async runtime);
+//! * handler threads decode frames, answer **reads** directly from the
+//!   epoch-stamped published view (an `Arc` swap — readers never touch
+//!   the engine), and forward **submissions** into a bounded
+//!   `sync_channel`; a full channel is answered `BUSY` + retry-after
+//!   *without blocking* — that is the admission control;
+//! * a single **engine owner** thread drains the channel, batching
+//!   adaptively: a batch flushes when it reaches
+//!   [`MatchdConfig::max_batch`] events or when the oldest queued
+//!   submission has lingered [`MatchdConfig::max_linger`] — the
+//!   latency/throughput knob. Each flush applies the merged batch,
+//!   appends it to the WAL, *then* acknowledges every submitter, so an
+//!   acknowledged write is always recoverable.
+//!
+//! If a merged batch fails engine validation the owner falls back to
+//! applying each submission separately: good submissions commit with
+//! their own epochs, bad ones are `REJECTED` with the engine's error,
+//! and one client's invalid event can never poison another's.
+
+use crate::codec::{self, CodecError, Frame, PROTO_VERSION};
+use crate::recovery::recover;
+use crate::snapshot::SnapshotStore;
+use crate::wal::{FsyncPolicy, Wal};
+use owp_engine::{Engine, EngineEvent, OriginSnapshot};
+use owp_metrics::{
+    Counter, Gauge, Histogram, MetricsRegistry, MATCHD_ADMISSION_REJECTS, MATCHD_BATCH_EVENTS,
+    MATCHD_BATCH_LINGER_US, MATCHD_QUEUE_DEPTH, MATCHD_SNAPSHOT_EPOCH, MATCHD_WAL_BYTES,
+};
+use owp_telemetry::{EventLog, MessageKind, Recorder, TelemetryEvent};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration. `Default` is a reasonable latency-leaning
+/// middle ground; the bench driver sweeps the knobs.
+#[derive(Clone, Debug)]
+pub struct MatchdConfig {
+    /// Directory holding `matchd.wal` and `snapshot.bin`.
+    pub data_dir: PathBuf,
+    /// Flush a batch once it holds this many events.
+    pub max_batch: usize,
+    /// Flush a batch once its oldest submission is this old.
+    pub max_linger: Duration,
+    /// Bounded ingest queue capacity (submissions, not events); beyond
+    /// it, admission control answers `BUSY`.
+    pub queue_capacity: usize,
+    /// Take a snapshot (and reset the WAL) every this many epochs;
+    /// 0 disables snapshots entirely.
+    pub snapshot_every: u64,
+    /// WAL fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Record codec-level wire telemetry + the engine trace into an
+    /// [`EventLog`] returned by [`MatchdStats::trace`].
+    pub trace: bool,
+}
+
+impl MatchdConfig {
+    /// Defaults rooted at `data_dir`.
+    pub fn new(data_dir: impl Into<PathBuf>) -> MatchdConfig {
+        MatchdConfig {
+            data_dir: data_dir.into(),
+            max_batch: 256,
+            max_linger: Duration::from_micros(2000),
+            queue_capacity: 1024,
+            snapshot_every: 256,
+            fsync: FsyncPolicy::OnSnapshot,
+            trace: false,
+        }
+    }
+}
+
+/// The epoch-stamped published view: everything the read path may
+/// answer, frozen at a batch boundary. Handlers clone an `Arc` to it
+/// under a short lock and never touch the engine.
+#[derive(Clone, Debug)]
+pub struct View {
+    /// Engine epoch this view reflects.
+    pub epoch: u64,
+    /// ΣS over active peers.
+    pub sigma_s: f64,
+    /// Active node count.
+    pub active: u32,
+    /// Matched edge count.
+    pub matched: u32,
+    matches: Vec<Vec<u32>>,
+    sat: Vec<f64>,
+}
+
+impl View {
+    fn from_engine(engine: &Engine) -> View {
+        let dp = engine.dynamic();
+        let g = dp.graph();
+        View {
+            epoch: engine.epoch().0,
+            sigma_s: engine.total_satisfaction(),
+            active: g.nodes().filter(|&i| dp.is_active(i)).count() as u32,
+            matched: engine.matching().size() as u32,
+            matches: g
+                .nodes()
+                .map(|i| engine.matching().connections(i).iter().map(|p| p.0).collect())
+                .collect(),
+            sat: g.nodes().map(|i| engine.satisfaction(i)).collect(),
+        }
+    }
+
+    /// The node's matched peers (empty for unknown ids).
+    pub fn matches_of(&self, node: u32) -> &[u32] {
+        self.matches.get(node as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The node's satisfaction (0 for inactive or unknown ids).
+    pub fn satisfaction_of(&self, node: u32) -> f64 {
+        self.sat.get(node as usize).copied().unwrap_or(0.0)
+    }
+}
+
+type SharedView = Arc<Mutex<Arc<View>>>;
+
+type Reply = Result<u64, String>;
+
+struct Submission {
+    events: Vec<EngineEvent>,
+    enqueued: Instant,
+    conn: u64,
+    bytes: u32,
+    reply: Sender<Reply>,
+}
+
+enum Ingest {
+    Submit(Submission),
+    /// Graceful stop: flush, snapshot, certify.
+    Shutdown,
+    /// Crash simulation: stop *now*, dropping pending submissions —
+    /// nothing past the last WAL append survives, exactly like SIGKILL.
+    Abort,
+}
+
+/// What the owner thread hands back when it stops.
+struct OwnerExit {
+    engine: Engine,
+    batches: u64,
+    graceful: bool,
+    certify: Result<(), String>,
+    trace: Option<EventLog>,
+}
+
+/// Final daemon state, returned by [`Matchd::shutdown`] /
+/// [`Matchd::abort`] / [`Matchd::wait`].
+pub struct MatchdStats {
+    /// Final engine epoch.
+    pub epoch: u64,
+    /// Final ΣS.
+    pub sigma_s: f64,
+    /// Batches flushed over the daemon's lifetime (this run).
+    pub batches: u64,
+    /// `true` for a clean shutdown, `false` for [`Matchd::abort`].
+    pub graceful: bool,
+    /// Certification of the final state (always computed, even on abort).
+    pub certify: Result<(), String>,
+    /// Wire + engine telemetry, when [`MatchdConfig::trace`] was on.
+    pub trace: Option<EventLog>,
+    /// The final engine itself, for tests and experiments.
+    pub engine: Engine,
+}
+
+/// A running daemon. Start with [`Matchd::start`]; stop with
+/// [`Matchd::shutdown`] (graceful) or [`Matchd::abort`] (simulated
+/// crash), or [`Matchd::wait`] for a client-initiated shutdown.
+pub struct Matchd {
+    addr: SocketAddr,
+    ingest: SyncSender<Ingest>,
+    owner: JoinHandle<OwnerExit>,
+    acceptor: JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+    /// Epoch recovered from snapshot + WAL before serving.
+    pub recovered_epoch: u64,
+    /// WAL records replayed during recovery.
+    pub replayed: usize,
+    /// Torn-tail bytes truncated from the WAL on open.
+    pub torn_bytes: u64,
+}
+
+struct ConnCtx {
+    ingest: SyncSender<Ingest>,
+    view: SharedView,
+    registry: MetricsRegistry,
+    depth: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    rejects: Counter,
+    retry_ms: u32,
+    nodes: u32,
+}
+
+impl ConnCtx {
+    fn view(&self) -> Arc<View> {
+        self.view.lock().expect("view lock").clone()
+    }
+}
+
+impl Matchd {
+    /// Recovers `config.data_dir` (certifying the result), binds `addr`
+    /// (`"127.0.0.1:0"` picks an ephemeral port), and starts serving.
+    /// Recovery failure means no socket is ever bound.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        universe: &owp_matching::Problem,
+        config: MatchdConfig,
+        registry: MetricsRegistry,
+    ) -> Result<Matchd, String> {
+        owp_metrics::register_matchd_metrics(&registry);
+        let rec = recover(&config.data_dir, universe, config.fsync)?;
+        let recovered_epoch = rec.engine.epoch().0;
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind: {e}"))?;
+        listener.set_nonblocking(true).map_err(|e| format!("cannot set nonblocking: {e}"))?;
+        let local = listener.local_addr().map_err(|e| format!("no local addr: {e}"))?;
+        let view: SharedView = Arc::new(Mutex::new(Arc::new(View::from_engine(&rec.engine))));
+        let stop = Arc::new(AtomicBool::new(false));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = sync_channel::<Ingest>(config.queue_capacity);
+        let nodes = universe.graph.node_count() as u32;
+
+        let owner = {
+            let view = Arc::clone(&view);
+            let depth = Arc::clone(&depth);
+            let registry = registry.clone();
+            let config = config.clone();
+            let engine = rec.engine;
+            let wal = rec.wal;
+            std::thread::Builder::new()
+                .name("matchd-engine".into())
+                .spawn(move || owner_loop(engine, wal, rx, view, depth, registry, config))
+                .map_err(|e| format!("cannot spawn engine owner: {e}"))?
+        };
+
+        let acceptor = {
+            let ctx = Arc::new(ConnCtx {
+                ingest: tx.clone(),
+                view: Arc::clone(&view),
+                registry: registry.clone(),
+                depth: Arc::clone(&depth),
+                stop: Arc::clone(&stop),
+                rejects: registry.counter(MATCHD_ADMISSION_REJECTS),
+                retry_ms: (config.max_linger.as_millis() as u32).max(1),
+                nodes,
+            });
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("matchd-accept".into())
+                .spawn(move || acceptor_loop(listener, stop, ctx))
+                .map_err(|e| format!("cannot spawn acceptor: {e}"))?
+        };
+
+        Ok(Matchd {
+            addr: local,
+            ingest: tx,
+            owner,
+            acceptor,
+            stop,
+            recovered_epoch,
+            replayed: rec.replayed,
+            torn_bytes: rec.torn_bytes,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn join(self) -> MatchdStats {
+        let exit = self.owner.join().expect("engine owner thread panicked");
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.acceptor.join();
+        MatchdStats {
+            epoch: exit.engine.epoch().0,
+            sigma_s: exit.engine.total_satisfaction(),
+            batches: exit.batches,
+            graceful: exit.graceful,
+            certify: exit.certify,
+            trace: exit.trace,
+            engine: exit.engine,
+        }
+    }
+
+    /// Graceful stop: flush pending batches, snapshot, certify, join.
+    pub fn shutdown(self) -> MatchdStats {
+        let _ = self.ingest.send(Ingest::Shutdown);
+        self.join()
+    }
+
+    /// Simulated crash: the owner stops without flushing pending
+    /// submissions, final snapshot, or sync — in-memory state is thrown
+    /// away and only WAL appends that already happened survive, the
+    /// same durability cut SIGKILL produces.
+    pub fn abort(self) -> MatchdStats {
+        let _ = self.ingest.send(Ingest::Abort);
+        self.join()
+    }
+
+    /// Blocks until a *client* sends [`Frame::Shutdown`], then joins.
+    pub fn wait(self) -> MatchdStats {
+        self.join()
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, stop: Arc<AtomicBool>, ctx: Arc<ConnCtx>) {
+    let mut conn_id = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                conn_id += 1;
+                let ctx = Arc::clone(&ctx);
+                let id = conn_id;
+                let _ = std::thread::Builder::new()
+                    .name(format!("matchd-conn-{id}"))
+                    .spawn(move || handle_conn(stream, ctx, id));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, ctx: Arc<ConnCtx>, conn: u64) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match codec::read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(CodecError::Eof) => return,
+            Err(_) => return, // framing is lost; nothing safe to say
+        };
+        let response = match frame {
+            Frame::Hello { proto } => {
+                if proto == PROTO_VERSION {
+                    let v = ctx.view();
+                    Frame::Welcome { proto: PROTO_VERSION, epoch: v.epoch, nodes: ctx.nodes }
+                } else {
+                    Frame::Rejected { error: format!("unsupported protocol version {proto}") }
+                }
+            }
+            Frame::Submit { events } => {
+                let bytes = events.len() as u32;
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                let sub = Submission {
+                    events,
+                    enqueued: Instant::now(),
+                    conn,
+                    bytes,
+                    reply: reply_tx,
+                };
+                match ctx.ingest.try_send(Ingest::Submit(sub)) {
+                    Ok(()) => {
+                        ctx.depth.fetch_add(1, Ordering::SeqCst);
+                        match reply_rx.recv() {
+                            Ok(Ok(epoch)) => Frame::Accepted { epoch },
+                            Ok(Err(error)) => Frame::Rejected { error },
+                            Err(_) => {
+                                Frame::Rejected { error: "daemon stopped before applying".into() }
+                            }
+                        }
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        ctx.rejects.inc();
+                        Frame::Busy { retry_after_ms: ctx.retry_ms }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        Frame::Rejected { error: "daemon is shutting down".into() }
+                    }
+                }
+            }
+            Frame::QueryMatches { node } => {
+                let v = ctx.view();
+                Frame::Matches { epoch: v.epoch, peers: v.matches_of(node).to_vec() }
+            }
+            Frame::QuerySatisfaction { node } => {
+                let v = ctx.view();
+                Frame::Satisfaction { epoch: v.epoch, value: v.satisfaction_of(node) }
+            }
+            Frame::QueryEpoch => {
+                let v = ctx.view();
+                Frame::EpochInfo {
+                    epoch: v.epoch,
+                    sigma_s: v.sigma_s,
+                    active: v.active,
+                    matched: v.matched,
+                }
+            }
+            Frame::QueryMetrics => {
+                Frame::Metrics { json: ctx.registry.snapshot().to_json() }
+            }
+            Frame::Shutdown => {
+                let epoch = ctx.view().epoch;
+                let _ = ctx.ingest.send(Ingest::Shutdown);
+                ctx.stop.store(true, Ordering::SeqCst);
+                let _ = codec::write_frame(&mut stream, &Frame::Bye { epoch });
+                return;
+            }
+            other => Frame::Rejected {
+                error: format!("unexpected {} frame from a client", other.kind_label()),
+            },
+        };
+        if codec::write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// The single engine-owner thread: adaptive batching, WAL-before-ack,
+/// periodic snapshots, view publication.
+fn owner_loop(
+    mut engine: Engine,
+    mut wal: Wal,
+    rx: Receiver<Ingest>,
+    view: SharedView,
+    depth: Arc<AtomicUsize>,
+    registry: MetricsRegistry,
+    config: MatchdConfig,
+) -> OwnerExit {
+    let started = Instant::now();
+    let queue_depth: Gauge = registry.gauge(MATCHD_QUEUE_DEPTH);
+    let wal_bytes: Gauge = registry.gauge(MATCHD_WAL_BYTES);
+    let snapshot_epoch_g: Gauge = registry.gauge(MATCHD_SNAPSHOT_EPOCH);
+    let linger_us: Histogram = registry.histogram(MATCHD_BATCH_LINGER_US);
+    let batch_events: Histogram = registry.histogram(MATCHD_BATCH_EVENTS);
+    let store = SnapshotStore::new(&config.data_dir);
+    let mut trace = config.trace.then(EventLog::enabled);
+    let mut pending: Vec<Submission> = Vec::new();
+    let mut pending_events = 0usize;
+    let mut merged: Vec<EngineEvent> = Vec::new();
+    let mut batches = 0u64;
+    let mut last_snapshot = engine.epoch().0;
+    wal_bytes.set(wal.bytes() as f64);
+
+    let mut flush = |pending: &mut Vec<Submission>,
+                     pending_events: &mut usize,
+                     engine: &mut Engine,
+                     wal: &mut Wal,
+                     trace: &mut Option<EventLog>,
+                     batches: &mut u64,
+                     last_snapshot: &mut u64| {
+        if pending.is_empty() {
+            return;
+        }
+        let oldest = pending[0].enqueued;
+        linger_us.observe(oldest.elapsed().as_micros() as u64);
+        batch_events.observe(*pending_events as u64);
+        let now_us = || started.elapsed().as_micros() as u64;
+        if let Some(log) = trace.as_mut() {
+            for sub in pending.iter() {
+                log.record(TelemetryEvent::WireFrameReceived {
+                    time: now_us(),
+                    conn: sub.conn,
+                    kind: MessageKind::Other("SUBMIT"),
+                    bytes: sub.bytes,
+                });
+            }
+        }
+        merged.clear();
+        for sub in pending.iter() {
+            merged.extend_from_slice(&sub.events);
+        }
+        let merged_result = match trace.as_mut() {
+            Some(log) => engine.apply_batch_traced(&merged, log).map(|r| r.epoch.0),
+            None => engine.apply_batch(&merged).map(|r| r.epoch.0),
+        };
+        // Replies are deferred until after the view is published, so a
+        // client that sees its ack is guaranteed to read its own write.
+        let mut replies: Vec<(Submission, Reply)> = Vec::with_capacity(pending.len());
+        match merged_result {
+            Ok(epoch) => {
+                *batches += 1;
+                match wal.append(epoch, &merged) {
+                    Ok(()) => {
+                        for sub in pending.drain(..) {
+                            replies.push((sub, Ok(epoch)));
+                        }
+                    }
+                    Err(e) => {
+                        // Disk trouble: the batch is applied but not
+                        // logged. Refuse the ack so no client believes
+                        // it durable.
+                        for sub in pending.drain(..) {
+                            replies.push((sub, Err(format!("WAL append failed: {e}"))));
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                // The merged batch fails validation as a whole; isolate
+                // the offender(s) by applying each submission alone.
+                for sub in pending.drain(..) {
+                    let one = match trace.as_mut() {
+                        Some(log) => {
+                            engine.apply_batch_traced(&sub.events, log).map(|r| r.epoch.0)
+                        }
+                        None => engine.apply_batch(&sub.events).map(|r| r.epoch.0),
+                    };
+                    let reply = match one {
+                        Ok(epoch) => match wal.append(epoch, &sub.events) {
+                            Ok(()) => {
+                                *batches += 1;
+                                Ok(epoch)
+                            }
+                            Err(e) => Err(format!("WAL append failed: {e}")),
+                        },
+                        Err(e) => Err(e.to_string()),
+                    };
+                    replies.push((sub, reply));
+                }
+            }
+        }
+        *pending_events = 0;
+        let epoch_now = engine.epoch().0;
+        *view.lock().expect("view lock") = Arc::new(View::from_engine(engine));
+        for (sub, reply) in replies {
+            let kind = if reply.is_ok() { "ACCEPTED" } else { "REJECTED" };
+            if let Some(log) = trace.as_mut() {
+                log.record(TelemetryEvent::WireFrameSent {
+                    time: now_us(),
+                    conn: sub.conn,
+                    kind: MessageKind::Other(kind),
+                    bytes: 9,
+                });
+            }
+            let _ = sub.reply.send(reply);
+        }
+        wal_bytes.set(wal.bytes() as f64);
+        if config.snapshot_every > 0 && epoch_now - *last_snapshot >= config.snapshot_every {
+            if store.save(epoch_now, &OriginSnapshot::capture(engine.dynamic())).is_ok() {
+                let _ = wal.reset();
+                *last_snapshot = epoch_now;
+                snapshot_epoch_g.set(epoch_now as f64);
+                wal_bytes.set(wal.bytes() as f64);
+            }
+        }
+    };
+
+    let graceful = loop {
+        let msg = if pending.is_empty() {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break true, // all senders gone: clean stop
+            }
+        } else {
+            let deadline = pending[0].enqueued + config.max_linger;
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(wait) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    flush(
+                        &mut pending,
+                        &mut pending_events,
+                        &mut engine,
+                        &mut wal,
+                        &mut trace,
+                        &mut batches,
+                        &mut last_snapshot,
+                    );
+                    queue_depth.set(depth.load(Ordering::SeqCst) as f64);
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break true,
+            }
+        };
+        match msg {
+            Ingest::Submit(sub) => {
+                depth.fetch_sub(1, Ordering::SeqCst);
+                queue_depth.set(depth.load(Ordering::SeqCst) as f64);
+                pending_events += sub.events.len();
+                pending.push(sub);
+                if pending_events >= config.max_batch {
+                    flush(
+                        &mut pending,
+                        &mut pending_events,
+                        &mut engine,
+                        &mut wal,
+                        &mut trace,
+                        &mut batches,
+                        &mut last_snapshot,
+                    );
+                }
+            }
+            Ingest::Shutdown => break true,
+            Ingest::Abort => break false,
+        }
+    };
+
+    if graceful {
+        flush(
+            &mut pending,
+            &mut pending_events,
+            &mut engine,
+            &mut wal,
+            &mut trace,
+            &mut batches,
+            &mut last_snapshot,
+        );
+        let epoch_now = engine.epoch().0;
+        if config.snapshot_every > 0 && epoch_now > last_snapshot {
+            if store.save(epoch_now, &OriginSnapshot::capture(engine.dynamic())).is_ok() {
+                let _ = wal.reset();
+                snapshot_epoch_g.set(epoch_now as f64);
+            }
+        }
+        let _ = wal.sync();
+    }
+    // Pending, unacknowledged submissions on an abort are dropped — the
+    // crash semantics. Their reply senders hang up, which handlers
+    // surface as "daemon stopped before applying".
+    let certify = engine.certify();
+    OwnerExit { engine, batches, graceful, certify, trace }
+}

@@ -1,0 +1,144 @@
+//! Fuzz-ish robustness of the wire codec: a seeded mutation loop feeds
+//! truncated, bit-flipped, length-corrupted, and garbage-extended
+//! frames to `read_frame` and asserts every outcome is a *structured*
+//! `CodecError` — never a panic, never an over-read, never a hostile
+//! allocation. Deterministic (fixed seed), so a failure reproduces.
+
+use owp_engine::EngineEvent;
+use owp_graph::NodeId;
+use owp_matchd::codec::{frame_bytes, read_frame, CodecError, Frame, MAX_FRAME};
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+fn corpus() -> Vec<Frame> {
+    let events = vec![
+        EngineEvent::NodeJoin { node: NodeId(3) },
+        EngineEvent::NodeLeave { node: NodeId(4) },
+        EngineEvent::EdgeAdd { u: NodeId(1), v: NodeId(2) },
+        EngineEvent::EdgeRemove { u: NodeId(2), v: NodeId(5) },
+        EngineEvent::QuotaChange { node: NodeId(6), quota: 4 },
+        EngineEvent::PreferenceUpdate { node: NodeId(7), list: vec![NodeId(1), NodeId(9)] },
+    ];
+    vec![
+        Frame::Hello { proto: 1 },
+        Frame::Welcome { proto: 1, epoch: 42, nodes: 1000 },
+        Frame::Submit { events },
+        Frame::Accepted { epoch: 7 },
+        Frame::Busy { retry_after_ms: 2 },
+        Frame::Rejected { error: "unknown node 9999".into() },
+        Frame::QueryMatches { node: 12 },
+        Frame::Matches { epoch: 8, peers: vec![1, 2, 3] },
+        Frame::QuerySatisfaction { node: 12 },
+        Frame::Satisfaction { epoch: 8, value: 0.75 },
+        Frame::QueryEpoch,
+        Frame::EpochInfo { epoch: 9, sigma_s: 123.5, active: 900, matched: 1700 },
+        Frame::QueryMetrics,
+        Frame::Metrics { json: "{\"counters\":{}}".into() },
+        Frame::Shutdown,
+        Frame::Bye { epoch: 10 },
+    ]
+}
+
+/// Decoding must return a frame or a structured error; the interesting
+/// property is simply "no panic, no unbounded allocation, no hang".
+fn decode_does_not_panic(bytes: &[u8]) {
+    let mut cursor = std::io::Cursor::new(bytes);
+    loop {
+        match read_frame(&mut cursor) {
+            Ok(_) => continue,       // mutation may leave a valid prefix
+            Err(CodecError::Eof) => break,
+            Err(_) => break,         // structured failure — fine
+        }
+    }
+}
+
+#[test]
+fn mutated_frames_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    let corpus: Vec<Vec<u8>> = corpus().iter().map(frame_bytes).collect();
+    for round in 0..2000 {
+        let base = &corpus[round % corpus.len()];
+        let mut bytes = base.clone();
+        match round % 5 {
+            // Truncate at a random point (possibly mid-header).
+            0 => {
+                let cut = rng.gen_range(0..bytes.len());
+                bytes.truncate(cut);
+            }
+            // Flip a random bit anywhere (header, CRC, payload).
+            1 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0..8u32);
+            }
+            // Corrupt the length field outright.
+            2 => {
+                let fake: u32 = rng.next_u32();
+                bytes[0..4].copy_from_slice(&fake.to_le_bytes());
+            }
+            // Append garbage after a valid frame.
+            3 => {
+                for _ in 0..rng.gen_range(1..24usize) {
+                    bytes.push(rng.next_u32() as u8);
+                }
+            }
+            // Splice two frames mid-way through each other.
+            _ => {
+                let other = &corpus[rng.gen_range(0..corpus.len())];
+                let cut = rng.gen_range(0..bytes.len());
+                bytes.truncate(cut);
+                bytes.extend_from_slice(other);
+            }
+        }
+        decode_does_not_panic(&bytes);
+    }
+}
+
+#[test]
+fn oversized_lengths_fail_before_allocating() {
+    // A length field of u32::MAX must be rejected from the 8 header
+    // bytes alone — if the decoder tried to allocate first, this would
+    // OOM long before the assert.
+    for len in [MAX_FRAME + 1, u32::MAX / 2, u32::MAX] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]); // far fewer than `len` bytes
+        let mut cursor = std::io::Cursor::new(&bytes);
+        match read_frame(&mut cursor) {
+            Err(CodecError::Oversized { len: got, max }) => {
+                assert_eq!(got, len);
+                assert_eq!(max, MAX_FRAME);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn hostile_element_counts_are_structured_errors() {
+    // A SUBMIT whose payload claims 2^31 events in 4 bytes of body must
+    // fail with Truncated, not attempt a multi-gigabyte Vec.
+    let mut payload = Vec::new();
+    payload.push(0x02u8); // T_SUBMIT
+    payload.extend_from_slice(&0x8000_0000u32.to_le_bytes());
+    payload.extend_from_slice(&[0u8; 4]);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&owp_matchd::codec::crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    let mut cursor = std::io::Cursor::new(&bytes);
+    match read_frame(&mut cursor) {
+        Err(CodecError::Truncated { .. }) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn valid_frames_survive_the_same_harness() {
+    // Sanity for the fuzz harness itself: unmutated corpus decodes.
+    for frame in corpus() {
+        let bytes = frame_bytes(&frame);
+        let mut cursor = std::io::Cursor::new(&bytes);
+        assert_eq!(read_frame(&mut cursor).expect("valid"), frame);
+        assert!(matches!(read_frame(&mut cursor), Err(CodecError::Eof)));
+    }
+}

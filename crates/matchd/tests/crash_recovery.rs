@@ -1,0 +1,197 @@
+//! End-to-end durability: kill the daemon without a shutdown, reopen
+//! from WAL + snapshot, and prove the recovered engine is *certified*
+//! and equal (epoch exactly, ΣS to 1e-9) to a reference engine fed the
+//! same acknowledged prefix. Two harnesses: an in-process abort (fast,
+//! deterministic cut) and a real subprocess killed with SIGKILL.
+
+use owp_engine::Engine;
+use owp_matchd::{
+    client_stream, from_spec, recover, FsyncPolicy, Matchd, MatchdClient, MatchdConfig,
+    SubmitOutcome,
+};
+use owp_metrics::MetricsRegistry;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("owp-matchd-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const SPEC: &str = "ba:300,3,2,11";
+
+fn config(dir: &PathBuf, snapshot_every: u64) -> MatchdConfig {
+    let mut c = MatchdConfig::new(dir);
+    c.max_linger = Duration::from_micros(200);
+    c.snapshot_every = snapshot_every;
+    c.fsync = FsyncPolicy::Never; // same-process reopen: no power-loss model needed
+    c
+}
+
+#[test]
+fn abort_recovers_certified_and_equal_to_reference() {
+    let dir = scratch("abort");
+    let universe = from_spec(SPEC).expect("spec");
+    let daemon = Matchd::start(
+        "127.0.0.1:0",
+        &universe,
+        config(&dir, 5),
+        MetricsRegistry::new(),
+    )
+    .expect("start");
+    let addr = daemon.local_addr();
+    let mut client = MatchdClient::connect(addr).expect("connect");
+    assert_eq!(client.nodes, 300);
+
+    // Drive N acknowledged batches; every Accepted is durability-promised.
+    let stream = client_stream(&universe, 0, 1, 400);
+    let mut acked: Vec<owp_engine::EngineEvent> = Vec::new();
+    for chunk in stream.chunks(16) {
+        match client.submit_with_retry(chunk, 50).expect("submit") {
+            SubmitOutcome::Accepted { .. } => acked.extend_from_slice(chunk),
+            SubmitOutcome::Busy { .. } => panic!("retries exhausted"),
+            SubmitOutcome::Rejected { error } => panic!("rejected: {error}"),
+        }
+    }
+    let live_epoch = client.epoch().expect("epoch");
+    // Crash: drop the daemon with no flush, no final snapshot.
+    let stats = daemon.abort();
+    assert!(!stats.graceful);
+
+    // Reference: a fresh engine fed the same acknowledged prefix in the
+    // same 16-event batches.
+    let mut reference = Engine::new(universe.clone());
+    for chunk in acked.chunks(16) {
+        reference.apply_batch(chunk).expect("reference applies");
+    }
+
+    // Recover from disk. Epoch must match the reference exactly; ΣS to
+    // 1e-9 (accumulation order may differ); and certify() is the
+    // bit-identity proof against a from-scratch lic().
+    let rec = recover(&dir, &universe, FsyncPolicy::Never).expect("recovery certifies");
+    assert_eq!(rec.engine.epoch().0, reference.epoch().0);
+    assert_eq!(rec.engine.epoch().0, live_epoch.epoch);
+    let ds = (rec.engine.total_satisfaction() - reference.total_satisfaction()).abs();
+    assert!(ds < 1e-9, "sigma_s drift {ds}");
+    assert!(rec.snapshot_epoch > 0, "snapshot_every=5 over 25 batches must have fired");
+    assert!(rec.engine.matching().same_edges(reference.matching()));
+}
+
+#[test]
+fn torn_wal_tail_still_recovers_the_acked_prefix() {
+    let dir = scratch("torn");
+    let universe = from_spec(SPEC).expect("spec");
+    let daemon = Matchd::start(
+        "127.0.0.1:0",
+        &universe,
+        config(&dir, 0), // snapshots off: recovery is WAL-only
+        MetricsRegistry::new(),
+    )
+    .expect("start");
+    let addr = daemon.local_addr();
+    let mut client = MatchdClient::connect(addr).expect("connect");
+    let stream = client_stream(&universe, 0, 1, 200);
+    let mut epochs = Vec::new();
+    for chunk in stream.chunks(10) {
+        if let SubmitOutcome::Accepted { epoch } =
+            client.submit_with_retry(chunk, 50).expect("submit")
+        {
+            epochs.push(epoch);
+        }
+    }
+    let stats = daemon.abort();
+    assert!(!stats.graceful);
+
+    // Simulate a torn write: garbage after the last complete record.
+    let wal_path = dir.join(owp_matchd::WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path).expect("wal");
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
+    std::fs::write(&wal_path, &bytes).expect("write");
+
+    let rec = recover(&dir, &universe, FsyncPolicy::Never).expect("recovery");
+    assert_eq!(rec.torn_bytes, 5);
+    assert_eq!(rec.engine.epoch().0, *epochs.last().expect("acked"));
+    assert_eq!(rec.replayed as u64, *epochs.last().expect("acked"));
+}
+
+/// The real thing: a matchd subprocess killed with SIGKILL mid-stream,
+/// then restarted over the same data dir; the restarted daemon must
+/// report a certified recovery at the last acknowledged epoch.
+#[test]
+fn sigkill_subprocess_recovers_certified() {
+    let dir = scratch("sigkill");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let port_file = dir.join("port");
+    let bin = env!("CARGO_BIN_EXE_matchd");
+    let spawn = |pf: &PathBuf| {
+        std::process::Command::new(bin)
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--universe",
+                SPEC,
+                "--data-dir",
+                dir.to_str().expect("utf8"),
+                "--linger-us",
+                "200",
+                "--snapshot-every",
+                "4",
+                "--fsync",
+                "always",
+                "--port-file",
+                pf.to_str().expect("utf8"),
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn matchd")
+    };
+    let wait_port = |pf: &PathBuf| -> u16 {
+        for _ in 0..200 {
+            if let Ok(s) = std::fs::read_to_string(pf) {
+                if let Ok(p) = s.trim().parse() {
+                    return p;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        panic!("daemon never wrote its port file");
+    };
+
+    let mut child = spawn(&port_file);
+    let port = wait_port(&port_file);
+    let universe = from_spec(SPEC).expect("spec");
+    let mut client = MatchdClient::connect(("127.0.0.1", port)).expect("connect");
+    let stream = client_stream(&universe, 0, 1, 240);
+    let mut last_epoch = 0u64;
+    for chunk in stream.chunks(12) {
+        if let SubmitOutcome::Accepted { epoch } =
+            client.submit_with_retry(chunk, 50).expect("submit")
+        {
+            last_epoch = epoch;
+        }
+    }
+    assert!(last_epoch >= 20, "expected 20 acked batches, got {last_epoch}");
+    // SIGKILL: no destructors, no flush — the crash the WAL exists for.
+    child.kill().expect("kill -9");
+    let _ = child.wait();
+
+    // Restart over the same data dir; --fsync always means every acked
+    // batch must still be there.
+    let port_file2 = dir.join("port2");
+    let child2 = spawn(&port_file2);
+    let port2 = wait_port(&port_file2);
+    let mut client2 = MatchdClient::connect(("127.0.0.1", port2)).expect("reconnect");
+    let info = client2.epoch().expect("epoch");
+    assert_eq!(info.epoch, last_epoch, "recovery lost acknowledged batches");
+    client2.shutdown().expect("shutdown");
+    let out = child2.wait_with_output().expect("wait");
+    assert!(out.status.success(), "restarted daemon exited {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("certified"), "no certification line in: {stdout}");
+    assert!(
+        stdout.contains(&format!("recovered epoch {last_epoch}")),
+        "expected recovered epoch {last_epoch} in: {stdout}"
+    );
+}

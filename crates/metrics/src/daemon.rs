@@ -1,0 +1,51 @@
+//! Metric keys of the `matchd` daemon (DESIGN.md §13).
+//!
+//! `owp-matchd` publishes its ingest/durability health through these keys
+//! so the existing exporters (`MetricsSnapshot::to_prometheus`,
+//! `owp-inspect metrics`) pick the daemon up with zero new plumbing. The
+//! constants live here — not in matchd — for the same reason the engine's
+//! shard gauges live in [`alloc`](crate::alloc): every consumer (daemon,
+//! bench driver, inspector) links against `owp-metrics` already, and a
+//! shared `&'static str` key is what makes the lock-free registry handles
+//! cheap.
+
+use crate::registry::MetricsRegistry;
+
+/// Gauge: ingest submissions queued between the acceptor threads and the
+/// engine-owner thread, sampled at each batch flush. The bounded channel
+/// caps this at `MatchdConfig::queue_capacity`; a gauge pinned near the
+/// cap means the engine is the bottleneck and admission control is
+/// rejecting.
+pub const MATCHD_QUEUE_DEPTH: &str = "matchd_queue_depth";
+
+/// Counter: submissions rejected at admission (`BUSY` + retry-after)
+/// because the bounded ingest queue was full.
+pub const MATCHD_ADMISSION_REJECTS: &str = "matchd_admission_rejects";
+
+/// Gauge: bytes in the write-ahead log, including record headers. Drops
+/// back near zero after each snapshot (the WAL is reset once a snapshot
+/// durably covers it).
+pub const MATCHD_WAL_BYTES: &str = "matchd_wal_bytes";
+
+/// Histogram: microseconds each flushed batch spent lingering — from the
+/// first submission entering the batch to the flush that applied it. The
+/// latency cost of the throughput knob, directly comparable to
+/// `MatchdConfig::max_linger`.
+pub const MATCHD_BATCH_LINGER_US: &str = "matchd_batch_linger_us";
+
+/// Histogram: events per flushed batch (the adaptive batch size).
+pub const MATCHD_BATCH_EVENTS: &str = "matchd_batch_events";
+
+/// Gauge: epoch of the newest durable snapshot (0 until the first one).
+pub const MATCHD_SNAPSHOT_EPOCH: &str = "matchd_snapshot_epoch";
+
+/// Pre-registers every matchd key so exporters show the daemon section
+/// (zeros included) from the first scrape, before traffic arrives.
+pub fn register_matchd_metrics(reg: &MetricsRegistry) {
+    reg.gauge(MATCHD_QUEUE_DEPTH);
+    reg.counter(MATCHD_ADMISSION_REJECTS);
+    reg.gauge(MATCHD_WAL_BYTES);
+    reg.histogram(MATCHD_BATCH_LINGER_US);
+    reg.histogram(MATCHD_BATCH_EVENTS);
+    reg.gauge(MATCHD_SNAPSHOT_EPOCH);
+}

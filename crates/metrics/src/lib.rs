@@ -26,6 +26,9 @@
 //! * [`alloc`](mod@alloc) — allocation accounting for the engine's
 //!   zero-allocation batch contract (the `engine_allocations_per_batch`
 //!   gauge) plus the per-shard repair gauges of the sharded engine.
+//! * [`daemon`](mod@daemon) — the `matchd_*` keys the matchmaking daemon
+//!   publishes (ingest queue depth, admission rejects, WAL bytes, batch
+//!   linger), shared between `owp-matchd` and the inspectors.
 //!
 //! The crate is intentionally *passive*: nothing here hooks itself into the
 //! simulator or engine. Call sites opt in by handing a recorder or auditor
@@ -39,6 +42,7 @@
 
 pub mod alloc;
 pub mod audit;
+pub mod daemon;
 pub mod recorder;
 pub mod registry;
 pub mod snapshot;
@@ -46,6 +50,10 @@ pub mod snapshot;
 pub use alloc::{
     allocation_count, allocations_since, publish_allocations_per_batch, publish_shard_gauges,
     ALLOCATIONS_PER_BATCH, ALLOC_COUNT, PHASE2_ROUNDS, RECORDER_DROPPED, RECORDER_OCCUPANCY,
+};
+pub use daemon::{
+    register_matchd_metrics, MATCHD_ADMISSION_REJECTS, MATCHD_BATCH_EVENTS,
+    MATCHD_BATCH_LINGER_US, MATCHD_QUEUE_DEPTH, MATCHD_SNAPSHOT_EPOCH, MATCHD_WAL_BYTES,
 };
 pub use audit::{
     epsilon_blocking_count, weight_upper_bound, AuditViolation, Auditor, InvariantKind,

@@ -222,6 +222,10 @@ impl Recorder for MetricsRecorder {
             TelemetryEvent::EngineReranked { edges, .. } => {
                 self.engine_reranked_total.add(edges as u64)
             }
+            // Wire frames are daemon-boundary events; matchd aggregates
+            // them through its own `matchd_*` instruments, not through
+            // the protocol counters this recorder maintains.
+            TelemetryEvent::WireFrameReceived { .. } | TelemetryEvent::WireFrameSent { .. } => {}
         }
     }
 }

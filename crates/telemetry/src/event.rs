@@ -323,6 +323,32 @@ pub enum TelemetryEvent {
         /// Edges whose rank keys were recomputed.
         edges: u32,
     },
+    /// A `matchd` wire frame crossed the codec boundary inbound: the
+    /// daemon decoded one length-prefixed frame off a client connection.
+    /// "Time" for the wire events is microseconds since the daemon
+    /// started (a steady clock, not wall time).
+    WireFrameReceived {
+        /// Microseconds since daemon start.
+        time: u64,
+        /// Daemon-assigned connection id (monotone per accept).
+        conn: u64,
+        /// The frame's message class (`SUBMIT`, `QUERY`, ...).
+        kind: MessageKind,
+        /// Decoded payload size in bytes (excludes the 8-byte header).
+        bytes: u32,
+    },
+    /// A `matchd` wire frame crossed the codec boundary outbound: the
+    /// daemon encoded one response frame onto a client connection.
+    WireFrameSent {
+        /// Microseconds since daemon start.
+        time: u64,
+        /// Daemon-assigned connection id (monotone per accept).
+        conn: u64,
+        /// The frame's message class (`ACK`, `BUSY`, ...).
+        kind: MessageKind,
+        /// Encoded payload size in bytes (excludes the 8-byte header).
+        bytes: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -339,7 +365,9 @@ impl TelemetryEvent {
             | TelemetryEvent::SpanDropped { time, .. }
             | TelemetryEvent::SpanDeadLettered { time, .. }
             | TelemetryEvent::TimerFired { time, .. }
-            | TelemetryEvent::Node { time, .. } => time,
+            | TelemetryEvent::Node { time, .. }
+            | TelemetryEvent::WireFrameReceived { time, .. }
+            | TelemetryEvent::WireFrameSent { time, .. } => time,
             TelemetryEvent::LicEdgeSelected { step, .. }
             | TelemetryEvent::LicNodeSaturated { step, .. } => step as u64,
             TelemetryEvent::LicCursorAdvanced { .. } => 0,
@@ -377,6 +405,8 @@ impl TelemetryEvent {
             TelemetryEvent::EngineEdgeAdded { .. } => "engine_edge_added",
             TelemetryEvent::EngineEdgeRemoved { .. } => "engine_edge_removed",
             TelemetryEvent::EngineReranked { .. } => "engine_reranked",
+            TelemetryEvent::WireFrameReceived { .. } => "wire_received",
+            TelemetryEvent::WireFrameSent { .. } => "wire_sent",
         }
     }
 
@@ -464,6 +494,14 @@ impl TelemetryEvent {
             }
             TelemetryEvent::EngineReranked { epoch, edges } => {
                 let _ = write!(s, ",\"epoch\":{epoch},\"edges\":{edges}");
+            }
+            TelemetryEvent::WireFrameReceived { time, conn, kind, bytes }
+            | TelemetryEvent::WireFrameSent { time, conn, kind, bytes } => {
+                let _ = write!(
+                    s,
+                    ",\"time\":{time},\"conn\":{conn},\"kind\":\"{}\",\"bytes\":{bytes}",
+                    kind.label()
+                );
             }
         }
         s.push('}');

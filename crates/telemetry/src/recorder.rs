@@ -342,6 +342,18 @@ fn parse_event_line(line: &str) -> Result<TelemetryEvent, String> {
             epoch: num(&fields, "epoch")?,
             edges: num32(&fields, "edges")?,
         },
+        "wire_received" => TelemetryEvent::WireFrameReceived {
+            time: num(&fields, "time")?,
+            conn: num(&fields, "conn")?,
+            kind: kind(&fields)?,
+            bytes: num32(&fields, "bytes")?,
+        },
+        "wire_sent" => TelemetryEvent::WireFrameSent {
+            time: num(&fields, "time")?,
+            conn: num(&fields, "conn")?,
+            kind: kind(&fields)?,
+            bytes: num32(&fields, "bytes")?,
+        },
         other => return Err(format!("unknown event tag {other:?}")),
     };
     Ok(ev)
@@ -651,6 +663,18 @@ mod tests {
             TelemetryEvent::EngineEdgeAdded { epoch: 9, edge: EdgeId(4) },
             TelemetryEvent::EngineEdgeRemoved { epoch: 10, edge: EdgeId(4) },
             TelemetryEvent::EngineReranked { epoch: 10, edges: 6 },
+            TelemetryEvent::WireFrameReceived {
+                time: 120,
+                conn: 3,
+                kind: MessageKind::Other("SUBMIT"),
+                bytes: 64,
+            },
+            TelemetryEvent::WireFrameSent {
+                time: 130,
+                conn: 3,
+                kind: MessageKind::Other("ACCEPTED"),
+                bytes: 9,
+            },
         ] {
             log.record(ev);
         }

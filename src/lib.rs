@@ -21,6 +21,11 @@
 //! * [`owp_metrics`] — lock-free metrics registry (counters, gauges, log₂
 //!   histograms), Prometheus/JSON exporters, and the online invariant
 //!   auditor that scores live runs against the paper's guarantees;
+//! * [`owp_matchd`] — the durable matchmaking daemon: TCP event ingest
+//!   with adaptive batching, an append-only CRC-framed WAL plus periodic
+//!   snapshots, and crash recovery that must pass `certify()` before the
+//!   daemon serves (`matchd` binary; `matchd_bench` load driver;
+//!   `owp-inspect wal` offline auditor);
 //! * [`owp_telemetry`] — structured tracing (event log, convergence
 //!   series, causal span records) and the happens-before DAG analysis
 //!   behind the empirical Lemma 5 certificate.
@@ -35,6 +40,7 @@
 pub use owp_core;
 pub use owp_engine;
 pub use owp_graph;
+pub use owp_matchd;
 pub use owp_matching;
 pub use owp_metrics;
 pub use owp_simnet;
@@ -56,6 +62,7 @@ pub mod prelude {
         ForensicBundle, InjectedFault, Partitioner, RangePartitioner, ShardMap, ShrinkResult,
     };
     pub use owp_graph::{Graph, GraphBuilder, NodeId, PreferenceTable, Quotas};
+    pub use owp_matchd::{Matchd, MatchdClient, MatchdConfig, SubmitOutcome};
     pub use owp_matching::{
         lic, BMatching, MatchingReport, Problem, SelectionPolicy,
     };
