@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table/figure of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! experiments <e1|e2|...|e23|all> [--quick] [--json] [--trace-out <path>]
+//! experiments <e1|e2|...|e24|all> [--quick] [--json] [--trace-out <path>]
 //!             [--metrics-out <path>] [--forensics-out <path>] [--watch]
 //! ```
 //!
@@ -108,7 +108,7 @@ fn main() {
 
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <e1..e23|all> [--quick] [--json] [--trace-out <path>] \
+            "usage: experiments <e1..e24|all> [--quick] [--json] [--trace-out <path>] \
              [--metrics-out <path>] [--forensics-out <path>] [--watch]"
         );
         eprintln!("known experiments: {}", experiments::ALL.join(", "));

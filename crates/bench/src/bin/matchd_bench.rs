@@ -10,11 +10,18 @@
 //! daemon's, or submissions reference unknown state and are rejected).
 //! Each client submits its self-inverse event stream in `--chunk`-event
 //! batches, retrying through BUSY, and the driver prints acknowledged
-//! throughput, the p99 submission round trip, and the daemon's final
-//! epoch. `--shutdown` asks the daemon to stop gracefully afterwards.
+//! throughput, the p99 submission round trip, the backpressure tally
+//! (BUSY count + total/average server-advised retry-after), and the
+//! daemon's final epoch. `--shutdown` asks the daemon to stop gracefully
+//! afterwards.
 //!
-//! Exit codes: 0 success; 1 a client was rejected or lost the daemon;
-//! 2 bad usage.
+//! BUSY is *expected* under load — it is the bounded queue pushing back,
+//! and clients ride through it. A REJECTED outcome is not: it means the
+//! submission itself was invalid (spec mismatch, protocol error), so the
+//! driver reports it explicitly and exits nonzero.
+//!
+//! Exit codes: 0 success; 1 a client was rejected for a non-backpressure
+//! reason or lost the daemon; 2 bad usage.
 
 use owp_matchd::{client_stream, from_spec, MatchdClient, SubmitOutcome};
 use owp_metrics::MetricsRegistry;
@@ -68,16 +75,17 @@ fn main() {
     let registry = MetricsRegistry::new();
     let hist = registry.histogram("matchd_submit_wall_us");
     let t0 = Instant::now();
-    let results: Vec<Result<(u64, u64, u64), String>> = std::thread::scope(|s| {
+    let results: Vec<Result<(u64, u64, u64, u64), String>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let addr = addr.clone();
                 let universe = &universe;
                 let hist = hist.clone();
-                s.spawn(move || -> Result<(u64, u64, u64), String> {
+                s.spawn(move || -> Result<(u64, u64, u64, u64), String> {
                     let stream = client_stream(universe, c, clients, events);
                     let mut conn = MatchdClient::connect(addr.as_str())?;
-                    let (mut acked, mut busy, mut last_epoch) = (0u64, 0u64, 0u64);
+                    let (mut acked, mut busy, mut retry_ms, mut last_epoch) =
+                        (0u64, 0u64, 0u64, 0u64);
                     for batch in stream.chunks(chunk) {
                         loop {
                             let t = Instant::now();
@@ -90,6 +98,7 @@ fn main() {
                                 }
                                 SubmitOutcome::Busy { retry_after_ms } => {
                                     busy += 1;
+                                    retry_ms += retry_after_ms as u64;
                                     std::thread::sleep(Duration::from_millis(
                                         retry_after_ms as u64,
                                     ));
@@ -100,7 +109,7 @@ fn main() {
                             }
                         }
                     }
-                    Ok((acked, busy, last_epoch))
+                    Ok((acked, busy, retry_ms, last_epoch))
                 })
             })
             .collect();
@@ -110,16 +119,18 @@ fn main() {
 
     let mut acked = 0u64;
     let mut busy = 0u64;
-    let mut failed = false;
+    let mut retry_ms = 0u64;
+    let mut rejected = 0usize;
     for r in &results {
         match r {
-            Ok((a, b, _)) => {
+            Ok((a, b, r, _)) => {
                 acked += a;
                 busy += b;
+                retry_ms += r;
             }
             Err(e) => {
                 eprintln!("matchd_bench: {e}");
-                failed = true;
+                rejected += 1;
             }
         }
     }
@@ -127,8 +138,23 @@ fn main() {
     let events_per_s = acked as f64 / (wall_ms / 1e3).max(f64::MIN_POSITIVE);
     println!(
         "matchd_bench: {acked} events acked in {wall_ms:.1} ms ({events_per_s:.0} events/s), \
-         p99 submit {p99_ms:.3} ms, {busy} busy retries, {clients} clients"
+         p99 submit {p99_ms:.3} ms, {clients} clients"
     );
+    if busy > 0 {
+        println!(
+            "matchd_bench: backpressure — {busy} BUSY retries, {retry_ms} ms server-advised \
+             retry-after total ({:.1} ms avg)",
+            retry_ms as f64 / busy as f64
+        );
+    } else {
+        println!("matchd_bench: backpressure — none (0 BUSY retries)");
+    }
+    if rejected > 0 {
+        eprintln!(
+            "matchd_bench: {rejected} client(s) REJECTED for non-backpressure reasons \
+             (see above) — the daemon refused submissions outright"
+        );
+    }
 
     let mut probe = match MatchdClient::connect(addr.as_str()) {
         Ok(c) => c,
@@ -156,5 +182,5 @@ fn main() {
             }
         }
     }
-    std::process::exit(if failed { 1 } else { 0 });
+    std::process::exit(if rejected > 0 { 1 } else { 0 });
 }

@@ -10,6 +10,8 @@
 //! owp-inspect wal <matchd.wal> [--snapshot <snapshot.bin>] [--universe <spec>]
 //!                                               matchd WAL: summarize, replay,
 //!                                               certify
+//! owp-inspect ops <host:port>                   live matchd admin plane: status,
+//!                                               readiness, worst request spans
 //! ```
 //!
 //! **Exit-code contract, uniform across every subcommand:**
@@ -61,6 +63,14 @@
 //! fresh universe instead, for WALs that predate any snapshot. Exit
 //! status 1 if the log has torn/corrupt bytes or the replay fails to
 //! certify, 0 when clean.
+//!
+//! `ops` is the one *live* subcommand: it connects to a running matchd's
+//! admin listener (`--ops-addr`), fetches `/status` and `/readyz`, and
+//! prints the daemon's health — epoch, ΣS, queue, WAL/snapshot state,
+//! auditor verdict and the worst request spans. Exit status 0 when the
+//! daemon is ready and the continuous auditor is clean, 1 when it is
+//! unready or has recorded violations, 2 when the endpoint is
+//! unreachable.
 //!
 //! Reports are accumulated and written in one shot with write errors
 //! ignored, so piping into `head` never aborts the tool.
@@ -219,13 +229,6 @@ fn inspect_metrics(path: &str) {
                 "  two-phase repair quiesced in {rounds:.0} round(s) last batch"
             );
         }
-        if let Some(dropped) = gauge(owp_metrics::RECORDER_DROPPED) {
-            let _ = writeln!(
-                out,
-                "  flight recorder {:.0}% full, {dropped:.0} event(s) overwritten",
-                100.0 * gauge(owp_metrics::RECORDER_OCCUPANCY).unwrap_or(0.0),
-            );
-        }
         match gauge(owp_metrics::ALLOCATIONS_PER_BATCH) {
             Some(rate) if rate == 0.0 => out.push_str(
                 "  steady-state batches allocation-free (engine_allocations_per_batch = 0)\n",
@@ -241,9 +244,90 @@ fn inspect_metrics(path: &str) {
         }
     }
 
+    // The flight recorder is its own subsystem (always-on black box,
+    // DESIGN.md §12), so its health prints whenever the snapshot carries
+    // it — an un-sharded engine records flights too.
+    if let Some(dropped) = gauge(owp_metrics::RECORDER_DROPPED) {
+        out.push_str("recorder:\n");
+        let _ = writeln!(
+            out,
+            "  flight ring {:.0}% full, {dropped:.0} event(s) overwritten",
+            100.0 * gauge(owp_metrics::RECORDER_OCCUPANCY).unwrap_or(0.0),
+        );
+    }
+
     let counter = |key: &str| {
         snap.counters.iter().find(|(name, _)| name == key).map(|&(_, v)| v)
     };
+    let hist = |key: &str| snap.histograms.iter().find(|(name, _)| name == key).map(|(_, h)| h);
+
+    // The daemon's ingest/durability/ops health (DESIGN.md §13-§14): a
+    // snapshot scraped from matchd's `/metrics` summarizes here without
+    // the reader pattern-matching forty raw families.
+    if gauge(owp_metrics::MATCHD_WAL_BYTES).is_some()
+        || gauge(owp_metrics::MATCHD_READY).is_some()
+    {
+        out.push_str("matchd:\n");
+        if let Some(ready) = gauge(owp_metrics::MATCHD_READY) {
+            let clean = gauge(owp_metrics::MATCHD_AUDIT_CLEAN).unwrap_or(1.0) != 0.0;
+            let _ = writeln!(
+                out,
+                "  {} | auditor {} ({} pass(es), {} failure(s), last audited epoch {:.0})",
+                if ready != 0.0 { "READY" } else { "NOT READY" },
+                if clean { "clean" } else { "VIOLATION LATCHED" },
+                counter(owp_metrics::MATCHD_AUDIT_PASSES).unwrap_or(0),
+                counter(owp_metrics::MATCHD_AUDIT_FAILURES).unwrap_or(0),
+                gauge(owp_metrics::MATCHD_AUDIT_LAST_EPOCH).unwrap_or(0.0),
+            );
+            if let Some(cost) = gauge(owp_metrics::MATCHD_AUDIT_COST_US) {
+                let _ = writeln!(
+                    out,
+                    "  last audit cycle {cost:.0} us recurring (duty-cycle cap schedules \
+                     the next one >= 99x that out)",
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  queue depth {:.0}, {} admission reject(s) (backpressure)",
+            gauge(owp_metrics::MATCHD_QUEUE_DEPTH).unwrap_or(0.0),
+            counter(owp_metrics::MATCHD_ADMISSION_REJECTS).unwrap_or(0),
+        );
+        let _ = writeln!(
+            out,
+            "  wal {:.0} byte(s) / {:.0} record(s) since snapshot epoch {:.0}",
+            gauge(owp_metrics::MATCHD_WAL_BYTES).unwrap_or(0.0),
+            gauge(owp_metrics::MATCHD_WAL_RECORDS).unwrap_or(0.0),
+            gauge(owp_metrics::MATCHD_SNAPSHOT_EPOCH).unwrap_or(0.0),
+        );
+        let _ = writeln!(
+            out,
+            "  {:.0} connection(s) open, {} total, {} request(s), {} ops scrape(s), {} bundle(s) spooled",
+            gauge(owp_metrics::MATCHD_CONNECTIONS).unwrap_or(0.0),
+            counter(owp_metrics::MATCHD_CONNECTIONS_TOTAL).unwrap_or(0),
+            counter(owp_metrics::MATCHD_REQUESTS_TOTAL).unwrap_or(0),
+            counter(owp_metrics::MATCHD_OPS_REQUESTS).unwrap_or(0),
+            counter(owp_metrics::MATCHD_BUNDLES_SPOOLED).unwrap_or(0),
+        );
+        for (label, key) in [
+            ("queue", owp_metrics::MATCHD_SPAN_QUEUE_US),
+            ("apply", owp_metrics::MATCHD_SPAN_APPLY_US),
+            ("ack", owp_metrics::MATCHD_SPAN_ACK_US),
+        ] {
+            if let Some(h) = hist(key) {
+                if h.count > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  span {label:<5} n={} mean={:.1}us p99~{:.1}us",
+                        h.count,
+                        h.mean(),
+                        h.quantile_interpolated(0.99).unwrap_or(0.0),
+                    );
+                }
+            }
+        }
+    }
+
     out.push_str("audit:\n");
     let verdict = counter("audit_violations_total");
     match verdict {
@@ -567,12 +651,89 @@ fn inspect_wal(path: &str, snapshot: Option<&str>, universe: Option<&str>) {
     }
 }
 
+fn inspect_ops(addr: &str) {
+    use owp_matchd::OpsStatus;
+
+    let get = |path: &str| -> Result<(u16, String), String> {
+        let mut s = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let _ = s.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+        s.write_all(format!("GET {path} HTTP/1.0\r\nHost: inspect\r\n\r\n").as_bytes())
+            .map_err(|e| format!("cannot write to {addr}: {e}"))?;
+        owp_matchd::http::read_response(&mut s, 4 << 20)
+    };
+
+    let (code, body) = get("/status").unwrap_or_else(|e| fail(&e));
+    if code != 200 {
+        fail(&format!("{addr}/status answered {code}: {}", body.trim()));
+    }
+    let status = OpsStatus::parse(&body)
+        .unwrap_or_else(|e| fail(&format!("cannot parse {addr}/status: {e}")));
+    let (ready_code, ready_body) = get("/readyz").unwrap_or_else(|e| fail(&e));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{addr}: matchd up {:.1}s — epoch {}, ΣS {:.4}, {} active node(s), {} matched edge(s)",
+        status.uptime_ms as f64 / 1e3,
+        status.epoch,
+        status.sigma_s,
+        status.active,
+        status.matched,
+    );
+    let _ = writeln!(
+        out,
+        "  readiness: {ready_code} {}",
+        if ready_code == 200 { "ready".to_string() } else { format!("NOT READY — {}", ready_body.trim()) },
+    );
+    let _ = writeln!(
+        out,
+        "  auditor: {} — {} pass(es), {} failure(s), last audited epoch {}, {} bundle(s) spooled",
+        if status.audit_clean { "clean" } else { "VIOLATION LATCHED" },
+        status.audit_passes,
+        status.audit_failures,
+        status.last_audit_epoch,
+        status.bundles_spooled,
+    );
+    let _ = writeln!(
+        out,
+        "  ingest: queue {}/{}, wal {} byte(s) / {} record(s), snapshot epoch {} ({} epoch(s) behind)",
+        status.queue_depth,
+        status.queue_capacity,
+        status.wal_bytes,
+        status.wal_records,
+        status.snapshot_epoch,
+        status.snapshot_age_epochs,
+    );
+    let _ = writeln!(
+        out,
+        "  traffic: {} open connection(s) of {} total, {} request(s)",
+        status.connections, status.connections_total, status.requests_total,
+    );
+    if !status.slow.is_empty() {
+        let _ = writeln!(out, "  worst request spans (of the last {}):", status.slow.len());
+        for s in status.slow.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "    req {:>6} conn {:>3} {:<8} epoch {:<8} queue {:>6}us apply {:>6}us ack {:>6}us total {:>7}us",
+                s.req, s.conn, s.kind, s.epoch, s.queue_us, s.apply_us, s.ack_us, s.total_us,
+            );
+        }
+    }
+    let _ = writeln!(out, "  build: {}", status.rustc);
+    emit(&out);
+    if ready_code != 200 || !status.audit_clean || status.audit_failures > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [cmd, path] if cmd == "trace" => inspect_trace(path),
         [cmd, path] if cmd == "metrics" => inspect_metrics(path),
         [cmd, path] if cmd == "forensics" => inspect_forensics(path),
+        [cmd, addr] if cmd == "ops" => inspect_ops(addr),
         [cmd, rest @ ..] if cmd == "wal" && !rest.is_empty() => {
             let mut path: Option<&str> = None;
             let mut snapshot: Option<&str> = None;
@@ -624,7 +785,7 @@ fn main() {
             }
         }
         _ => {
-            eprintln!("usage: owp-inspect <trace|metrics|causal|forensics|wal> <path>");
+            eprintln!("usage: owp-inspect <trace|metrics|causal|forensics|wal|ops> <path|addr>");
             eprintln!("  trace     <series.jsonl|.csv>   per-phase convergence summary");
             eprintln!("  metrics   <snapshot.json|.prom> metrics summary + audit report");
             eprintln!("  causal    <events.jsonl> [--top <k>] [--dot <path>]");
@@ -634,6 +795,8 @@ fn main() {
             eprintln!("  wal       <matchd.wal> [--snapshot <snapshot.bin>] [--universe <spec>]");
             eprintln!("                                  summarize a matchd WAL; with a start");
             eprintln!("                                  state, replay + certify the recovery");
+            eprintln!("  ops       <host:port>           live matchd admin plane: status,");
+            eprintln!("                                  readiness, auditor verdict, slow spans");
             eprintln!("exit codes: 0 clean, 1 violation/failed certificate/live reproducer,");
             eprintln!("            2 usage or unreadable input");
             std::process::exit(2);

@@ -27,6 +27,7 @@ pub mod e20_critical_path;
 pub mod e21_sharded;
 pub mod e22_forensics;
 pub mod e23_matchd;
+pub mod e24_ops;
 
 use crate::Table;
 use owp_metrics::MetricsRegistry;
@@ -34,7 +35,7 @@ use owp_telemetry::{ConvergenceSeries, EventLog};
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24",
 ];
 
 /// The experiments that record a raw trace artifact — i.e. that honor
@@ -154,6 +155,7 @@ pub fn run_instrumented(
         "e21" => e21_sharded::run(quick),
         "e22" => e22_forensics::run(quick),
         "e23" => e23_matchd::run(quick),
+        "e24" => e24_ops::run(quick),
         _ => return None,
     };
     Some((tables, None))
@@ -223,7 +225,7 @@ mod tests {
         for id in ALL {
             assert!(seen.insert(*id), "duplicate id {id}");
         }
-        assert_eq!(ALL.len(), 23);
+        assert_eq!(ALL.len(), 24);
     }
 
     /// E18 carries a convergence series, E20 a raw event log; the others

@@ -346,3 +346,62 @@ fn wal_missing_file_exits_two() {
     assert_eq!(code, 2);
     assert!(err.contains("cannot read"), "{err}");
 }
+
+// ------------------------------------------------------------------ ops
+
+/// `ops` against a live daemon: the one networked subcommand. A fresh
+/// matchd with its admin plane on an ephemeral port, some ingested load,
+/// then the real binary scrapes `/status` + `/readyz` — ready and clean
+/// must exit 0 with the health lines rendered.
+#[test]
+fn ops_live_daemon_round_trip_exits_zero() {
+    use owp_matchd::{FsyncPolicy, Matchd, MatchdClient, MatchdConfig, SubmitOutcome};
+
+    let dir = scratch("ops_live");
+    let spec = "ba:200,3,2,7";
+    let universe = owp_matchd::from_spec(spec).expect("spec");
+    let mut config = MatchdConfig::new(&dir);
+    config.max_linger = std::time::Duration::from_micros(200);
+    config.fsync = FsyncPolicy::Never;
+    config.ops_addr = Some("127.0.0.1:0".into());
+    config.audit_every = std::time::Duration::from_millis(25);
+    let daemon =
+        Matchd::start("127.0.0.1:0", &universe, config, MetricsRegistry::new()).expect("start");
+    let ops = daemon.ops_addr().expect("ops plane configured").to_string();
+
+    let mut client = MatchdClient::connect(daemon.local_addr()).expect("connect");
+    let stream = owp_matchd::client_stream(&universe, 0, 1, 160);
+    for chunk in stream.chunks(16) {
+        match client.submit_with_retry(chunk, 50).expect("submit") {
+            SubmitOutcome::Accepted { .. } => {}
+            SubmitOutcome::Busy { .. } => panic!("retries exhausted"),
+            SubmitOutcome::Rejected { error } => panic!("rejected: {error}"),
+        }
+    }
+    let epoch = client.epoch().expect("epoch").epoch;
+
+    let (code, out, err) = inspect(&["ops", &ops]);
+    assert_eq!(code, 0, "ready + clean daemon must exit 0\nstdout: {out}\nstderr: {err}");
+    assert!(out.contains("matchd up"), "{out}");
+    assert!(out.contains("readiness: 200 ready"), "{out}");
+    assert!(out.contains("auditor: clean"), "{out}");
+    assert!(out.contains(&format!("epoch {epoch}")), "{out}");
+
+    let stats = daemon.shutdown();
+    assert!(stats.graceful);
+}
+
+/// An unreachable admin endpoint is indistinguishable from a bad path:
+/// usage-error territory, exit 2.
+#[test]
+fn ops_unreachable_endpoint_exits_two() {
+    // Bind-and-drop: the kernel hands out a port that is then guaranteed
+    // closed when the binary tries it.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").port()
+    };
+    let (code, _, err) = inspect(&["ops", &format!("127.0.0.1:{port}")]);
+    assert_eq!(code, 2);
+    assert!(err.contains("cannot connect"), "{err}");
+}

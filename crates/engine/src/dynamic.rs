@@ -49,8 +49,9 @@ impl DynamicProblem {
 
     /// Rewraps a universe instance with explicit membership flags — how a
     /// deserialized forensic bundle restores the checkpoint state
-    /// (`crate::forensics`). Flag lengths must match the instance.
-    pub(crate) fn from_parts(problem: Problem, active: Vec<bool>, present: Vec<bool>) -> Self {
+    /// (`crate::forensics`), and how audit harnesses build a known
+    /// membership state directly. Flag lengths must match the instance.
+    pub fn from_parts(problem: Problem, active: Vec<bool>, present: Vec<bool>) -> Self {
         assert_eq!(active.len(), problem.node_count(), "active flag length");
         assert_eq!(present.len(), problem.edge_count(), "present flag length");
         let active_nodes = active.iter().filter(|&&a| a).count();

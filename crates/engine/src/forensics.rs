@@ -384,10 +384,17 @@ impl OriginSnapshot {
         }
     }
 
-    /// Rebuilds the dynamic instance: graph from the edge list, eq. 9
-    /// weights re-derived from the lists and quotas, membership flags
-    /// restored verbatim.
-    pub fn restore(&self) -> Result<DynamicProblem, String> {
+    /// Rebuilds just the static universe [`Problem`] — graph from the edge
+    /// list, eq. 9 weights re-derived from the lists and quotas — without
+    /// the membership flags or the [`DynamicProblem`] wrapper.
+    ///
+    /// This is the expensive, once-per-structure half of [`restore`]
+    /// (`OriginSnapshot::restore`): callers that audit a stream of
+    /// snapshots over an unchanging universe (matchd's continuous auditor)
+    /// rebuild the universe only when [`same_structure`]
+    /// (`OriginSnapshot::same_structure`) breaks, and re-parse just the
+    /// [`flags`](OriginSnapshot::flags) per snapshot.
+    pub fn restore_universe(&self) -> Result<Problem, String> {
         let mut b = GraphBuilder::new(self.n);
         for &(u, v) in &self.edges {
             if u as usize >= self.n || v as usize >= self.n || u == v {
@@ -410,9 +417,36 @@ impl OriginSnapshot {
         let prefs = PreferenceTable::from_lists(&g, lists)
             .map_err(|e| format!("origin preference lists invalid: {e:?}"))?;
         let quotas = Quotas::from_vec(&g, self.quotas.clone());
+        Ok(Problem::new(g, prefs, quotas))
+    }
+
+    /// Parses the membership flag strings into `(active, present)` bool
+    /// vectors — the cheap, per-snapshot half of [`restore`]
+    /// (`OriginSnapshot::restore`).
+    pub fn flags(&self) -> Result<(Vec<bool>, Vec<bool>), String> {
         let active = unbits(&self.active, self.n, "origin active flags")?;
-        let present = unbits(&self.present, g.edge_count(), "origin present flags")?;
-        let problem = Problem::new(g, prefs, quotas);
+        let present = unbits(&self.present, self.edges.len(), "origin present flags")?;
+        Ok((active, present))
+    }
+
+    /// `true` iff `other` describes the same universe *structure* — node
+    /// count, edge list, quotas and preference lists — ignoring the
+    /// membership flags. Two snapshots with equal structure restore to
+    /// the same [`Problem`] via [`restore_universe`]
+    /// (`OriginSnapshot::restore_universe`).
+    pub fn same_structure(&self, other: &OriginSnapshot) -> bool {
+        self.n == other.n
+            && self.edges == other.edges
+            && self.quotas == other.quotas
+            && self.prefs == other.prefs
+    }
+
+    /// Rebuilds the dynamic instance: graph from the edge list, eq. 9
+    /// weights re-derived from the lists and quotas, membership flags
+    /// restored verbatim.
+    pub fn restore(&self) -> Result<DynamicProblem, String> {
+        let problem = self.restore_universe()?;
+        let (active, present) = self.flags()?;
         Ok(DynamicProblem::from_parts(problem, active, present))
     }
 
@@ -581,6 +615,41 @@ impl ForensicBundle {
             Ok(Err(violation)) => Ok(Some(violation)),
             Err(e) => Err(format!("recorded stream no longer validates: {e}")),
         }
+    }
+
+    /// Writes the bundle into a spool directory and returns the final
+    /// path. The file lands atomically (write to a `.tmp` sibling, fsync,
+    /// rename), so a watcher polling the directory never observes a
+    /// half-written bundle — the contract matchd's continuous auditor
+    /// relies on when it escalates a live violation. Names are
+    /// `bundle-e<epoch>-<n>.json` with `n` bumped past any collision, so
+    /// repeated captures at one epoch all survive.
+    pub fn spool(&self, dir: &std::path::Path) -> Result<std::path::PathBuf, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create spool dir: {e}"))?;
+        let mut n = 0u32;
+        let path = loop {
+            let candidate = dir.join(format!("bundle-e{}-{n}.json", self.epoch));
+            if !candidate.exists() {
+                break candidate;
+            }
+            n += 1;
+            if n > 10_000 {
+                return Err("spool dir holds 10k bundles for this epoch".into());
+            }
+        };
+        let tmp = path.with_extension("json.tmp");
+        let doc = self.to_json();
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp)
+                .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+            f.write_all(doc.as_bytes())
+                .and_then(|()| f.sync_all())
+                .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        }
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("cannot publish {}: {e}", path.display()))?;
+        Ok(path)
     }
 
     /// Serializes the bundle as one JSON object.

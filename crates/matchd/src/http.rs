@@ -1,0 +1,237 @@
+//! A deliberately minimal HTTP/1.0 server-side codec for the ops plane.
+//!
+//! The admin endpoint speaks just enough HTTP for `curl`, Prometheus
+//! scrapers, and `owp-inspect ops`: one request per connection, `GET`
+//! only, headers read and discarded, response carries `Content-Length`
+//! and `Connection: close`. No keep-alive, no chunking, no new
+//! dependencies — `std::io` in, `std::io` out, so both halves unit-test
+//! against byte buffers.
+//!
+//! Robustness contract (pinned by `tests/ops_http.rs`): any byte stream
+//! whatsoever must produce either a parsed [`Request`] or a structured
+//! [`HttpError`] — never a panic, never unbounded memory. The request
+//! line plus headers are capped at [`MAX_REQUEST_BYTES`].
+
+use std::io::{Read, Write};
+
+/// Upper bound on the request head (request line + headers). Admin
+/// requests are a few dozen bytes; anything larger is hostile or lost.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Why a request could not be parsed. Every variant maps to a 400
+/// response (or silence, for an empty connection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed before sending a full request head.
+    Eof,
+    /// The socket failed mid-read.
+    Io(String),
+    /// The head exceeded [`MAX_REQUEST_BYTES`].
+    TooLarge,
+    /// The request line is not `METHOD PATH VERSION`.
+    Malformed(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Eof => f.write_str("connection closed before a full request"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::TooLarge => write!(f, "request head exceeds {MAX_REQUEST_BYTES} bytes"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+/// A parsed request head. The body (if any) is ignored — every admin
+/// route is a `GET`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, query string stripped (`/metrics`).
+    pub path: String,
+}
+
+/// Reads one request head off `r`: bytes up to the `\r\n\r\n` (or
+/// `\n\n`) terminator, capped at [`MAX_REQUEST_BYTES`], then parses the
+/// request line. Headers are discarded.
+pub fn read_request<R: Read>(r: &mut R) -> Result<Request, HttpError> {
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Err(HttpError::Eof);
+                }
+                // No blank line, but a request line may still be complete.
+                break;
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.len() > MAX_REQUEST_BYTES {
+                    return Err(HttpError::TooLarge);
+                }
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+    parse_head(&head)
+}
+
+fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
+    let line_end = head
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| if i > 0 && head[i - 1] == b'\r' { i - 1 } else { i })
+        .unwrap_or(head.len());
+    let line = &head[..line_end];
+    if line.iter().any(|&b| b == 0 || b >= 0x80) {
+        return Err(HttpError::Malformed("non-ASCII byte in request line".into()));
+    }
+    let line = std::str::from_utf8(line)
+        .map_err(|_| HttpError::Malformed("request line is not UTF-8".into()))?;
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "request line {:?} is not METHOD PATH VERSION",
+                line.chars().take(60).collect::<String>()
+            )))
+        }
+    };
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("trailing tokens on the request line".into()));
+    }
+    if !version.starts_with("HTTP/") {
+        return Err(HttpError::Malformed(format!("bad version token {version:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed(format!("target {target:?} is not absolute")));
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Ok(Request { method: method.to_string(), path: path.to_string() })
+}
+
+/// The standard reason phrase for the status codes the ops plane emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete HTTP/1.0 response and flushes. `Content-Length`
+/// is always present so clients that ignore `Connection: close` still
+/// frame the body correctly.
+pub fn respond<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.0 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        status_text(status),
+        body.len(),
+    )?;
+    w.flush()
+}
+
+/// Reads one HTTP response off `r` (the client half, used by
+/// `owp-inspect ops` and the tests): returns `(status, body)`. The
+/// response is bounded by `cap` bytes.
+pub fn read_response<R: Read>(r: &mut R, cap: usize) -> Result<(u16, String), String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        match r.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.len() > cap {
+                    return Err(format!("response exceeds {cap} bytes"));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("socket error: {e}")),
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let mut lines = text.splitn(2, '\n');
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let body = match text.find("\r\n\r\n") {
+        Some(i) => text[i + 4..].to_string(),
+        None => match text.find("\n\n") {
+            Some(i) => text[i + 2..].to_string(),
+            None => String::new(),
+        },
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut std::io::Cursor::new(bytes))
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req = parse(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn strips_query_strings_and_tolerates_bare_lf() {
+        let req = parse(b"GET /status?pretty=1 HTTP/1.1\n\n").unwrap();
+        assert_eq!(req.path, "/status");
+        // A request line without a blank line still parses at EOF (curl
+        // --http0.9 style minimal clients).
+        let req = parse(b"GET /healthz HTTP/1.0\r\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn rejects_garbage_without_panicking() {
+        assert_eq!(parse(b""), Err(HttpError::Eof));
+        assert!(matches!(parse(b"\x00\x01\x02\n\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"GET\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"GET /x HTTP/1.0 extra\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"GET relative HTTP/1.0\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"GET /x FTP/9\r\n\r\n"), Err(HttpError::Malformed(_))));
+        let huge = vec![b'A'; MAX_REQUEST_BYTES + 2];
+        assert_eq!(parse(&huge), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut out: Vec<u8> = Vec::new();
+        respond(&mut out, 503, "text/plain", "not ready\n").unwrap();
+        let (status, body) = read_response(&mut std::io::Cursor::new(&out), 4096).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(body, "not ready\n");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.0 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 10\r\n"), "{text}");
+    }
+}

@@ -19,7 +19,10 @@
 //! * [`snapshot`] — atomic `OriginSnapshot` persistence;
 //! * [`recovery`] — snapshot + WAL → certified engine;
 //! * [`universe`] — deterministic universe specs and client workloads;
+//! * [`http`] — a minimal HTTP/1.0 codec for the admin endpoint;
 //! * [`server`] — the daemon itself;
+//! * [`ops`] — the live operations plane (admin endpoint, continuous
+//!   auditor, slow-request ring);
 //! * [`client`] — a small blocking client.
 
 #![forbid(unsafe_code)]
@@ -27,6 +30,8 @@
 
 pub mod client;
 pub mod codec;
+pub mod http;
+pub mod ops;
 pub mod recovery;
 pub mod server;
 pub mod snapshot;
@@ -35,8 +40,9 @@ pub mod wal;
 
 pub use client::{EpochInfo, MatchdClient, SubmitOutcome};
 pub use codec::{CodecError, Frame, PROTO_VERSION};
+pub use ops::{OpsStatus, SlowSpan, SLOW_RING_CAPACITY};
 pub use recovery::{recover, Recovery, WAL_FILE};
-pub use server::{Matchd, MatchdConfig, MatchdStats, View};
+pub use server::{Matchd, MatchdConfig, MatchdStats, ShutdownHandle, View};
 pub use snapshot::{load_snapshot_file, LoadedSnapshot, SnapshotStore, SNAPSHOT_FILE};
 pub use universe::{client_stream, from_spec};
 pub use wal::{FsyncPolicy, Wal, WalRecord, WalSummary};

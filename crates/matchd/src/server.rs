@@ -23,18 +23,23 @@
 //! and one client's invalid event can never poison another's.
 
 use crate::codec::{self, CodecError, Frame, PROTO_VERSION};
+use crate::ops::{self, OpsCtx, OpsHandle, OpsShared};
 use crate::recovery::recover;
 use crate::snapshot::SnapshotStore;
 use crate::wal::{FsyncPolicy, Wal};
-use owp_engine::{Engine, EngineEvent, OriginSnapshot};
+use owp_engine::{Engine, EngineEvent, ForensicBundle, InjectedFault, OriginSnapshot};
+use owp_graph::EdgeId;
 use owp_metrics::{
     Counter, Gauge, Histogram, MetricsRegistry, MATCHD_ADMISSION_REJECTS, MATCHD_BATCH_EVENTS,
-    MATCHD_BATCH_LINGER_US, MATCHD_QUEUE_DEPTH, MATCHD_SNAPSHOT_EPOCH, MATCHD_WAL_BYTES,
+    MATCHD_BATCH_LINGER_US, MATCHD_CONNECTIONS, MATCHD_CONNECTIONS_TOTAL, MATCHD_QUEUE_DEPTH,
+    MATCHD_REQUESTS_TOTAL, MATCHD_REQ_CONTROL_US, MATCHD_REQ_QUERY_US, MATCHD_REQ_SUBMIT_US,
+    MATCHD_SNAPSHOT_EPOCH, MATCHD_SPAN_ACK_US, MATCHD_SPAN_APPLY_US, MATCHD_SPAN_QUEUE_US,
+    MATCHD_WAL_BYTES, MATCHD_WAL_RECORDS,
 };
 use owp_telemetry::{EventLog, MessageKind, Recorder, TelemetryEvent};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -61,6 +66,19 @@ pub struct MatchdConfig {
     /// Record codec-level wire telemetry + the engine trace into an
     /// [`EventLog`] returned by [`MatchdStats::trace`].
     pub trace: bool,
+    /// Bind the ops plane (admin HTTP endpoint + continuous auditor) on
+    /// this address (`"127.0.0.1:0"` picks an ephemeral port). `None`
+    /// disables the ops plane entirely — the ingest path then pays no
+    /// span bookkeeping beyond the lock-free histogram observations.
+    pub ops_addr: Option<String>,
+    /// How often the continuous auditor probes the engine owner.
+    pub audit_every: Duration,
+    /// Where the auditor spools [`ForensicBundle`]s on a violation;
+    /// `None` still latches `/readyz` to 503 but keeps no bundle.
+    pub spool_dir: Option<PathBuf>,
+    /// `/readyz` turns 503 once the ingest queue reaches this fraction
+    /// of [`MatchdConfig::queue_capacity`].
+    pub ready_watermark: f64,
 }
 
 impl MatchdConfig {
@@ -74,6 +92,10 @@ impl MatchdConfig {
             snapshot_every: 256,
             fsync: FsyncPolicy::OnSnapshot,
             trace: false,
+            ops_addr: None,
+            audit_every: Duration::from_millis(200),
+            spool_dir: None,
+            ready_watermark: 0.9,
         }
     }
 }
@@ -127,16 +149,44 @@ type SharedView = Arc<Mutex<Arc<View>>>;
 
 type Reply = Result<u64, String>;
 
-struct Submission {
+pub(crate) struct Submission {
     events: Vec<EngineEvent>,
     enqueued: Instant,
     conn: u64,
+    /// Daemon-wide request id of the carrying frame (the span key).
+    req: u64,
     bytes: u32,
     reply: Sender<Reply>,
 }
 
-enum Ingest {
+/// An epoch-stamped copy of the engine's live state, captured by the
+/// owner at a batch boundary for the continuous auditor. Restoring the
+/// [`OriginSnapshot`] happens on the auditor thread — the owner only
+/// pays the O(n + m) copy.
+pub(crate) struct AuditProbe {
+    /// Engine epoch the probe reflects.
+    pub(crate) epoch: u64,
+    /// Full dynamic-problem state (graph, prefs, quotas, membership).
+    pub(crate) origin: OriginSnapshot,
+    /// Universe edge ids currently selected by the maintained matching.
+    pub(crate) matched: Vec<EdgeId>,
+}
+
+pub(crate) enum Ingest {
     Submit(Submission),
+    /// Continuous-auditor rendezvous: the owner flushes any pending
+    /// batch, then answers with an [`AuditProbe`] of the applied state.
+    Probe(Sender<AuditProbe>),
+    /// Escalation rendezvous: capture a [`ForensicBundle`] from the
+    /// live engine (trigger `"audit"`).
+    Capture {
+        reason: String,
+        reply: Sender<ForensicBundle>,
+    },
+    /// Chaos hook: corrupt the live engine through
+    /// [`owp_engine::Engine::inject_fault`], then ack. The next audit
+    /// pass (and final certification) will catch the damage.
+    Inject(InjectedFault, Sender<()>),
     /// Graceful stop: flush, snapshot, certify.
     Shutdown,
     /// Crash simulation: stop *now*, dropping pending submissions —
@@ -181,12 +231,31 @@ pub struct Matchd {
     owner: JoinHandle<OwnerExit>,
     acceptor: JoinHandle<()>,
     stop: Arc<AtomicBool>,
+    ops: Option<OpsHandle>,
     /// Epoch recovered from snapshot + WAL before serving.
     pub recovered_epoch: u64,
     /// WAL records replayed during recovery.
     pub replayed: usize,
     /// Torn-tail bytes truncated from the WAL on open.
     pub torn_bytes: u64,
+}
+
+/// A detachable shutdown trigger: lets a signal-watcher (or any other
+/// thread) request the same graceful drain a client `SHUTDOWN` frame
+/// produces, while the main thread blocks in [`Matchd::wait`].
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    ingest: SyncSender<Ingest>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Asks the daemon to drain, snapshot, fsync, and exit. Idempotent;
+    /// safe to call after the daemon already stopped.
+    pub fn request_shutdown(&self) {
+        let _ = self.ingest.send(Ingest::Shutdown);
+        self.stop.store(true, Ordering::SeqCst);
+    }
 }
 
 struct ConnCtx {
@@ -198,11 +267,32 @@ struct ConnCtx {
     rejects: Counter,
     retry_ms: u32,
     nodes: u32,
+    /// Daemon-wide monotone request id source (one id per decoded frame).
+    req_ids: AtomicU64,
+    /// Live handler-thread count backing the connections gauge.
+    live: AtomicUsize,
+    requests_total: Counter,
+    req_submit_us: Histogram,
+    req_query_us: Histogram,
+    req_control_us: Histogram,
+    conns: Gauge,
+    conns_total: Counter,
+    shared: Arc<OpsShared>,
 }
 
 impl ConnCtx {
     fn view(&self) -> Arc<View> {
         self.view.lock().expect("view lock").clone()
+    }
+}
+
+/// Keeps the live-connection gauge honest however the handler returns.
+struct ConnGuard<'a>(&'a ConnCtx);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        let now = self.0.live.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.0.conns.set(now as f64);
     }
 }
 
@@ -225,19 +315,21 @@ impl Matchd {
         let view: SharedView = Arc::new(Mutex::new(Arc::new(View::from_engine(&rec.engine))));
         let stop = Arc::new(AtomicBool::new(false));
         let depth = Arc::new(AtomicUsize::new(0));
+        let shared = Arc::new(OpsShared::new());
         let (tx, rx) = sync_channel::<Ingest>(config.queue_capacity);
         let nodes = universe.graph.node_count() as u32;
 
         let owner = {
             let view = Arc::clone(&view);
             let depth = Arc::clone(&depth);
+            let shared = Arc::clone(&shared);
             let registry = registry.clone();
             let config = config.clone();
             let engine = rec.engine;
             let wal = rec.wal;
             std::thread::Builder::new()
                 .name("matchd-engine".into())
-                .spawn(move || owner_loop(engine, wal, rx, view, depth, registry, config))
+                .spawn(move || owner_loop(engine, wal, rx, view, depth, shared, registry, config))
                 .map_err(|e| format!("cannot spawn engine owner: {e}"))?
         };
 
@@ -251,6 +343,15 @@ impl Matchd {
                 rejects: registry.counter(MATCHD_ADMISSION_REJECTS),
                 retry_ms: (config.max_linger.as_millis() as u32).max(1),
                 nodes,
+                req_ids: AtomicU64::new(0),
+                live: AtomicUsize::new(0),
+                requests_total: registry.counter(MATCHD_REQUESTS_TOTAL),
+                req_submit_us: registry.histogram(MATCHD_REQ_SUBMIT_US),
+                req_query_us: registry.histogram(MATCHD_REQ_QUERY_US),
+                req_control_us: registry.histogram(MATCHD_REQ_CONTROL_US),
+                conns: registry.gauge(MATCHD_CONNECTIONS),
+                conns_total: registry.counter(MATCHD_CONNECTIONS_TOTAL),
+                shared: Arc::clone(&shared),
             });
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
@@ -259,12 +360,32 @@ impl Matchd {
                 .map_err(|e| format!("cannot spawn acceptor: {e}"))?
         };
 
+        let ops_handle = match &config.ops_addr {
+            Some(ops_addr) => Some(ops::spawn(
+                ops_addr.as_str(),
+                OpsCtx {
+                    registry: registry.clone(),
+                    view: Arc::clone(&view),
+                    depth: Arc::clone(&depth),
+                    ingest: tx.clone(),
+                    shared: Arc::clone(&shared),
+                    stop: Arc::clone(&stop),
+                    queue_capacity: config.queue_capacity,
+                    ready_watermark: config.ready_watermark,
+                    audit_every: config.audit_every,
+                    spool_dir: config.spool_dir.clone(),
+                },
+            )?),
+            None => None,
+        };
+
         Ok(Matchd {
             addr: local,
             ingest: tx,
             owner,
             acceptor,
             stop,
+            ops: ops_handle,
             recovered_epoch,
             replayed: rec.replayed,
             torn_bytes: rec.torn_bytes,
@@ -276,10 +397,36 @@ impl Matchd {
         self.addr
     }
 
+    /// The ops plane's bound address, when configured.
+    pub fn ops_addr(&self) -> Option<SocketAddr> {
+        self.ops.as_ref().map(|o| o.addr)
+    }
+
+    /// A detachable trigger for a graceful stop (the signal-handler
+    /// path of the `matchd` binary).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { ingest: self.ingest.clone(), stop: Arc::clone(&self.stop) }
+    }
+
+    /// Corrupts the live engine with `fault` (a chaos/testing hook —
+    /// the continuous auditor and final certification are expected to
+    /// catch the damage). Blocks until the owner applied it.
+    pub fn inject_fault(&self, fault: InjectedFault) -> Result<(), String> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.ingest
+            .send(Ingest::Inject(fault, tx))
+            .map_err(|_| "daemon is shutting down".to_string())?;
+        rx.recv().map_err(|_| "daemon stopped before injecting".to_string())
+    }
+
     fn join(self) -> MatchdStats {
         let exit = self.owner.join().expect("engine owner thread panicked");
         self.stop.store(true, Ordering::SeqCst);
         let _ = self.acceptor.join();
+        if let Some(ops) = self.ops {
+            let _ = ops.listener.join();
+            let _ = ops.auditor.join();
+        }
         MatchdStats {
             epoch: exit.engine.epoch().0,
             sigma_s: exit.engine.total_satisfaction(),
@@ -334,12 +481,26 @@ fn acceptor_loop(listener: TcpListener, stop: Arc<AtomicBool>, ctx: Arc<ConnCtx>
 
 fn handle_conn(mut stream: TcpStream, ctx: Arc<ConnCtx>, conn: u64) {
     let _ = stream.set_nodelay(true);
+    ctx.conns_total.inc();
+    let live_now = ctx.live.fetch_add(1, Ordering::SeqCst) + 1;
+    ctx.conns.set(live_now as f64);
+    let _guard = ConnGuard(&ctx);
     loop {
         let frame = match codec::read_frame(&mut stream) {
             Ok(f) => f,
             Err(CodecError::Eof) => return,
             Err(_) => return, // framing is lost; nothing safe to say
         };
+        // Every decoded frame opens a request span: a daemon-wide
+        // monotone id plus a wall-clock start. SUBMIT spans thread the
+        // id through the ingest queue so the owner can attribute the
+        // queue/apply/ack legs; read and control frames close their
+        // span right here.
+        let req = ctx.req_ids.fetch_add(1, Ordering::SeqCst) + 1;
+        ctx.requests_total.inc();
+        let span_start = Instant::now();
+        let req_kind = frame.kind_label();
+        let is_submit = matches!(frame, Frame::Submit { .. });
         let response = match frame {
             Frame::Hello { proto } => {
                 if proto == PROTO_VERSION {
@@ -356,6 +517,7 @@ fn handle_conn(mut stream: TcpStream, ctx: Arc<ConnCtx>, conn: u64) {
                     events,
                     enqueued: Instant::now(),
                     conn,
+                    req,
                     bytes,
                     reply: reply_tx,
                 };
@@ -413,26 +575,47 @@ fn handle_conn(mut stream: TcpStream, ctx: Arc<ConnCtx>, conn: u64) {
         if codec::write_frame(&mut stream, &response).is_err() {
             return;
         }
+        let total_us = span_start.elapsed().as_micros() as u64;
+        if is_submit {
+            // End-to-end as the client saw it; the queue/apply/ack legs
+            // (and the slow-ring entry) come from the engine owner.
+            ctx.req_submit_us.observe(total_us);
+        } else {
+            let hist = if req_kind.starts_with("QUERY") {
+                &ctx.req_query_us
+            } else {
+                &ctx.req_control_us
+            };
+            hist.observe(total_us);
+            let epoch = ctx.view().epoch;
+            ctx.shared.slow.note(req, conn, req_kind, epoch, 0, 0, 0, total_us);
+        }
     }
 }
 
 /// The single engine-owner thread: adaptive batching, WAL-before-ack,
 /// periodic snapshots, view publication.
+#[allow(clippy::too_many_arguments)]
 fn owner_loop(
     mut engine: Engine,
     mut wal: Wal,
     rx: Receiver<Ingest>,
     view: SharedView,
     depth: Arc<AtomicUsize>,
+    shared: Arc<OpsShared>,
     registry: MetricsRegistry,
     config: MatchdConfig,
 ) -> OwnerExit {
     let started = Instant::now();
     let queue_depth: Gauge = registry.gauge(MATCHD_QUEUE_DEPTH);
     let wal_bytes: Gauge = registry.gauge(MATCHD_WAL_BYTES);
+    let wal_records: Gauge = registry.gauge(MATCHD_WAL_RECORDS);
     let snapshot_epoch_g: Gauge = registry.gauge(MATCHD_SNAPSHOT_EPOCH);
     let linger_us: Histogram = registry.histogram(MATCHD_BATCH_LINGER_US);
     let batch_events: Histogram = registry.histogram(MATCHD_BATCH_EVENTS);
+    let span_queue_us: Histogram = registry.histogram(MATCHD_SPAN_QUEUE_US);
+    let span_apply_us: Histogram = registry.histogram(MATCHD_SPAN_APPLY_US);
+    let span_ack_us: Histogram = registry.histogram(MATCHD_SPAN_ACK_US);
     let store = SnapshotStore::new(&config.data_dir);
     let mut trace = config.trace.then(EventLog::enabled);
     let mut pending: Vec<Submission> = Vec::new();
@@ -441,6 +624,7 @@ fn owner_loop(
     let mut batches = 0u64;
     let mut last_snapshot = engine.epoch().0;
     wal_bytes.set(wal.bytes() as f64);
+    wal_records.set(wal.records() as f64);
 
     let mut flush = |pending: &mut Vec<Submission>,
                      pending_events: &mut usize,
@@ -461,6 +645,7 @@ fn owner_loop(
                 log.record(TelemetryEvent::WireFrameReceived {
                     time: now_us(),
                     conn: sub.conn,
+                    req: sub.req,
                     kind: MessageKind::Other("SUBMIT"),
                     bytes: sub.bytes,
                 });
@@ -470,6 +655,10 @@ fn owner_loop(
         for sub in pending.iter() {
             merged.extend_from_slice(&sub.events);
         }
+        // The span legs: every submission in this flush shares the
+        // apply leg (one merged engine call + WAL append), while its
+        // queue leg is individual — enqueue to flush start.
+        let flush_start = Instant::now();
         let merged_result = match trace.as_mut() {
             Some(log) => engine.apply_batch_traced(&merged, log).map(|r| r.epoch.0),
             None => engine.apply_batch(&merged).map(|r| r.epoch.0),
@@ -521,6 +710,8 @@ fn owner_loop(
             }
         }
         *pending_events = 0;
+        let apply_done = Instant::now();
+        let apply_us = apply_done.duration_since(flush_start).as_micros() as u64;
         let epoch_now = engine.epoch().0;
         *view.lock().expect("view lock") = Arc::new(View::from_engine(engine));
         for (sub, reply) in replies {
@@ -529,19 +720,37 @@ fn owner_loop(
                 log.record(TelemetryEvent::WireFrameSent {
                     time: now_us(),
                     conn: sub.conn,
+                    req: sub.req,
                     kind: MessageKind::Other(kind),
                     bytes: 9,
                 });
             }
+            let queue_us = flush_start.duration_since(sub.enqueued).as_micros() as u64;
+            let ack_us = apply_done.elapsed().as_micros() as u64;
+            span_queue_us.observe(queue_us);
+            span_apply_us.observe(apply_us);
+            span_ack_us.observe(ack_us);
+            shared.slow.note(
+                sub.req,
+                sub.conn,
+                "SUBMIT",
+                epoch_now,
+                queue_us,
+                apply_us,
+                ack_us,
+                queue_us + apply_us + ack_us,
+            );
             let _ = sub.reply.send(reply);
         }
         wal_bytes.set(wal.bytes() as f64);
+        wal_records.set(wal.records() as f64);
         if config.snapshot_every > 0 && epoch_now - *last_snapshot >= config.snapshot_every {
             if store.save(epoch_now, &OriginSnapshot::capture(engine.dynamic())).is_ok() {
                 let _ = wal.reset();
                 *last_snapshot = epoch_now;
                 snapshot_epoch_g.set(epoch_now as f64);
                 wal_bytes.set(wal.bytes() as f64);
+                wal_records.set(wal.records() as f64);
             }
         }
     };
@@ -591,6 +800,59 @@ fn owner_loop(
                     );
                 }
             }
+            // Control rendezvous from the ops plane: flush any pending
+            // batch first so the probe/capture reflects a consistent
+            // state at a batch boundary, then answer on the sender the
+            // requester supplied.
+            Ingest::Probe(reply) => {
+                flush(
+                    &mut pending,
+                    &mut pending_events,
+                    &mut engine,
+                    &mut wal,
+                    &mut trace,
+                    &mut batches,
+                    &mut last_snapshot,
+                );
+                let dp = engine.dynamic();
+                let g = dp.graph();
+                let matched: Vec<EdgeId> =
+                    g.edges().filter(|&e| engine.matching().contains(e)).collect();
+                let probe = AuditProbe {
+                    epoch: engine.epoch().0,
+                    origin: OriginSnapshot::capture(dp),
+                    matched,
+                };
+                let _ = reply.send(probe);
+            }
+            Ingest::Capture { reason, reply } => {
+                flush(
+                    &mut pending,
+                    &mut pending_events,
+                    &mut engine,
+                    &mut wal,
+                    &mut trace,
+                    &mut batches,
+                    &mut last_snapshot,
+                );
+                let metrics_json = registry.snapshot().to_json();
+                let bundle = engine.capture_bundle("audit", &reason, None, Some(&metrics_json));
+                let _ = reply.send(bundle);
+            }
+            Ingest::Inject(fault, ack) => {
+                flush(
+                    &mut pending,
+                    &mut pending_events,
+                    &mut engine,
+                    &mut wal,
+                    &mut trace,
+                    &mut batches,
+                    &mut last_snapshot,
+                );
+                engine.inject_fault(fault);
+                *view.lock().expect("view lock") = Arc::new(View::from_engine(&engine));
+                let _ = ack.send(());
+            }
             Ingest::Shutdown => break true,
             Ingest::Abort => break false,
         }
@@ -611,6 +873,7 @@ fn owner_loop(
             if store.save(epoch_now, &OriginSnapshot::capture(engine.dynamic())).is_ok() {
                 let _ = wal.reset();
                 snapshot_epoch_g.set(epoch_now as f64);
+                wal_records.set(wal.records() as f64);
             }
         }
         let _ = wal.sync();

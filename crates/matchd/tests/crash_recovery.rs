@@ -195,3 +195,85 @@ fn sigkill_subprocess_recovers_certified() {
         "expected recovered epoch {last_epoch} in: {stdout}"
     );
 }
+
+/// SIGTERM is the *graceful* twin of the SIGKILL test above: the signal
+/// watcher must drain the queue, flush the WAL, cut a final snapshot,
+/// certify, and exit 0 — exactly the client-SHUTDOWN sequence, so
+/// `kill <pid>` (or ^C, or an orchestrator's stop) never loses an
+/// acknowledged write.
+#[test]
+fn sigterm_subprocess_drains_and_exits_zero() {
+    let dir = scratch("sigterm");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let port_file = dir.join("port");
+    let bin = env!("CARGO_BIN_EXE_matchd");
+    let child = std::process::Command::new(bin)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--universe",
+            SPEC,
+            "--data-dir",
+            dir.to_str().expect("utf8"),
+            "--linger-us",
+            "200",
+            "--snapshot-every",
+            "8",
+            "--fsync",
+            "snapshot",
+            "--port-file",
+            port_file.to_str().expect("utf8"),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn matchd");
+    let port: u16 = {
+        let mut got = None;
+        for _ in 0..200 {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = s.trim().parse() {
+                    got = Some(p);
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        got.expect("daemon never wrote its port file")
+    };
+    let universe = from_spec(SPEC).expect("spec");
+    let mut client = MatchdClient::connect(("127.0.0.1", port)).expect("connect");
+    let stream = client_stream(&universe, 0, 1, 240);
+    let mut last_epoch = 0u64;
+    for chunk in stream.chunks(12) {
+        if let SubmitOutcome::Accepted { epoch } =
+            client.submit_with_retry(chunk, 50).expect("submit")
+        {
+            last_epoch = epoch;
+        }
+    }
+    assert!(last_epoch >= 20, "expected 20 acked batches, got {last_epoch}");
+    drop(client);
+
+    // `kill -TERM`, as an init system or operator would send it.
+    let pid = child.id().to_string();
+    let status = std::process::Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -TERM failed");
+
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "SIGTERM must exit 0, got {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("signal received, draining"), "no drain line in: {stdout}");
+    assert!(stdout.contains("final state certified"), "no certification in: {stdout}");
+
+    // The drain promised durability: an offline recovery over the same
+    // data dir lands exactly on the last acknowledged epoch, certified,
+    // and the final snapshot means zero WAL records to replay.
+    let rec = recover(&dir, &universe, FsyncPolicy::Never).expect("recovery certifies");
+    assert_eq!(rec.engine.epoch().0, last_epoch, "graceful drain lost acked batches");
+    assert_eq!(rec.replayed, 0, "final snapshot should carry the whole state");
+    assert_eq!(rec.snapshot_epoch, last_epoch);
+}

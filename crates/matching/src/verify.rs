@@ -106,6 +106,62 @@ pub fn check_greedy_certificate(problem: &Problem, m: &BMatching) -> Result<(), 
     Ok(())
 }
 
+/// [`check_greedy_certificate`] restricted to an *alive sub-instance* of a
+/// universe problem, without materializing the sub-problem: only edges with
+/// `alive[e] == true` exist, and `quota[i]` is the caller's effective quota
+/// (the universe quota clamped to the alive degree — exactly what
+/// projecting the sub-instance and re-clamping would produce).
+///
+/// Verdicts match running [`check_greedy_certificate`] on the projected
+/// sub-problem with inherited universe weights; violation messages carry
+/// universe edge ids.
+///
+/// # Panics
+/// Panics if `alive`/`quota` do not cover the universe graph.
+pub fn check_greedy_certificate_masked(
+    problem: &Problem,
+    alive: &[bool],
+    quota: &[u32],
+    m: &BMatching,
+) -> Result<(), String> {
+    let g = &problem.graph;
+    let w = &problem.weights;
+    assert_eq!(alive.len(), g.edge_count(), "alive mask/graph mismatch");
+    assert_eq!(quota.len(), g.node_count(), "quota vector/graph mismatch");
+
+    let mut matched_at: Vec<Vec<EdgeId>> = vec![Vec::new(); g.node_count()];
+    for e in m.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        matched_at[u.index()].push(e);
+        matched_at[v.index()].push(e);
+    }
+
+    for e in g.edges() {
+        if !alive[e.index()] || m.contains(e) {
+            continue;
+        }
+        let (u, v) = g.endpoints(e);
+        let key_e = w.key(g, e);
+        let witness = [u, v].into_iter().any(|x| {
+            m.degree(x) == quota[x.index()] as usize
+                && quota[x.index()] > 0
+                && matched_at[x.index()]
+                    .iter()
+                    .all(|&f| w.key(g, f) > key_e)
+        });
+        if !witness {
+            // A quota-0 endpoint also explains an unselected edge.
+            if quota[u.index()] == 0 || quota[v.index()] == 0 {
+                continue;
+            }
+            return Err(format!(
+                "no Lemma-4 witness for unselected alive edge {e:?} = ({u:?},{v:?})"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Replays a claimed LIC selection order and checks that each edge was
 /// *locally heaviest* (eq. 3 over the eq. 13 pool) at its selection point —
 /// the Lemma 3 property.

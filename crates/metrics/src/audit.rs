@@ -182,6 +182,69 @@ pub fn weight_upper_bound(problem: &Problem) -> f64 {
     total / 2.0
 }
 
+/// [`epsilon_blocking_count`] restricted to an alive sub-instance of a
+/// universe problem: only edges with `alive[e]` exist, `quota[i]` is the
+/// effective (alive-degree-clamped) quota. Counts exactly what
+/// [`epsilon_blocking_count`] would on the projected sub-problem with
+/// inherited universe weights.
+pub fn epsilon_blocking_count_masked(
+    problem: &Problem,
+    alive: &[bool],
+    quota: &[u32],
+    m: &BMatching,
+    epsilon: f64,
+) -> usize {
+    let g = &problem.graph;
+    let scale = 1.0 + epsilon.max(0.0);
+    let blocking_at = |x: NodeId, w_e: f64| -> bool {
+        let b = quota[x.index()] as usize;
+        if b == 0 {
+            return false;
+        }
+        if m.degree(x) < b {
+            return true;
+        }
+        m.connections(x).iter().any(|&j| {
+            g.edge_between(x, j)
+                .is_some_and(|f| problem.weights.get_f64(f) * scale < w_e)
+        })
+    };
+    g.edges()
+        .filter(|&e| {
+            if !alive[e.index()] || m.contains(e) {
+                return false;
+            }
+            let (u, v) = g.endpoints(e);
+            let w_e = problem.weights.get_f64(e);
+            blocking_at(u, w_e) && blocking_at(v, w_e)
+        })
+        .count()
+}
+
+/// [`weight_upper_bound`] restricted to an alive sub-instance: per node,
+/// the top-`quota[i]` weights among its **alive** incident edges, halved.
+pub fn weight_upper_bound_masked(problem: &Problem, alive: &[bool], quota: &[u32]) -> f64 {
+    let g = &problem.graph;
+    let mut total = 0.0f64;
+    let mut incident: Vec<f64> = Vec::new();
+    for i in g.nodes() {
+        let b = quota[i.index()] as usize;
+        if b == 0 {
+            continue;
+        }
+        incident.clear();
+        incident.extend(
+            g.neighbors(i)
+                .iter()
+                .filter(|&&(_, e)| alive[e.index()])
+                .map(|&(_, e)| problem.weights.get_f64(e)),
+        );
+        incident.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        total += incident.iter().take(b).sum::<f64>();
+    }
+    total / 2.0
+}
+
 /// The online auditor. Accumulates [`AuditViolation`]s across audit passes
 /// and publishes health gauges into a [`MetricsRegistry`].
 #[derive(Debug)]
@@ -234,6 +297,128 @@ impl Auditor {
     /// refreshes the ε-blocking and satisfaction-ratio gauges. Returns the
     /// number of violations this pass added.
     pub fn audit_matching(&mut self, problem: &Problem, m: &BMatching) -> usize {
+        self.audit_matching_at(problem, m, None)
+    }
+
+    /// [`Auditor::audit_matching`] against a *live* state probe: identical
+    /// checks, but every violation is stamped with the engine epoch the
+    /// probed state belongs to. This is the entry point of matchd's
+    /// continuous auditor, which restores an epoch-stamped
+    /// `OriginSnapshot` off the hot path and audits it here.
+    pub fn audit_live(&mut self, problem: &Problem, m: &BMatching, epoch: u64) -> usize {
+        self.audit_matching_at(problem, m, Some(epoch))
+    }
+
+    /// [`Auditor::audit_live`] over an alive *sub-instance* described by a
+    /// mask, without materializing the sub-problem: `problem` is the static
+    /// universe, `alive[e]` marks the edges that exist right now, and `m`
+    /// selects universe edge ids (all of which must be alive).
+    ///
+    /// Verdicts and gauges are identical to projecting the alive
+    /// sub-instance (`DynamicProblem::snapshot_with_map`) and running
+    /// [`Auditor::audit_live`] on it — the per-node quotas are clamped to
+    /// alive degrees exactly as the projection's [`owp_graph::Quotas`]
+    /// constructor would. Skipping the projection is what makes matchd's
+    /// continuous auditor cheap enough to run at a fixed cadence: the
+    /// universe `Problem` is re-derived once per structural change, not
+    /// once per audit pass.
+    ///
+    /// # Panics
+    /// Panics if `alive` does not cover the universe graph's edges.
+    pub fn audit_live_masked(
+        &mut self,
+        problem: &Problem,
+        alive: &[bool],
+        m: &BMatching,
+        epoch: u64,
+    ) -> usize {
+        let g = &problem.graph;
+        assert_eq!(alive.len(), g.edge_count(), "alive mask/graph mismatch");
+        self.checks_total.inc();
+        let before = self.violations.len();
+        let epoch = Some(epoch);
+
+        // Effective quotas of the sub-instance: universe quota clamped to
+        // alive degree, matching the projection's constructor clamp.
+        let mut alive_deg = vec![0u32; g.node_count()];
+        for e in g.edges() {
+            if alive[e.index()] {
+                let (u, v) = g.endpoints(e);
+                alive_deg[u.index()] += 1;
+                alive_deg[v.index()] += 1;
+            }
+        }
+        let quota: Vec<u32> = g
+            .nodes()
+            .map(|i| problem.quotas.get(i).min(alive_deg[i.index()]))
+            .collect();
+
+        for i in g.nodes() {
+            let c = m.degree(i);
+            let b = quota[i.index()] as usize;
+            if c > b {
+                self.push(
+                    InvariantKind::QuotaFeasibility,
+                    epoch,
+                    format!("node {} holds {c} connections, quota {b}", i.0),
+                );
+            }
+        }
+
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            if !alive[e.index()] {
+                if m.contains(e) {
+                    self.push(
+                        InvariantKind::Mutuality,
+                        epoch,
+                        format!(
+                            "edge {} = ({},{}) is selected but not alive",
+                            e.0, u.0, v.0
+                        ),
+                    );
+                }
+                continue;
+            }
+            let listed =
+                m.connections(u).contains(&v) && m.connections(v).contains(&u);
+            if m.contains(e) != listed {
+                self.push(
+                    InvariantKind::Mutuality,
+                    epoch,
+                    format!(
+                        "edge {} = ({},{}): selected={} but listed-at-both={}",
+                        e.0,
+                        u.0,
+                        v.0,
+                        m.contains(e),
+                        listed
+                    ),
+                );
+            }
+        }
+
+        if let Err(why) = verify::check_greedy_certificate_masked(problem, alive, &quota, m) {
+            self.push(InvariantKind::LocallyHeaviest, epoch, why);
+        }
+
+        let added = self.violations.len() - before;
+        if added == 0 {
+            self.eps_blocking
+                .set(epsilon_blocking_count_masked(problem, alive, &quota, m, self.epsilon) as f64);
+            let upper = weight_upper_bound_masked(problem, alive, &quota);
+            let ratio = if upper > 0.0 { m.total_weight(problem) / upper } else { 1.0 };
+            self.satisfaction_ratio.set(ratio);
+        }
+        added
+    }
+
+    fn audit_matching_at(
+        &mut self,
+        problem: &Problem,
+        m: &BMatching,
+        epoch: Option<u64>,
+    ) -> usize {
         self.checks_total.inc();
         let before = self.violations.len();
         let g = &problem.graph;
@@ -244,7 +429,7 @@ impl Auditor {
             if c > b {
                 self.push(
                     InvariantKind::QuotaFeasibility,
-                    None,
+                    epoch,
                     format!("node {} holds {c} connections, quota {b}", i.0),
                 );
             }
@@ -257,7 +442,7 @@ impl Auditor {
             if m.contains(e) != listed {
                 self.push(
                     InvariantKind::Mutuality,
-                    None,
+                    epoch,
                     format!(
                         "edge {} = ({},{}): selected={} but listed-at-both={}",
                         e.0,
@@ -271,7 +456,7 @@ impl Auditor {
         }
 
         if let Err(why) = verify::check_greedy_certificate(problem, m) {
-            self.push(InvariantKind::LocallyHeaviest, None, why);
+            self.push(InvariantKind::LocallyHeaviest, epoch, why);
         }
 
         let added = self.violations.len() - before;
@@ -485,6 +670,23 @@ mod tests {
     }
 
     #[test]
+    fn live_audit_stamps_the_epoch() {
+        let reg = MetricsRegistry::new();
+        let mut auditor = Auditor::new(&reg);
+        let p = instance(1);
+        let mut m = lic(&p, SelectionPolicy::InOrder);
+        let heaviest = *p.order.heaviest_first().iter().find(|&&e| m.contains(e)).unwrap();
+        m.remove(&p.graph, heaviest);
+        assert!(auditor.audit_live(&p, &m, 77) > 0);
+        assert!(auditor.report().iter().all(|v| v.epoch == Some(77)));
+        // The clean path refreshes gauges exactly like audit_matching.
+        let mut clean = Auditor::new(&reg);
+        let m = lic(&p, SelectionPolicy::InOrder);
+        assert_eq!(clean.audit_live(&p, &m, 78), 0);
+        assert_eq!(reg.gauge("audit_epsilon_blocking_edges").get(), 0.0);
+    }
+
+    #[test]
     fn asymmetric_weight_is_reported() {
         let p = instance(2);
         // Tamper with one edge's weight so it no longer matches eq. 9.
@@ -518,6 +720,86 @@ mod tests {
             .report()
             .iter()
             .any(|v| v.kind == InvariantKind::LocallyHeaviest));
+    }
+
+    #[test]
+    fn masked_live_audit_matches_projection() {
+        use owp_engine::DynamicProblem;
+        for seed in 0..4u64 {
+            let p = instance(seed);
+            // Deterministically deactivate some nodes and remove some edges.
+            let active: Vec<bool> =
+                (0..p.node_count()).map(|i| (i * 7 + seed as usize) % 5 != 0).collect();
+            let present: Vec<bool> =
+                (0..p.edge_count()).map(|k| (k * 11 + seed as usize) % 7 != 0).collect();
+            let dp = DynamicProblem::from_parts(p.clone(), active, present);
+            let (sub, map) = dp.snapshot_with_map();
+            let sub_m = lic(&sub, SelectionPolicy::InOrder);
+
+            // The same matching, expressed in universe edge ids.
+            let alive: Vec<bool> = dp.graph().edges().map(|e| dp.is_alive(e)).collect();
+            let mut uni_m = BMatching::empty(&p.graph);
+            for e in sub_m.edge_ids() {
+                uni_m.insert_unchecked(&p.graph, map[e.index()]);
+            }
+
+            let reg_proj = MetricsRegistry::new();
+            let mut proj = Auditor::new(&reg_proj);
+            assert_eq!(proj.audit_live(&sub, &sub_m, 5), 0);
+            let reg_mask = MetricsRegistry::new();
+            let mut mask = Auditor::new(&reg_mask);
+            assert_eq!(mask.audit_live_masked(&p, &alive, &uni_m, 5), 0);
+
+            // The gauges agree: ε-blocking exactly, the float ratio up to
+            // summation order.
+            assert_eq!(
+                reg_proj.gauge("audit_epsilon_blocking_edges").get(),
+                reg_mask.gauge("audit_epsilon_blocking_edges").get(),
+                "seed {seed}"
+            );
+            let r_proj = reg_proj.gauge("audit_satisfaction_ratio").get();
+            let r_mask = reg_mask.gauge("audit_satisfaction_ratio").get();
+            assert!((r_proj - r_mask).abs() < 1e-9, "seed {seed}: {r_proj} vs {r_mask}");
+
+            // Tamper identically in both views: dropping the heaviest
+            // selected edge breaks the Lemma 4 certificate in each.
+            let heaviest =
+                *sub.order.heaviest_first().iter().find(|&&e| sub_m.contains(e)).unwrap();
+            let mut sub_bad = sub_m.clone();
+            sub_bad.remove(&sub.graph, heaviest);
+            let mut uni_bad = uni_m.clone();
+            uni_bad.remove(&p.graph, map[heaviest.index()]);
+            assert!(proj.audit_live(&sub, &sub_bad, 6) > 0);
+            assert!(mask.audit_live_masked(&p, &alive, &uni_bad, 6) > 0);
+            assert!(mask
+                .report()
+                .iter()
+                .any(|v| v.kind == InvariantKind::LocallyHeaviest && v.epoch == Some(6)));
+        }
+    }
+
+    #[test]
+    fn masked_live_audit_flags_dead_selected_edge() {
+        use owp_engine::DynamicProblem;
+        let p = instance(9);
+        let active = vec![true; p.node_count()];
+        let mut present = vec![true; p.edge_count()];
+        let dp = DynamicProblem::from_parts(p.clone(), active, present.clone());
+        let alive_all: Vec<bool> = dp.graph().edges().map(|e| dp.is_alive(e)).collect();
+        let m = lic(&p, SelectionPolicy::InOrder);
+        let selected = *m.edge_ids().first().expect("non-empty matching");
+        // Kill one selected edge out from under the matching.
+        present[selected.index()] = false;
+        let mut alive = alive_all;
+        alive[selected.index()] = false;
+        let reg = MetricsRegistry::new();
+        let mut auditor = Auditor::new(&reg);
+        assert!(auditor.audit_live_masked(&p, &alive, &m, 3) > 0);
+        assert!(auditor
+            .report()
+            .iter()
+            .any(|v| v.kind == InvariantKind::Mutuality
+                && v.detail.contains("selected but not alive")));
     }
 
     #[test]

@@ -52,8 +52,13 @@ pub use alloc::{
     ALLOCATIONS_PER_BATCH, ALLOC_COUNT, PHASE2_ROUNDS, RECORDER_DROPPED, RECORDER_OCCUPANCY,
 };
 pub use daemon::{
-    register_matchd_metrics, MATCHD_ADMISSION_REJECTS, MATCHD_BATCH_EVENTS,
-    MATCHD_BATCH_LINGER_US, MATCHD_QUEUE_DEPTH, MATCHD_SNAPSHOT_EPOCH, MATCHD_WAL_BYTES,
+    register_matchd_metrics, MATCHD_ADMISSION_REJECTS, MATCHD_AUDIT_CLEAN, MATCHD_AUDIT_COST_US,
+    MATCHD_AUDIT_FAILURES, MATCHD_AUDIT_LAST_EPOCH, MATCHD_AUDIT_PASSES, MATCHD_BATCH_EVENTS,
+    MATCHD_BATCH_LINGER_US, MATCHD_BUNDLES_SPOOLED, MATCHD_CONNECTIONS,
+    MATCHD_CONNECTIONS_TOTAL, MATCHD_OPS_REQUESTS, MATCHD_QUEUE_DEPTH, MATCHD_READY,
+    MATCHD_REQUESTS_TOTAL, MATCHD_REQ_CONTROL_US, MATCHD_REQ_QUERY_US, MATCHD_REQ_SUBMIT_US,
+    MATCHD_SNAPSHOT_EPOCH, MATCHD_SPAN_ACK_US, MATCHD_SPAN_APPLY_US, MATCHD_SPAN_QUEUE_US,
+    MATCHD_WAL_BYTES, MATCHD_WAL_RECORDS,
 };
 pub use audit::{
     epsilon_blocking_count, weight_upper_bound, AuditViolation, Auditor, InvariantKind,

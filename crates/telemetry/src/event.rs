@@ -332,6 +332,10 @@ pub enum TelemetryEvent {
         time: u64,
         /// Daemon-assigned connection id (monotone per accept).
         conn: u64,
+        /// Daemon-wide request id (monotone per decoded frame) — the span
+        /// key threading one request from accept through queue, engine
+        /// apply, and ack.
+        req: u64,
         /// The frame's message class (`SUBMIT`, `QUERY`, ...).
         kind: MessageKind,
         /// Decoded payload size in bytes (excludes the 8-byte header).
@@ -344,6 +348,9 @@ pub enum TelemetryEvent {
         time: u64,
         /// Daemon-assigned connection id (monotone per accept).
         conn: u64,
+        /// Request id of the inbound frame this responds to (pairs the
+        /// send with its [`TelemetryEvent::WireFrameReceived`] span).
+        req: u64,
         /// The frame's message class (`ACK`, `BUSY`, ...).
         kind: MessageKind,
         /// Encoded payload size in bytes (excludes the 8-byte header).
@@ -495,11 +502,11 @@ impl TelemetryEvent {
             TelemetryEvent::EngineReranked { epoch, edges } => {
                 let _ = write!(s, ",\"epoch\":{epoch},\"edges\":{edges}");
             }
-            TelemetryEvent::WireFrameReceived { time, conn, kind, bytes }
-            | TelemetryEvent::WireFrameSent { time, conn, kind, bytes } => {
+            TelemetryEvent::WireFrameReceived { time, conn, req, kind, bytes }
+            | TelemetryEvent::WireFrameSent { time, conn, req, kind, bytes } => {
                 let _ = write!(
                     s,
-                    ",\"time\":{time},\"conn\":{conn},\"kind\":\"{}\",\"bytes\":{bytes}",
+                    ",\"time\":{time},\"conn\":{conn},\"req\":{req},\"kind\":\"{}\",\"bytes\":{bytes}",
                     kind.label()
                 );
             }

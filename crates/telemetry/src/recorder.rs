@@ -345,12 +345,14 @@ fn parse_event_line(line: &str) -> Result<TelemetryEvent, String> {
         "wire_received" => TelemetryEvent::WireFrameReceived {
             time: num(&fields, "time")?,
             conn: num(&fields, "conn")?,
+            req: num(&fields, "req")?,
             kind: kind(&fields)?,
             bytes: num32(&fields, "bytes")?,
         },
         "wire_sent" => TelemetryEvent::WireFrameSent {
             time: num(&fields, "time")?,
             conn: num(&fields, "conn")?,
+            req: num(&fields, "req")?,
             kind: kind(&fields)?,
             bytes: num32(&fields, "bytes")?,
         },
@@ -666,12 +668,14 @@ mod tests {
             TelemetryEvent::WireFrameReceived {
                 time: 120,
                 conn: 3,
+                req: 41,
                 kind: MessageKind::Other("SUBMIT"),
                 bytes: 64,
             },
             TelemetryEvent::WireFrameSent {
                 time: 130,
                 conn: 3,
+                req: 41,
                 kind: MessageKind::Other("ACCEPTED"),
                 bytes: 9,
             },
