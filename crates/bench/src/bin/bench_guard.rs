@@ -3,7 +3,7 @@
 //! against the committed `BENCH_<id>.json` baselines.
 //!
 //! ```text
-//! bench_guard [e15|e19|e21|e20|e22|e23|e24|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
+//! bench_guard [e15|e19|e21|e20|e22|e23|e24|e25|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]
 //! ```
 //!
 //! Guarded experiments:
@@ -25,6 +25,11 @@
 //!   10% on the overhead column — the always-on black box's budget is a
 //!   design contract, not a baseline, so it is checked against the
 //!   constant rather than a committed measurement;
+//! * `e25` — chaos campaign: the per-fault-class coverage ledger of the
+//!   full seeded campaign (`BENCH_e25.json`). Like e20 these are
+//!   **deterministic** counts, checked for exact equality — any drift
+//!   means the plan generator, a protocol or a certificate changed
+//!   behavior, which is a correctness signal, not jitter;
 //! * `e23` — matchd daemon: end-to-end ingest wall time and p99
 //!   submission round trip per linger setting over loopback TCP
 //!   (`BENCH_e23.json`; honors `OWP_E23_N`). Loopback scheduling is
@@ -59,7 +64,7 @@
 
 use owp_bench::experiments::{
     e15_scale, e19_dynamic, e20_critical_path, e21_sharded, e22_forensics, e23_matchd,
-    e24_ops, tables_to_json,
+    e24_ops, e25_campaign, tables_to_json,
 };
 use owp_bench::Table;
 use std::time::Instant;
@@ -146,6 +151,17 @@ const GUARDS: &[Guard] = &[
         cap_key: None,
     },
     Guard {
+        id: "e25",
+        what: "E25 chaos-campaign coverage ledger (full campaign, deterministic)",
+        key_col: 0,
+        key_label: "class",
+        cols: &[("generated", 2), ("executed", 3), ("certified", 4), ("violated", 5)],
+        run: e25_campaign::run,
+        exact: true,
+        cap: None,
+        cap_key: None,
+    },
+    Guard {
         id: "e23",
         what: "E23 matchd ingest sweep (full size, loopback TCP)",
         key_col: 0,
@@ -205,7 +221,7 @@ fn main() {
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag: {a}");
                 eprintln!(
-                    "usage: bench_guard [e15|e19|e21|e20|e22|e23|e24|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]"
+                    "usage: bench_guard [e15|e19|e21|e20|e22|e23|e24|e25|all] [--baseline <path>] [--tolerance <pct>] [--slack-ms <ms>] [--update]"
                 );
                 std::process::exit(2);
             }

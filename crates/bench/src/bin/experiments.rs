@@ -1,8 +1,9 @@
 //! Experiment runner: regenerates every table/figure of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! experiments <e1|e2|...|e24|all> [--quick] [--json] [--trace-out <path>]
-//!             [--metrics-out <path>] [--forensics-out <path>] [--watch]
+//! experiments <e1|e2|...|e25|all> [--quick] [--json] [--trace-out <path>]
+//!             [--metrics-out <path>] [--forensics-out <path>]
+//!             [--campaign-out <path>] [--watch]
 //! ```
 //!
 //! With `--json`, each experiment additionally writes its tables to
@@ -29,6 +30,12 @@
 //! injected-corruption sweep captured as JSON — the input of
 //! `owp-inspect forensics`. Experiments without a bundle warn and ignore
 //! the flag; selecting *only* non-forensic experiments is an error.
+//!
+//! With `--campaign-out <path>`, a campaign experiment (see
+//! `experiments::CAMPAIGN`: e25) writes its attested chaos-campaign
+//! report as canonical JSON — the input of `owp-inspect campaign`.
+//! Experiments without a campaign warn and ignore the flag; selecting
+//! *only* non-campaign experiments is an error.
 //!
 //! With `--watch`, a background thread prints a compact metrics table to
 //! stderr every 2 seconds while experiments run (implies collecting
@@ -69,6 +76,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut forensics_out: Option<String> = None;
+    let mut campaign_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -98,6 +106,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--campaign-out" => match args.next() {
+                Some(path) => campaign_out = Some(path),
+                None => {
+                    eprintln!("--campaign-out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag: {a}");
                 std::process::exit(2);
@@ -108,8 +123,8 @@ fn main() {
 
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <e1..e24|all> [--quick] [--json] [--trace-out <path>] \
-             [--metrics-out <path>] [--forensics-out <path>] [--watch]"
+            "usage: experiments <e1..e25|all> [--quick] [--json] [--trace-out <path>] \
+             [--metrics-out <path>] [--forensics-out <path>] [--campaign-out <path>] [--watch]"
         );
         eprintln!("known experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
@@ -139,6 +154,7 @@ fn main() {
 
     let mut trace_written = false;
     let mut forensics_written = false;
+    let mut campaign_written = false;
     for id in selected {
         if trace_out.is_some() && !experiments::TRACED.contains(&id) {
             eprintln!(
@@ -154,18 +170,30 @@ fn main() {
                 experiments::FORENSIC.join(", ")
             );
         }
+        if campaign_out.is_some() && !experiments::CAMPAIGN.contains(&id) {
+            eprintln!(
+                "warning: {id} runs no chaos campaign, --campaign-out ignored for it \
+                 (campaign experiments: {})",
+                experiments::CAMPAIGN.join(", ")
+            );
+        }
         let start = Instant::now();
         // Forensic capture and metrics instrumentation are disjoint today
         // (e22 is not in INSTRUMENTED), so the two dispatch paths never
         // compete for the same experiment.
         let outcome = if forensics_out.is_some() && experiments::FORENSIC.contains(&id) {
-            experiments::run_with_forensics(id, quick).map(|(t, b)| (t, None, b))
+            experiments::run_with_forensics(id, quick).map(|(t, b)| (t, None, b, None))
+        } else if campaign_out.is_some() && experiments::CAMPAIGN.contains(&id) {
+            // Campaign capture composes with metrics: the registry (if
+            // any) gets the campaign_* ledger through the same run.
+            experiments::run_with_campaign(id, quick, registry.as_deref())
+                .map(|(t, r)| (t, None, None, r))
         } else {
             experiments::run_instrumented(id, quick, registry.as_deref())
-                .map(|(t, s)| (t, s, None))
+                .map(|(t, s)| (t, s, None, None))
         };
         match outcome {
-            Some((tables, series, bundle)) => {
+            Some((tables, series, bundle, report)) => {
                 for t in &tables {
                     println!();
                     t.print();
@@ -204,6 +232,24 @@ fn main() {
                                 b.reproducer().len()
                             );
                             forensics_written = true;
+                        }
+                        Err(e) => {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if let (Some(path), Some(r)) = (campaign_out.as_deref(), report.as_ref()) {
+                    match std::fs::write(path, r.to_json()) {
+                        Ok(()) => {
+                            println!(
+                                "[{id}: wrote campaign report ({} plan(s), {} violation(s), \
+                                 digest {}) to {path}]",
+                                r.config.plans,
+                                r.violations.len(),
+                                r.digest
+                            );
+                            campaign_written = true;
                         }
                         Err(e) => {
                             eprintln!("cannot write {path}: {e}");
@@ -267,6 +313,13 @@ fn main() {
         eprintln!(
             "--forensics-out given but no selected experiment captured a forensic bundle (use {})",
             experiments::FORENSIC.join(", ")
+        );
+        std::process::exit(2);
+    }
+    if campaign_out.is_some() && !campaign_written {
+        eprintln!(
+            "--campaign-out given but no selected experiment ran a chaos campaign (use {})",
+            experiments::CAMPAIGN.join(", ")
         );
         std::process::exit(2);
     }

@@ -12,6 +12,9 @@
 //!                                               certify
 //! owp-inspect ops <host:port>                   live matchd admin plane: status,
 //!                                               readiness, worst request spans
+//! owp-inspect campaign <report.json> [--replay <plan>]
+//!                                               chaos-campaign report: coverage
+//!                                               ledger, attestation, verdict
 //! ```
 //!
 //! **Exit-code contract, uniform across every subcommand:**
@@ -63,6 +66,19 @@
 //! fresh universe instead, for WALs that predate any snapshot. Exit
 //! status 1 if the log has torn/corrupt bytes or the replay fails to
 //! certify, 0 when clean.
+//!
+//! `campaign` consumes an attested chaos-campaign report (written by
+//! `experiments e25 --campaign-out <path>`, canonical JSON of
+//! `owp_bench::campaign::CampaignReport`): recomputes and checks the
+//! FNV-1a attestation digest, prints the per-fault-class coverage ledger
+//! with a coverage verdict (every class executed and certified at least
+//! once), and lists every violation record with its reproducer
+//! coordinates. Exit status 1 if the digest does not attest, a fault
+//! class has zero coverage, or any *genuine* (non-injected) violation is
+//! recorded — the intentional PhantomEdge canary is the detector working
+//! as designed and stays exit 0. With `--replay <plan>` the plan is
+//! re-derived from the embedded config and re-executed: exit 0 iff the
+//! fresh outcome matches the recorded one exactly.
 //!
 //! `ops` is the one *live* subcommand: it connects to a running matchd's
 //! admin listener (`--ops-addr`), fetches `/status` and `/readyz`, and
@@ -324,6 +340,41 @@ fn inspect_metrics(path: &str) {
                         h.quantile_interpolated(0.99).unwrap_or(0.0),
                     );
                 }
+            }
+        }
+    }
+
+    // The chaos-campaign ledger (E25): per-fault-class coverage counters
+    // written by `experiments e25 --metrics-out`.
+    if let Some(total) = counter(owp_metrics::CAMPAIGN_PLANS_TOTAL) {
+        out.push_str("campaign:\n");
+        let _ = writeln!(
+            out,
+            "  {total} plan(s) executed: {} certified, {} violated",
+            counter(owp_metrics::CAMPAIGN_CERTIFIED_TOTAL).unwrap_or(0),
+            counter(owp_metrics::CAMPAIGN_VIOLATIONS_TOTAL).unwrap_or(0),
+        );
+        for class in owp_metrics::CAMPAIGN_CLASSES {
+            let plans = owp_metrics::campaign_plans_key(class)
+                .and_then(|k| counter(k))
+                .unwrap_or(0);
+            let violations = owp_metrics::campaign_violations_key(class)
+                .and_then(|k| counter(k))
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {class:<16} {plans:>6} plan(s), {violations} violation(s)"
+            );
+        }
+        if let Some(h) = hist(owp_metrics::CAMPAIGN_PLAN_WALL_US) {
+            if h.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "  plan wall time n={} mean={:.0}us p99~{:.0}us",
+                    h.count,
+                    h.mean(),
+                    h.quantile_interpolated(0.99).unwrap_or(0.0),
+                );
             }
         }
     }
@@ -727,6 +778,125 @@ fn inspect_ops(addr: &str) {
     }
 }
 
+fn inspect_campaign(path: &str, replay_plan: Option<u64>) {
+    use owp_bench::campaign::{replay, CampaignReport};
+
+    let doc = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let report = CampaignReport::parse(&doc)
+        .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+
+    let mut out = String::new();
+    let c = &report.config;
+    let _ = writeln!(
+        out,
+        "{path}: chaos campaign — {} plan(s), seed {:#x}, gnp(n={}, b={}) x {} instance(s), \
+         canary at plan {}",
+        c.plans,
+        c.seed,
+        c.n,
+        c.quota,
+        c.instances,
+        c.inject_at.map(|id| id.to_string()).unwrap_or_else(|| "-".into()),
+    );
+
+    let mut failed = false;
+    match report.verify_digest() {
+        Ok(()) => {
+            let _ = writeln!(out, "  attestation: digest {} verifies", report.digest);
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  attestation: FAILED — {e}");
+            failed = true;
+        }
+    }
+
+    out.push_str("coverage:\n");
+    let mut uncovered = Vec::new();
+    for row in &report.coverage {
+        let _ = writeln!(
+            out,
+            "  {:<16} generated {:>5}  executed {:>5}  certified {:>5}  violated {:>3}",
+            row.class.label(),
+            row.generated,
+            row.executed,
+            row.certified,
+            row.violated,
+        );
+        if row.executed == 0 || row.certified == 0 {
+            uncovered.push(row.class.label());
+        }
+    }
+    if uncovered.is_empty() {
+        out.push_str("  every fault class executed and certified at least once\n");
+    } else {
+        let _ = writeln!(out, "  COVERAGE GAP — no certified plans for: {}", uncovered.join(", "));
+        failed = true;
+    }
+
+    let injected = report.violations.iter().filter(|v| v.injected).count();
+    let genuine = report.violations.len() - injected;
+    let _ = writeln!(
+        out,
+        "violations: {} ({injected} injected canary, {genuine} genuine); {} event(s) total",
+        report.violations.len(),
+        report.total_events,
+    );
+    for v in &report.violations {
+        let first = v.reasons.first().map(String::as_str).unwrap_or("(none)");
+        let _ = writeln!(
+            out,
+            "  plan {:>5} {:<16} {} — {first}",
+            v.plan,
+            v.class.label(),
+            if v.injected { "injected" } else { "GENUINE" },
+        );
+    }
+    if !report.clean() {
+        failed = true;
+    }
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if report.clean() {
+            "clean — every violation is the detected canary"
+        } else {
+            "VIOLATED — genuine certificate failures recorded"
+        },
+    );
+
+    if let Some(plan_id) = replay_plan {
+        match replay(&report, plan_id) {
+            Err(e) => {
+                emit(&out);
+                fail(&format!("cannot replay plan {plan_id}: {e}"));
+            }
+            Ok(r) => {
+                if r.matches {
+                    let _ = writeln!(
+                        out,
+                        "replay plan {plan_id}: reproduces the recorded outcome exactly \
+                         ({} reason(s))",
+                        r.reasons.len(),
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "replay plan {plan_id}: MISMATCH — recorded {:?}, fresh run gives {:?}",
+                        r.recorded, r.reasons,
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    emit(&out);
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
@@ -759,6 +929,26 @@ fn main() {
                 None => fail("wal requires a log path"),
             }
         }
+        [cmd, rest @ ..] if cmd == "campaign" && !rest.is_empty() => {
+            let mut path: Option<&str> = None;
+            let mut replay_plan: Option<u64> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--replay" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(id) => replay_plan = Some(id),
+                        None => fail("--replay requires a plan id"),
+                    },
+                    _ if a.starts_with("--") => fail(&format!("unknown flag: {a}")),
+                    _ if path.is_none() => path = Some(a.as_str()),
+                    _ => fail("campaign takes exactly one report path"),
+                }
+            }
+            match path {
+                Some(p) => inspect_campaign(p, replay_plan),
+                None => fail("campaign requires a report path"),
+            }
+        }
         [cmd, rest @ ..] if cmd == "causal" && !rest.is_empty() => {
             let mut path: Option<&str> = None;
             let mut top = 1usize;
@@ -785,7 +975,7 @@ fn main() {
             }
         }
         _ => {
-            eprintln!("usage: owp-inspect <trace|metrics|causal|forensics|wal|ops> <path|addr>");
+            eprintln!("usage: owp-inspect <trace|metrics|causal|forensics|wal|ops|campaign> <path|addr>");
             eprintln!("  trace     <series.jsonl|.csv>   per-phase convergence summary");
             eprintln!("  metrics   <snapshot.json|.prom> metrics summary + audit report");
             eprintln!("  causal    <events.jsonl> [--top <k>] [--dot <path>]");
@@ -797,6 +987,9 @@ fn main() {
             eprintln!("                                  state, replay + certify the recovery");
             eprintln!("  ops       <host:port>           live matchd admin plane: status,");
             eprintln!("                                  readiness, auditor verdict, slow spans");
+            eprintln!("  campaign  <report.json> [--replay <plan>]");
+            eprintln!("                                  chaos-campaign report: attestation,");
+            eprintln!("                                  coverage ledger, violation verdict");
             eprintln!("exit codes: 0 clean, 1 violation/failed certificate/live reproducer,");
             eprintln!("            2 usage or unreadable input");
             std::process::exit(2);

@@ -28,6 +28,7 @@ pub mod e21_sharded;
 pub mod e22_forensics;
 pub mod e23_matchd;
 pub mod e24_ops;
+pub mod e25_campaign;
 
 use crate::Table;
 use owp_metrics::MetricsRegistry;
@@ -35,7 +36,7 @@ use owp_telemetry::{ConvergenceSeries, EventLog};
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25",
 ];
 
 /// The experiments that record a raw trace artifact — i.e. that honor
@@ -48,13 +49,19 @@ pub const TRACED: &[&str] = &["e18", "e20"];
 /// The experiments with a metrics-instrumented variant — i.e. that
 /// populate a [`MetricsRegistry`] under `--metrics-out`/`--watch`. The
 /// rest run un-instrumented even when a registry is supplied.
-pub const INSTRUMENTED: &[&str] = &["e5", "e18", "e19", "e20", "e21", "e23"];
+pub const INSTRUMENTED: &[&str] = &["e5", "e18", "e19", "e20", "e21", "e23", "e25"];
 
 /// The experiments that capture a [`owp_engine::ForensicBundle`] — i.e.
 /// that honor `--forensics-out`. `e22` surfaces the first post-mortem
 /// bundle its injected-corruption sweep produced (the input format of
 /// `owp-inspect forensics`).
 pub const FORENSIC: &[&str] = &["e22"];
+
+/// The experiments that run a chaos campaign and carry an attested
+/// [`crate::campaign::CampaignReport`] — i.e. that honor
+/// `--campaign-out`. `e25` writes the canonical report JSON (the input
+/// format of `owp-inspect campaign`).
+pub const CAMPAIGN: &[&str] = &["e25"];
 
 /// The raw artifact a traced experiment attaches to its tables; what
 /// `--trace-out` serializes (each variant has its own JSONL schema).
@@ -130,6 +137,7 @@ pub fn run_instrumented(
             "e19" => return Some((e19_dynamic::run_with_metrics(quick, reg), None)),
             "e21" => return Some((e21_sharded::run_with_metrics(quick, reg), None)),
             "e23" => return Some((e23_matchd::run_with_metrics(quick, reg), None)),
+            "e25" => return Some((e25_campaign::run_with_metrics(quick, reg), None)),
             _ => {}
         }
     }
@@ -156,6 +164,7 @@ pub fn run_instrumented(
         "e22" => e22_forensics::run(quick),
         "e23" => e23_matchd::run(quick),
         "e24" => e24_ops::run(quick),
+        "e25" => e25_campaign::run(quick),
         _ => return None,
     };
     Some((tables, None))
@@ -174,6 +183,23 @@ pub fn run_with_forensics(
         return Some((tables, bundle));
     }
     run(id, quick).map(|tables| (tables, None))
+}
+
+/// Like [`run_instrumented`], but for experiments in [`CAMPAIGN`] also
+/// returns the attested campaign report so the binary can honor
+/// `--campaign-out` without running the campaign twice (campaign capture
+/// composes with metrics: a supplied registry gets the `campaign_*`
+/// ledger either way). Other ids return `None` for the report.
+pub fn run_with_campaign(
+    id: &str,
+    quick: bool,
+    metrics: Option<&MetricsRegistry>,
+) -> Option<(Vec<Table>, Option<crate::campaign::CampaignReport>)> {
+    if id == "e25" {
+        let (tables, report) = e25_campaign::run_full(quick, metrics);
+        return Some((tables, Some(report)));
+    }
+    run_instrumented(id, quick, metrics).map(|(tables, _)| (tables, None))
 }
 
 /// Serializes an experiment's tables as the `BENCH_<id>.json` document:
@@ -225,7 +251,7 @@ mod tests {
         for id in ALL {
             assert!(seen.insert(*id), "duplicate id {id}");
         }
-        assert_eq!(ALL.len(), 24);
+        assert_eq!(ALL.len(), 25);
     }
 
     /// E18 carries a convergence series, E20 a raw event log; the others
@@ -266,7 +292,7 @@ mod tests {
     /// the binary's warnings lie).
     #[test]
     fn capability_lists_are_consistent() {
-        for id in TRACED.iter().chain(INSTRUMENTED).chain(FORENSIC) {
+        for id in TRACED.iter().chain(INSTRUMENTED).chain(FORENSIC).chain(CAMPAIGN) {
             assert!(ALL.contains(id), "{id} not in ALL");
         }
         assert!(TRACED.iter().all(|id| INSTRUMENTED.contains(id)),

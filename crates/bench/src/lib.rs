@@ -18,6 +18,7 @@
 //! Criterion micro-benchmarks live in `benches/`.
 
 pub mod alloc_shim;
+pub mod campaign;
 pub mod experiments;
 pub mod table;
 

@@ -405,3 +405,116 @@ fn ops_unreachable_endpoint_exits_two() {
     assert_eq!(code, 2);
     assert!(err.contains("cannot connect"), "{err}");
 }
+
+// ------------------------------------------------------------- campaign
+
+/// A small but fully featured campaign: every fault class covered, the
+/// PhantomEdge canary injected at plan 7.
+fn campaign_fixture() -> owp_bench::campaign::CampaignReport {
+    owp_bench::campaign::run_campaign(&owp_bench::campaign::CampaignConfig {
+        seed: 0xC11,
+        plans: 15,
+        n: 14,
+        instances: 3,
+        quota: 2,
+        inject_at: Some(7),
+    })
+}
+
+#[test]
+fn campaign_clean_report_exits_zero() {
+    let dir = scratch("campaign_clean");
+    let report = campaign_fixture();
+    assert!(report.clean(), "fixture must be canary-only: {:?}", report.violations);
+    let path = write(&dir, "report.json", &report.to_json());
+    let (code, out, _) = inspect(&["campaign", &path]);
+    assert_eq!(code, 0, "canary-only report is clean: {out}");
+    assert!(out.contains("digest") && out.contains("verifies"), "{out}");
+    assert!(out.contains("every fault class executed and certified"), "{out}");
+    assert!(out.contains("injected"), "the canary is listed: {out}");
+    assert!(out.contains("verdict: clean"), "{out}");
+}
+
+#[test]
+fn campaign_genuine_violation_exits_one() {
+    let dir = scratch("campaign_genuine");
+    let mut report = campaign_fixture();
+    // Reclassify the canary as a genuine violation and re-attest, so the
+    // digest verifies but the verdict must flip to VIOLATED.
+    let canary = report.violations.iter_mut().find(|v| v.injected).expect("canary");
+    canary.injected = false;
+    report.digest = String::new();
+    report.digest = owp_bench::campaign::fnv1a64_hex(report.to_json().as_bytes());
+    let path = write(&dir, "report.json", &report.to_json());
+    let (code, out, _) = inspect(&["campaign", &path]);
+    assert_eq!(code, 1, "genuine violations must exit 1: {out}");
+    assert!(out.contains("GENUINE"), "{out}");
+    assert!(out.contains("verdict: VIOLATED"), "{out}");
+}
+
+#[test]
+fn campaign_tampered_digest_exits_one() {
+    let dir = scratch("campaign_tampered");
+    let report = campaign_fixture();
+    let json = report.to_json().replace(&report.digest, "0000000000000000");
+    let path = write(&dir, "report.json", &json);
+    let (code, out, _) = inspect(&["campaign", &path]);
+    assert_eq!(code, 1, "a digest that does not attest must exit 1: {out}");
+    assert!(out.contains("attestation: FAILED"), "{out}");
+}
+
+#[test]
+fn campaign_coverage_gap_exits_one() {
+    let dir = scratch("campaign_gap");
+    // 3 plans round-robin over 5 classes: reordering and crash_restart
+    // never execute, which is a coverage failure even with zero violations.
+    let report = owp_bench::campaign::run_campaign(&owp_bench::campaign::CampaignConfig {
+        seed: 0xC11,
+        plans: 3,
+        n: 14,
+        instances: 1,
+        quota: 2,
+        inject_at: None,
+    });
+    let path = write(&dir, "report.json", &report.to_json());
+    let (code, out, _) = inspect(&["campaign", &path]);
+    assert_eq!(code, 1, "uncovered fault classes must exit 1: {out}");
+    assert!(out.contains("COVERAGE GAP"), "{out}");
+    assert!(out.contains("crash_restart"), "{out}");
+}
+
+#[test]
+fn campaign_replay_reproduces_exits_zero() {
+    let dir = scratch("campaign_replay");
+    let report = campaign_fixture();
+    let path = write(&dir, "report.json", &report.to_json());
+    let (code, out, _) = inspect(&["campaign", &path, "--replay", "7"]);
+    assert_eq!(code, 0, "the canary must replay to its recorded outcome: {out}");
+    assert!(out.contains("replay plan 7: reproduces the recorded outcome"), "{out}");
+    // A certified plan replays clean too.
+    let (code, out, _) = inspect(&["campaign", &path, "--replay", "0"]);
+    assert_eq!(code, 0, "{out}");
+}
+
+#[test]
+fn campaign_replay_out_of_range_exits_two() {
+    let dir = scratch("campaign_replay_oob");
+    let report = campaign_fixture();
+    let path = write(&dir, "report.json", &report.to_json());
+    let (code, _, err) = inspect(&["campaign", &path, "--replay", "99"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("out of range"), "{err}");
+}
+
+#[test]
+fn campaign_unparseable_input_exits_two() {
+    let dir = scratch("campaign_bad");
+    let path = write(&dir, "report.json", "{\"not\":\"a campaign report\"}");
+    let (code, _, err) = inspect(&["campaign", &path]);
+    assert_eq!(code, 2);
+    assert!(err.contains("cannot parse"), "{err}");
+    let (code, _, _) = inspect(&["campaign", &path, "--replay"]);
+    assert_eq!(code, 2, "--replay without a plan id is a usage error");
+    let (code, _, _) = inspect(&["campaign"]);
+    assert_eq!(code, 2, "campaign without a path is a usage error");
+}

@@ -179,6 +179,19 @@ impl LidNode {
     pub fn id(&self) -> NodeId {
         self.id
     }
+
+    /// Cold-boot amnesia for crash-restart faults: all volatile state is
+    /// wiped and the state machine returns to its initial configuration
+    /// (cursor at the top of the ranked list, every neighbour unresolved).
+    /// The ranked candidate list itself survives — it is derived from the
+    /// exchanged `ΔS̄` values, i.e. durable problem data, not protocol state.
+    pub(crate) fn reset(&mut self) {
+        self.cursor = 0;
+        self.u = self.ranked.iter().copied().collect();
+        self.p.clear();
+        self.a.clear();
+        self.k.clear();
+    }
 }
 
 impl Protocol for LidNode {

@@ -90,8 +90,27 @@ impl Protocol for ReliableLidNode {
             LidMessage::Ack if self.inner.is_locked(from) => {
                 // Stale confirmation for an already-completed handshake.
             }
+            LidMessage::Rej if self.inner.is_locked(from) => {
+                // Only reachable under crash-restart faults: the peer lost
+                // its side of the lock to amnesia and settled elsewhere.
+                // Keep our side — the post-run asymmetric-lock audit reports
+                // the half-locked pair instead of the state machine
+                // asserting on an "impossible" message.
+            }
             _ => self.inner.on_message(from, msg, ctx),
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<LidMessage>) {
+        // Crash-restart recovery: the node reboots with amnesia. Reset the
+        // wrapped state machine, re-enter Algorithm 1 from the top, and
+        // re-arm retransmission. Locked ex-partners answer the re-proposals
+        // with ACK (the duplicate-PROP branch above), peers that rejected us
+        // before the crash re-reject (the post-termination reply), so the
+        // node converges back to the LIC-equivalent outcome.
+        self.inner.reset();
+        self.inner.on_start(ctx);
+        self.arm(ctx);
     }
 
     fn on_timer(&mut self, _tag: u64, ctx: &mut Context<LidMessage>) {
@@ -130,6 +149,37 @@ pub fn run_lid_reliable(problem: &Problem, config: SimConfig, interval: SimTime)
         init_messages: 2 * problem.edge_count() as u64,
         asymmetric_locks,
     }
+}
+
+/// Runs reliable LID with telemetry recording forced on, returning the
+/// result together with the structured event log (the chaos campaign feeds
+/// the log to the Lemma 5 causal-acyclicity certificate).
+pub fn run_lid_reliable_traced(
+    problem: &Problem,
+    config: SimConfig,
+    interval: SimTime,
+) -> (LidResult, owp_simnet::EventLog) {
+    let config = config.telemetry();
+    let nodes: Vec<ReliableLidNode> = problem
+        .graph
+        .nodes()
+        .map(|i| ReliableLidNode::new(problem, i, interval))
+        .collect();
+    let mut sim = Simulator::with_topology(nodes, config, &problem.graph);
+    let out = sim.run();
+    let terminated = out.quiescent && sim.nodes().all(|n| n.is_terminated());
+    let (matching, asymmetric_locks) =
+        extract_matching_from(problem, sim.nodes().map(|n| n.inner()));
+    let result = LidResult {
+        matching,
+        stats: sim.stats().clone(),
+        end_time: out.end_time,
+        rounds: 0,
+        terminated,
+        init_messages: 2 * problem.edge_count() as u64,
+        asymmetric_locks,
+    };
+    (result, sim.take_telemetry())
 }
 
 #[cfg(test)]
@@ -204,6 +254,73 @@ mod tests {
             let c = lic(&p, SelectionPolicy::InOrder);
             assert!(r.matching.same_edges(&c), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn crash_restart_recovers_the_lic_matching() {
+        // A node crashes mid-run and restarts with amnesia. The recovery
+        // hook re-enters Algorithm 1: locked ex-partners re-confirm with
+        // ACK, terminated peers re-reject, and the run converges back to
+        // the exact LIC-equivalent matching with no asymmetric locks.
+        for seed in 0..6 {
+            let p = Problem::random_gnp(20, 0.3, 2, 100 + seed);
+            let victim = NodeId((seed % 20) as u32);
+            let cfg = SimConfig::with_seed(seed)
+                .latency(LatencyModel::Uniform { lo: 1, hi: 10 })
+                .faults(FaultPlan::none().crash(victim, 15).restart(victim, 120));
+            let r = run_lid_reliable(&p, cfg, 30);
+            assert!(r.terminated, "seed {seed}: must terminate despite restart");
+            assert_eq!(r.asymmetric_locks, 0, "seed {seed}: locks re-confirmed");
+            let c = lic(&p, SelectionPolicy::InOrder);
+            assert!(
+                r.matching.same_edges(&c),
+                "seed {seed}: restart must not change the outcome"
+            );
+            verify::check_valid(&p, &r.matching).expect("valid");
+        }
+    }
+
+    #[test]
+    fn crash_restart_composed_with_loss_and_fifo_violation() {
+        // The full chaos cocktail on one instance: loss, duplication,
+        // reordering and a crash-restart together. Reliable LID still
+        // terminates with the exact LIC matching (idempotent messages make
+        // duplicates harmless; REJ permanence makes reordering harmless).
+        for seed in 0..4 {
+            let p = Problem::random_gnp(16, 0.35, 2, 130 + seed);
+            let victim = NodeId((seed % 16) as u32);
+            let plan = FaultPlan::with_drop_probability(0.15)
+                .duplicate(0.2)
+                .reorder(0.3)
+                .crash(victim, 20)
+                .restart(victim, 150);
+            let cfg = SimConfig::with_seed(seed)
+                .latency(LatencyModel::Uniform { lo: 1, hi: 10 })
+                .faults(plan);
+            let r = run_lid_reliable(&p, cfg, 25);
+            assert!(r.terminated, "seed {seed}");
+            assert_eq!(r.asymmetric_locks, 0, "seed {seed}");
+            let c = lic(&p, SelectionPolicy::InOrder);
+            assert!(r.matching.same_edges(&c), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn traced_run_certifies_causal_acyclicity_under_chaos() {
+        use owp_telemetry::CausalDag;
+        let p = Problem::random_gnp(14, 0.3, 2, 140);
+        let plan = FaultPlan::with_drop_probability(0.2)
+            .reorder(0.3)
+            .crash(NodeId(3), 10)
+            .restart(NodeId(3), 80);
+        let cfg = SimConfig::with_seed(7)
+            .latency(LatencyModel::Uniform { lo: 1, hi: 8 })
+            .faults(plan);
+        let (r, log) = run_lid_reliable_traced(&p, cfg, 20);
+        assert!(r.terminated);
+        let dag = CausalDag::from_log(&log);
+        assert!(dag.is_certified(), "Lemma 5 certificate survives chaos");
+        assert_eq!(log.with_tag("restarted").count(), 1);
     }
 
     #[test]

@@ -780,6 +780,20 @@ impl Engine {
         res
     }
 
+    /// Crash-restart recovery hook for the chaos campaigns: node `node`
+    /// went down and came back with no volatile state. Modelled as an
+    /// atomic leave+join batch — the leave tears down the node's matched
+    /// edges (repairing displaced neighbours), the join re-admits it and
+    /// the same bounded repair re-acquires its locally-heaviest edges. The
+    /// engine's certificates must hold across the transition exactly as
+    /// across any other batch.
+    pub fn restart_node(&mut self, node: NodeId) -> Result<DeltaReport, EngineError> {
+        self.apply_batch(&[
+            EngineEvent::NodeLeave { node },
+            EngineEvent::NodeJoin { node },
+        ])
+    }
+
     /// Deliberately corrupts the engine — the chaos hook the forensic
     /// pipeline is proved against (experiment E22). The fault is applied
     /// *and* recorded as a history step, so a forensic replay reproduces

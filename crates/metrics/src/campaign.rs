@@ -1,0 +1,101 @@
+//! The `campaign_*` keys of the chaos-campaign orchestrator (experiment
+//! E25): per-fault-class coverage counters plus wall-time and event-count
+//! histograms. Counter keys are `&'static str` by [`MetricsRegistry`]
+//! contract, so per-class keys are resolved through the lookup functions
+//! here instead of being formatted at runtime.
+
+use crate::registry::MetricsRegistry;
+
+/// The fault-class labels of the campaign generator, in ledger order.
+/// Class `i` of a round-robin campaign exercises `CAMPAIGN_CLASSES[i % 5]`.
+pub const CAMPAIGN_CLASSES: [&str; 5] = [
+    "heal_partition",
+    "asym_loss",
+    "duplication",
+    "reordering",
+    "crash_restart",
+];
+
+/// Counter: plans executed, total across all fault classes.
+pub const CAMPAIGN_PLANS_TOTAL: &str = "campaign_plans_total";
+/// Counter: plans whose every certificate held.
+pub const CAMPAIGN_CERTIFIED_TOTAL: &str = "campaign_certified_total";
+/// Counter: plans with at least one certificate violation.
+pub const CAMPAIGN_VIOLATIONS_TOTAL: &str = "campaign_violations_total";
+/// Histogram: wall-clock microseconds per executed plan.
+pub const CAMPAIGN_PLAN_WALL_US: &str = "campaign_plan_wall_us";
+/// Histogram: simulator events (deliveries + timers) per executed plan.
+pub const CAMPAIGN_PLAN_EVENTS: &str = "campaign_plan_events";
+
+/// Per-class executed-plan counter key (`campaign_plans_<class>`), or
+/// `None` for an unknown class label.
+pub fn campaign_plans_key(class: &str) -> Option<&'static str> {
+    match class {
+        "heal_partition" => Some("campaign_plans_heal_partition"),
+        "asym_loss" => Some("campaign_plans_asym_loss"),
+        "duplication" => Some("campaign_plans_duplication"),
+        "reordering" => Some("campaign_plans_reordering"),
+        "crash_restart" => Some("campaign_plans_crash_restart"),
+        _ => None,
+    }
+}
+
+/// Per-class violation counter key (`campaign_violations_<class>`), or
+/// `None` for an unknown class label.
+pub fn campaign_violations_key(class: &str) -> Option<&'static str> {
+    match class {
+        "heal_partition" => Some("campaign_violations_heal_partition"),
+        "asym_loss" => Some("campaign_violations_asym_loss"),
+        "duplication" => Some("campaign_violations_duplication"),
+        "reordering" => Some("campaign_violations_reordering"),
+        "crash_restart" => Some("campaign_violations_crash_restart"),
+        _ => None,
+    }
+}
+
+/// Pre-registers every campaign key so exporters show the full coverage
+/// ledger (zeros included) before the first plan executes.
+pub fn register_campaign_metrics(reg: &MetricsRegistry) {
+    reg.counter(CAMPAIGN_PLANS_TOTAL);
+    reg.counter(CAMPAIGN_CERTIFIED_TOTAL);
+    reg.counter(CAMPAIGN_VIOLATIONS_TOTAL);
+    reg.histogram(CAMPAIGN_PLAN_WALL_US);
+    reg.histogram(CAMPAIGN_PLAN_EVENTS);
+    for class in CAMPAIGN_CLASSES {
+        reg.counter(campaign_plans_key(class).expect("known class"));
+        reg.counter(campaign_violations_key(class).expect("known class"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_has_both_keys() {
+        for class in CAMPAIGN_CLASSES {
+            let p = campaign_plans_key(class).expect("plans key");
+            let v = campaign_violations_key(class).expect("violations key");
+            assert_eq!(p, format!("campaign_plans_{class}"));
+            assert_eq!(v, format!("campaign_violations_{class}"));
+        }
+        assert_eq!(campaign_plans_key("nope"), None);
+        assert_eq!(campaign_violations_key("nope"), None);
+    }
+
+    #[test]
+    fn registration_creates_the_full_ledger() {
+        let reg = MetricsRegistry::new();
+        register_campaign_metrics(&reg);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("campaign_plans_total"));
+        for class in CAMPAIGN_CLASSES {
+            assert!(json.contains(&format!("campaign_plans_{class}")), "{class}");
+            assert!(
+                json.contains(&format!("campaign_violations_{class}")),
+                "{class}"
+            );
+        }
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod alloc;
 pub mod audit;
+pub mod campaign;
 pub mod daemon;
 pub mod recorder;
 pub mod registry;
@@ -62,6 +63,11 @@ pub use daemon::{
 };
 pub use audit::{
     epsilon_blocking_count, weight_upper_bound, AuditViolation, Auditor, InvariantKind,
+};
+pub use campaign::{
+    campaign_plans_key, campaign_violations_key, register_campaign_metrics, CAMPAIGN_CLASSES,
+    CAMPAIGN_CERTIFIED_TOTAL, CAMPAIGN_PLANS_TOTAL, CAMPAIGN_PLAN_EVENTS, CAMPAIGN_PLAN_WALL_US,
+    CAMPAIGN_VIOLATIONS_TOTAL,
 };
 pub use recorder::MetricsRecorder;
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};

@@ -188,6 +188,9 @@ impl Recorder for MetricsRecorder {
             | TelemetryEvent::SpanDropped { .. }
             | TelemetryEvent::SpanDeadLettered { .. } => {}
             TelemetryEvent::TimerFired { .. } => self.timers_fired_total.inc(),
+            // Restarts are a fault-plan artefact; the chaos campaign counts
+            // them per fault class through its own `campaign_*` ledger.
+            TelemetryEvent::Restarted { .. } => {}
             TelemetryEvent::Node { time, node, event } => match event {
                 NodeEvent::PropSent { to } => {
                     self.pending_props.entry((node.0, to.0)).or_default().push_back(time);

@@ -19,8 +19,10 @@
 //!   argument is about);
 //! * [`sync`] — a synchronous-round engine over the same `Protocol` trait,
 //!   used for deterministic round-complexity measurements;
-//! * [`faults`] — message-loss and node-crash injection for the robustness
-//!   experiments that go beyond the paper's reliable-network assumption;
+//! * [`faults`] — fault injection (message loss, asymmetric per-link loss,
+//!   duplication, FIFO-violating reordering, healing partitions, node
+//!   crash/restart) for the robustness experiments and chaos campaigns that
+//!   go beyond the paper's reliable-network assumption;
 //! * [`stats`] — typed per-kind message counters ([`owp_telemetry::MessageKind`]);
 //!   structured event traces live in the re-exported [`owp_telemetry`] layer
 //!   (`EventLog` of typed `TelemetryEvent`s, enabled per run via
@@ -41,7 +43,7 @@ pub mod sim;
 pub mod stats;
 pub mod sync;
 
-pub use faults::FaultPlan;
+pub use faults::{CompiledFaults, FaultPlan, LinkLoss, Partition};
 pub use latency::LatencyModel;
 pub use link::LinkIndex;
 pub use owp_graph::NodeId;

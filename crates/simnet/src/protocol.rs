@@ -43,6 +43,15 @@ pub trait Protocol {
         let _ = (tag, ctx);
     }
 
+    /// Called when the simulator restarts this node after a crash (see
+    /// [`crate::faults::FaultPlan::restart`]). The implementation must treat
+    /// this as a cold boot: all volatile protocol state is stale, timers
+    /// armed before the crash are dead, and any recovery traffic must be
+    /// (re-)initiated from here. Default: behave like `on_start`.
+    fn on_restart(&mut self, ctx: &mut Context<Self::Message>) {
+        self.on_start(ctx);
+    }
+
     /// `true` once this node has locally terminated. Purely observational —
     /// the engines use it for statistics and invariant checks, never for
     /// control flow (a real distributed node cannot be peeked at either).

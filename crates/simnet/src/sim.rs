@@ -1,6 +1,6 @@
 //! The asynchronous event-driven simulator.
 
-use crate::faults::FaultPlan;
+use crate::faults::{CompiledFaults, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::link::LinkIndex;
 use crate::protocol::{Context, Payload, Protocol};
@@ -104,7 +104,13 @@ enum Pending<M> {
         /// the timer callback inherit it as their causal parent, so
         /// retransmission chains stay connected in the happens-before DAG.
         parent: Option<SpanId>,
+        /// Incarnation of the node when the timer was armed. A timer whose
+        /// incarnation no longer matches was armed before a crash-restart
+        /// and stays dead (restart wipes volatile state, timers included).
+        incarnation: u32,
     },
+    /// A crashed node comes back up (crash-restart fault plans).
+    Restart { node: NodeId },
 }
 
 /// Per-directed-link "last scheduled delivery" store for the FIFO clamp.
@@ -150,7 +156,12 @@ impl LinkClock {
 /// pure function of `(nodes, config)`.
 pub struct Simulator<P: Protocol> {
     nodes: Vec<P>,
-    crashed: Vec<bool>,
+    /// The fault plan compiled against the node count: O(1) crash/restart/
+    /// partition/link-loss queries on the delivery path.
+    faults: CompiledFaults,
+    /// Per-node restart count; timers carry the incarnation they were armed
+    /// in and fire only if it still matches.
+    incarnation: Vec<u32>,
     config: SimConfig,
     rng: StdRng,
     now: SimTime,
@@ -201,6 +212,8 @@ impl<P: Protocol> Simulator<P> {
     fn with_clock(nodes: Vec<P>, config: SimConfig, link_clock: LinkClock) -> Self {
         let n = nodes.len();
         let rng = StdRng::seed_from_u64(config.seed);
+        let faults = CompiledFaults::compile(&config.faults, n)
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
         let log = if config.telemetry {
             EventLog::enabled()
         } else {
@@ -208,7 +221,8 @@ impl<P: Protocol> Simulator<P> {
         };
         Simulator {
             nodes,
-            crashed: vec![false; n],
+            faults,
+            incarnation: vec![0; n],
             config,
             rng,
             now: 0,
@@ -261,7 +275,11 @@ impl<P: Protocol> Simulator<P> {
             });
         }
         for (delay, tag) in timers {
-            self.schedule(self.now + delay, Pending::Timer { node: from, tag, parent });
+            let incarnation = self.incarnation[from.index()];
+            self.schedule(
+                self.now + delay,
+                Pending::Timer { node: from, tag, parent, incarnation },
+            );
         }
         for (to, msg) in outbox {
             assert!(
@@ -288,9 +306,26 @@ impl<P: Protocol> Simulator<P> {
                 kind,
             });
 
-            if self.config.faults.drop_probability > 0.0
-                && self.rng.gen_range(0.0..1.0) < self.config.faults.drop_probability
-            {
+            // Partition cut: deterministic (no RNG draw), decided at send
+            // time so plans without partitions keep the exact RNG stream of
+            // pre-partition seeded runs.
+            if self.faults.cut_at(from, to, self.now) {
+                self.stats.partition_dropped += 1;
+                self.log.record(TelemetryEvent::Dropped {
+                    time: self.now,
+                    from,
+                    to,
+                    kind,
+                });
+                self.log.record(TelemetryEvent::SpanDropped { time: self.now, span });
+                continue;
+            }
+
+            // Loss: the per-link override if one exists, else the global
+            // drop probability. The draw only happens when the effective
+            // probability is non-zero, exactly as before.
+            let loss = self.faults.loss(from, to);
+            if loss > 0.0 && self.rng.gen_range(0.0..1.0) < loss {
                 self.stats.dropped += 1;
                 self.log.record(TelemetryEvent::Dropped {
                     time: self.now,
@@ -303,10 +338,48 @@ impl<P: Protocol> Simulator<P> {
             }
 
             let mut at = self.now + self.config.latency.sample(&mut self.rng);
-            if self.config.fifo {
+            // Reordering fault: the message skips the per-link FIFO clamp
+            // and may overtake earlier traffic (explicitly violating the
+            // paper's channel assumption). Draws happen only when the fault
+            // is configured, preserving existing seeded RNG streams.
+            let reorder = self.faults.reorder_probability > 0.0
+                && self.rng.gen_range(0.0..1.0) < self.faults.reorder_probability;
+            if reorder {
+                self.stats.reordered += 1;
+            } else if self.config.fifo {
                 at = self.link_clock.clamp(from, to, at);
             }
+            // Duplication fault: an extra copy with its own span and an
+            // independent latency draw (so the copy can arrive long after —
+            // or, on a reordered link, before — the original).
+            let duplicate = self.faults.duplicate_probability > 0.0
+                && self.rng.gen_range(0.0..1.0) < self.faults.duplicate_probability;
+            let copy = if duplicate { Some(msg.clone()) } else { None };
             self.schedule(at, Pending::Msg(InFlight { from, to, msg, span }));
+            if let Some(copy) = copy {
+                let dspan = SpanId(self.next_span);
+                self.next_span += 1;
+                self.stats.duplicated += 1;
+                self.log.record(TelemetryEvent::Sent {
+                    time: self.now,
+                    from,
+                    to,
+                    kind,
+                });
+                self.log.record(TelemetryEvent::SpanSent {
+                    time: self.now,
+                    span: dspan,
+                    parent,
+                    from,
+                    to,
+                    kind,
+                });
+                let mut dat = self.now + self.config.latency.sample(&mut self.rng);
+                if self.config.fifo {
+                    dat = self.link_clock.clamp(from, to, dat);
+                }
+                self.schedule(dat, Pending::Msg(InFlight { from, to, msg: copy, span: dspan }));
+            }
         }
     }
 
@@ -318,13 +391,18 @@ impl<P: Protocol> Simulator<P> {
         self.started = true;
         for i in 0..self.nodes.len() {
             let id = NodeId(i as u32);
-            if self.config.faults.crash_time(id) == Some(0) {
-                self.crashed[i] = true;
+            if self.faults.down_at(id, 0) {
                 continue;
             }
             let mut ctx = self.make_ctx(id, 0);
             self.nodes[i].on_start(&mut ctx);
             self.dispatch_ctx(id, ctx, None);
+        }
+        // Restart events enter the queue only when the plan schedules them,
+        // so plans without restarts keep their exact `(time, seq)` order.
+        let restarts: Vec<(NodeId, SimTime)> = self.faults.restarts().collect();
+        for (node, at) in restarts {
+            self.schedule(at, Pending::Restart { node });
         }
     }
 
@@ -342,13 +420,11 @@ impl<P: Protocol> Simulator<P> {
         self.now = at;
 
         match pending {
-            Pending::Timer { node, tag, parent } => {
-                if let Some(t) = self.config.faults.crash_time(node) {
-                    if at >= t {
-                        self.crashed[node.index()] = true;
-                    }
-                }
-                if self.crashed[node.index()] {
+            Pending::Timer { node, tag, parent, incarnation } => {
+                // A timer is dead if its node is down, or if it was armed in
+                // a previous incarnation (armed before a crash-restart).
+                if self.faults.down_at(node, at) || incarnation != self.incarnation[node.index()]
+                {
                     return true;
                 }
                 self.stats.timers_fired += 1;
@@ -361,14 +437,22 @@ impl<P: Protocol> Simulator<P> {
                 self.nodes[node.index()].on_timer(tag, &mut ctx);
                 self.dispatch_ctx(node, ctx, parent);
             }
+            Pending::Restart { node } => {
+                // The node comes back with no volatile state: bump the
+                // incarnation (killing pre-crash timers) and let the
+                // protocol re-enter via its recovery hook. Sends from the
+                // recovery callback are new causal roots.
+                self.incarnation[node.index()] += 1;
+                self.stats.restarts += 1;
+                self.log.record(TelemetryEvent::Restarted { time: at, node });
+                let mut ctx = self.make_ctx(node, at);
+                self.nodes[node.index()].on_restart(&mut ctx);
+                self.dispatch_ctx(node, ctx, None);
+            }
             Pending::Msg(InFlight { from, to, msg, span }) => {
-                // Crash handling: a node is dead from its crash time onward.
-                if let Some(t) = self.config.faults.crash_time(to) {
-                    if at >= t {
-                        self.crashed[to.index()] = true;
-                    }
-                }
-                if self.crashed[to.index()] {
+                // Crash handling: a node is dead from its crash time until
+                // its restart (if any).
+                if self.faults.down_at(to, at) {
                     self.stats.dead_lettered += 1;
                     self.log.record(TelemetryEvent::DeadLettered {
                         time: at,
@@ -830,6 +914,185 @@ mod tests {
         let dag = CausalDag::from_log(sim.telemetry());
         assert_eq!(dag.spans()[0].outcome, SpanOutcome::DeadLettered);
         assert!(dag.is_certified());
+    }
+
+    #[test]
+    fn partition_cuts_then_heals() {
+        // Node 0 is partitioned off for t in [0, 15): the pings at t=0 and
+        // t=10 are cut, the retransmissions from t=20 get through and the
+        // protocol still completes (the paper's liveness needs the heal).
+        let cfg = SimConfig::with_seed(8)
+            .faults(FaultPlan::none().partition(vec![NodeId(0)], 0, 15))
+            .telemetry();
+        let mut sim = Simulator::new(retry_nodes(), cfg);
+        let out = sim.run();
+        assert!(out.quiescent);
+        assert!(sim.node(NodeId(0)).done, "retransmission defeats the cut");
+        assert_eq!(sim.stats().partition_dropped, 2);
+        assert_eq!(sim.stats().dropped, 0, "cuts are not counted as random loss");
+        // Cut spans still get a terminal outcome so the causal DAG certifies.
+        use owp_telemetry::CausalDag;
+        assert!(CausalDag::from_log(sim.telemetry()).is_certified());
+    }
+
+    #[test]
+    fn asymmetric_link_loss_is_directional() {
+        // 0 -> 1 always drops; 1 -> 0 is perfect. The ping never arrives,
+        // the retry loop never hears back, max_deliveries stops the run.
+        let cfg = SimConfig {
+            max_deliveries: 50,
+            ..SimConfig::with_seed(9)
+                .faults(FaultPlan::none().link_loss(NodeId(0), NodeId(1), 1.0))
+        };
+        let mut sim = Simulator::new(retry_nodes(), cfg);
+        sim.run();
+        assert!(!sim.node(NodeId(0)).done);
+        assert_eq!(sim.node(NodeId(1)).pings_seen, 0);
+        assert!(sim.stats().dropped > 0);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        struct Burst {
+            id: NodeId,
+            received: u32,
+        }
+        #[derive(Clone, Debug)]
+        struct One;
+        impl Payload for One {}
+        impl Protocol for Burst {
+            type Message = One;
+            fn on_start(&mut self, ctx: &mut Context<One>) {
+                if self.id == NodeId(0) {
+                    for _ in 0..5 {
+                        ctx.send(NodeId(1), One);
+                    }
+                }
+            }
+            fn on_message(&mut self, _from: NodeId, _msg: One, _ctx: &mut Context<One>) {
+                self.received += 1;
+            }
+        }
+        let nodes = vec![
+            Burst { id: NodeId(0), received: 0 },
+            Burst { id: NodeId(1), received: 0 },
+        ];
+        let cfg = SimConfig::with_seed(10)
+            .faults(FaultPlan::none().duplicate(1.0))
+            .telemetry();
+        let mut sim = Simulator::new(nodes, cfg);
+        let out = sim.run();
+        assert_eq!(sim.stats().sent, 5, "protocol-level sends are unchanged");
+        assert_eq!(sim.stats().duplicated, 5);
+        assert_eq!(out.deliveries, 10);
+        assert_eq!(sim.node(NodeId(1)).received, 10);
+        // Every copy has its own span with a proper outcome.
+        use owp_telemetry::CausalDag;
+        let dag = CausalDag::from_log(sim.telemetry());
+        assert_eq!(dag.len(), 10);
+        assert!(dag.is_certified());
+    }
+
+    #[test]
+    fn reordering_violates_fifo_order() {
+        struct Burst {
+            id: NodeId,
+            received: Vec<u32>,
+        }
+        #[derive(Clone, Debug)]
+        struct Seq(u32);
+        impl Payload for Seq {}
+        impl Protocol for Burst {
+            type Message = Seq;
+            fn on_start(&mut self, ctx: &mut Context<Seq>) {
+                if self.id == NodeId(0) {
+                    for k in 0..20 {
+                        ctx.send(NodeId(1), Seq(k));
+                    }
+                }
+            }
+            fn on_message(&mut self, _from: NodeId, msg: Seq, _ctx: &mut Context<Seq>) {
+                self.received.push(msg.0);
+            }
+        }
+        let mk = || {
+            vec![
+                Burst { id: NodeId(0), received: vec![] },
+                Burst { id: NodeId(1), received: vec![] },
+            ]
+        };
+        let cfg = SimConfig::with_seed(6)
+            .latency(LatencyModel::Uniform { lo: 1, hi: 50 })
+            .faults(FaultPlan::none().reorder(1.0));
+        let mut sim = Simulator::new(mk(), cfg);
+        sim.run();
+        assert_eq!(sim.stats().reordered, 20);
+        let got = sim.node(NodeId(1)).received.clone();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>(), "all messages arrive");
+        assert_ne!(got, sorted, "but not in send order: FIFO was violated");
+    }
+
+    #[test]
+    fn crash_restart_reenters_via_on_restart() {
+        // Node 0 crashes at t=5 (after its first ping, before its first
+        // timer) and restarts at t=35. The default on_restart re-runs
+        // on_start: a fresh ping plus a fresh retransmission timer, so the
+        // protocol still completes. Pre-crash timers must stay dead.
+        let cfg = SimConfig::with_seed(11)
+            .faults(FaultPlan::none().crash(NodeId(0), 5).restart(NodeId(0), 35))
+            .telemetry();
+        let mut sim = Simulator::new(retry_nodes(), cfg);
+        let out = sim.run();
+        assert!(out.quiescent);
+        assert_eq!(sim.stats().restarts, 1);
+        assert!(sim.node(NodeId(0)).done, "restart recovers the protocol");
+        assert_eq!(sim.node(NodeId(1)).pings_seen, 3);
+        assert_eq!(sim.telemetry().with_tag("restarted").count(), 1);
+        // Pings: one pre-crash, one from on_restart, one from the restarted
+        // incarnation's timer. The pre-crash timer chain never fires.
+        assert_eq!(sim.stats().sent_of(MessageKind::Other("PING")), 3);
+        assert_eq!(sim.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn node_crashed_at_zero_can_restart_later() {
+        // Node 0 is down from the start; it never runs on_start, but its
+        // restart at t=20 boots it via on_restart and the run completes.
+        let cfg = SimConfig::with_seed(12)
+            .faults(FaultPlan::none().crash(NodeId(0), 0).restart(NodeId(0), 20));
+        let mut sim = Simulator::new(retry_nodes(), cfg);
+        let out = sim.run();
+        assert!(out.quiescent);
+        assert!(sim.node(NodeId(0)).done);
+        assert_eq!(sim.stats().restarts, 1);
+    }
+
+    #[test]
+    fn composed_faults_are_deterministic() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::with_drop_probability(0.1)
+                .duplicate(0.2)
+                .reorder(0.2)
+                .link_loss(NodeId(0), NodeId(1), 0.3)
+                .partition(vec![NodeId(0)], 3, 9)
+                .crash(NodeId(0), 12)
+                .restart(NodeId(0), 30);
+            let cfg = SimConfig {
+                max_deliveries: 500,
+                ..SimConfig::with_seed(seed)
+                    .latency(LatencyModel::Uniform { lo: 1, hi: 9 })
+                    .faults(plan)
+                    .telemetry()
+            };
+            let mut sim = Simulator::new(retry_nodes(), cfg);
+            let out = sim.run();
+            (out, sim.stats().clone(), sim.telemetry().to_jsonl())
+        };
+        let a = run(77);
+        let b = run(77);
+        assert_eq!(a, b, "composed fault plans replay byte-identically");
     }
 
     #[test]

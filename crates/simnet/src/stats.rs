@@ -22,6 +22,15 @@ pub struct NetStats {
     pub dropped: u64,
     /// Messages discarded because the destination had crashed.
     pub dead_lettered: u64,
+    /// Messages cut by an active network partition (counted separately from
+    /// random loss so chaos reports can attribute them).
+    pub partition_dropped: u64,
+    /// Extra copies injected by message duplication.
+    pub duplicated: u64,
+    /// Messages that skipped the FIFO clamp (reordering fault).
+    pub reordered: u64,
+    /// Node restarts performed (crash-restart fault plans).
+    pub restarts: u64,
     /// Local timer firings (see [`crate::Context::set_timer`]).
     pub timers_fired: u64,
     /// Sent counts of the dedicated protocol kinds, indexed by

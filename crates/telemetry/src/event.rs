@@ -240,6 +240,16 @@ pub enum TelemetryEvent {
         /// The discarded span.
         span: SpanId,
     },
+    /// A crashed node came back up (crash-restart fault plans): the engine
+    /// is about to run the node's `on_restart` recovery hook. Timers armed
+    /// before the crash are dead; sends from the recovery callback are new
+    /// root spans.
+    Restarted {
+        /// Time the node came back up.
+        time: u64,
+        /// The restarted node.
+        node: NodeId,
+    },
     /// A local timer fired.
     TimerFired {
         /// Firing time.
@@ -371,6 +381,7 @@ impl TelemetryEvent {
             | TelemetryEvent::SpanDelivered { time, .. }
             | TelemetryEvent::SpanDropped { time, .. }
             | TelemetryEvent::SpanDeadLettered { time, .. }
+            | TelemetryEvent::Restarted { time, .. }
             | TelemetryEvent::TimerFired { time, .. }
             | TelemetryEvent::Node { time, .. }
             | TelemetryEvent::WireFrameReceived { time, .. }
@@ -397,6 +408,7 @@ impl TelemetryEvent {
             TelemetryEvent::SpanDelivered { .. } => "span_delivered",
             TelemetryEvent::SpanDropped { .. } => "span_dropped",
             TelemetryEvent::SpanDeadLettered { .. } => "span_dead_lettered",
+            TelemetryEvent::Restarted { .. } => "restarted",
             TelemetryEvent::TimerFired { .. } => "timer_fired",
             TelemetryEvent::Node { event, .. } => match event {
                 NodeEvent::PropSent { .. } => "prop_sent",
@@ -454,6 +466,9 @@ impl TelemetryEvent {
             | TelemetryEvent::SpanDropped { time, span }
             | TelemetryEvent::SpanDeadLettered { time, span } => {
                 let _ = write!(s, ",\"time\":{time},\"span\":{}", span.0);
+            }
+            TelemetryEvent::Restarted { time, node } => {
+                let _ = write!(s, ",\"time\":{time},\"node\":{}", node.0);
             }
             TelemetryEvent::TimerFired { time, node, tag } => {
                 let _ = write!(s, ",\"time\":{time},\"node\":{},\"tag\":{tag}", node.0);

@@ -278,6 +278,10 @@ fn parse_event_line(line: &str) -> Result<TelemetryEvent, String> {
             time: num(&fields, "time")?,
             span: SpanId(num(&fields, "span")?),
         },
+        "restarted" => TelemetryEvent::Restarted {
+            time: num(&fields, "time")?,
+            node: node(&fields, "node")?,
+        },
         "timer_fired" => TelemetryEvent::TimerFired {
             time: num(&fields, "time")?,
             node: node(&fields, "node")?,
@@ -652,6 +656,7 @@ mod tests {
             TelemetryEvent::Dropped { time: 2, from: NodeId(2), to: NodeId(1), kind: MessageKind::Rej },
             TelemetryEvent::DeadLettered { time: 3, from: NodeId(0), to: NodeId(4), kind: MessageKind::Ack },
             TelemetryEvent::SpanDeadLettered { time: 3, span: SpanId(2) },
+            TelemetryEvent::Restarted { time: 3, node: NodeId(4) },
             TelemetryEvent::TimerFired { time: 4, node: NodeId(3), tag: 11 },
             TelemetryEvent::Node { time: 4, node: NodeId(3), event: NodeEvent::PropSent { to: NodeId(5) } },
             TelemetryEvent::Node { time: 4, node: NodeId(3), event: NodeEvent::RejSent { to: NodeId(6) } },
